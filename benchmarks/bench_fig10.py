@@ -1,0 +1,32 @@
+"""Fig. 10 — integrated implementation on four datasets.
+
+Regenerates: 95% latency (10a) and error (10b) for PRJ, SHJ, PECJ-PRJ and
+PECJ-SHJ under Q1 across the Stock, Rovio, Logistics and Retail
+workloads.  Expected shape: the baselines suffer large errors under
+disorder; the PECJ variants slash them at near-identical latency, with
+PECJ-SHJ ahead of PECJ-PRJ thanks to per-tuple observations.
+"""
+
+from benchmarks.conftest import bench_scale, emit
+from repro.bench.experiments import fig10_integrated
+from repro.bench.reporting import format_table
+
+
+def test_fig10_integrated(benchmark):
+    rows = benchmark.pedantic(
+        fig10_integrated, args=(bench_scale(),), rounds=1, iterations=1
+    )
+    emit(
+        "Fig 10: integrated engines x datasets",
+        format_table(rows, ["dataset", "method", "error", "p95_latency_ms"]),
+    )
+    for dataset in ("stock", "rovio", "logistics", "retail"):
+        sub = {r["method"]: r for r in rows if r["dataset"] == dataset}
+        assert sub["PECJ-PRJ"]["error"] < 0.7 * sub["PRJ"]["error"]
+        assert sub["PECJ-SHJ"]["error"] < 0.7 * sub["SHJ"]["error"]
+        assert sub["PECJ-SHJ"]["error"] <= sub["PECJ-PRJ"]["error"] * 1.1
+        # latency preserved within a window's worth of slack
+        assert (
+            sub["PECJ-PRJ"]["p95_latency_ms"]
+            < sub["PRJ"]["p95_latency_ms"] * 1.3 + 1.0
+        )

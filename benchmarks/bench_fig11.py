@@ -1,0 +1,42 @@
+"""Fig. 11 — scaling the integrated engines from 1 to 24 threads.
+
+Regenerates: 95% latency (11a), error (11b) and throughput (11c) at
+1600 Ktuples/s per stream.  Expected shape: lazy (PRJ family) dominates
+eager (SHJ family) in latency and throughput while scaling; PECJ-PRJ
+matches PRJ's scalability at a fraction of its error; the eager engine's
+overload at low thread counts starves PECJ-SHJ's observations.
+"""
+
+from benchmarks.conftest import bench_scale, emit
+from repro.bench.experiments import fig11_scaling
+from repro.bench.reporting import format_table
+
+THREADS = (1, 2, 4, 8, 12, 16, 20, 24)
+
+
+def test_fig11_scaling(benchmark):
+    rows = benchmark.pedantic(
+        fig11_scaling,
+        kwargs={"scale": bench_scale(), "thread_counts": THREADS},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Fig 11: scaling up (1600 Ktuples/s per stream)",
+        format_table(
+            rows, ["threads", "method", "error", "p95_latency_ms", "throughput_ktps"]
+        ),
+    )
+    by = {(r["method"], r["threads"]): r for r in rows}
+    # Lazy beats eager under load (latency + throughput).
+    assert by[("PRJ", 2)]["p95_latency_ms"] < by[("SHJ", 2)]["p95_latency_ms"]
+    assert by[("PRJ", 4)]["throughput_ktps"] > by[("SHJ", 4)]["throughput_ktps"]
+    # PECJ-PRJ scales like PRJ with far lower error.
+    for t in (8, 16, 24):
+        assert by[("PECJ-PRJ", t)]["error"] < 0.3 * by[("PRJ", t)]["error"]
+        assert (
+            by[("PECJ-PRJ", t)]["p95_latency_ms"]
+            < by[("PRJ", t)]["p95_latency_ms"] * 1.3 + 1.0
+        )
+    # Eager overload starves PECJ-SHJ's observations at low threads.
+    assert by[("PECJ-SHJ", 2)]["error"] > by[("PECJ-SHJ", 24)]["error"]

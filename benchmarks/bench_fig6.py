@@ -1,0 +1,27 @@
+"""Fig. 6 — end-to-end comparison of PECJ vs WMJ/KSJ on Q1 and Q2.
+
+Regenerates: 95% latency vs omega (6a), Q1 error vs omega (6b), Q2 error
+vs omega (6c).  Expected shape: equal latency across methods at equal
+omega; PECJ error several times below the aligned WMJ/KSJ errors.
+"""
+
+from benchmarks.conftest import bench_scale, emit
+from repro.bench.experiments import fig6_end_to_end
+from repro.bench.reporting import format_table
+
+
+def test_fig6_end_to_end(benchmark):
+    rows = benchmark.pedantic(
+        fig6_end_to_end, args=(bench_scale(),), rounds=1, iterations=1
+    )
+    emit(
+        "Fig 6: end-to-end Q1/Q2",
+        format_table(
+            rows, ["workload", "omega_ms", "method", "error", "p95_latency_ms"]
+        ),
+    )
+    # Reproduction guard: the paper's headline ordering must hold.
+    for omega in (7.0, 10.0, 12.0):
+        for workload in ("Q1", "Q2"):
+            sub = {r["method"]: r for r in rows if r["workload"] == workload and r["omega_ms"] == omega}
+            assert sub["PECJ-aema"]["error"] < 0.5 * sub["WMJ"]["error"]

@@ -1,0 +1,27 @@
+"""Fig. 7 — Q3 end-to-end under heavy, regime-switching disorder.
+
+Regenerates: latency (7a) and error (7b) at omega in {200, 300, 600} ms
+for WMJ, KSJ, PECJ-learning and PECJ (omega-100).  Expected shape:
+baselines stay high even at lenient omega; learning-based PECJ
+compensates to a small fraction; the omega-100 variant pays a little
+error to cancel the ~90ms inference latency.
+"""
+
+from benchmarks.conftest import bench_scale, emit
+from repro.bench.experiments import fig7_q3_end_to_end
+from repro.bench.reporting import format_table
+
+
+def test_fig7_q3(benchmark):
+    rows = benchmark.pedantic(
+        fig7_q3_end_to_end, args=(bench_scale(),), rounds=1, iterations=1
+    )
+    emit(
+        "Fig 7: Q3 end-to-end",
+        format_table(rows, ["omega_ms", "method", "error", "p95_latency_ms"]),
+    )
+    for omega in (200.0, 300.0, 600.0):
+        sub = {r["method"]: r for r in rows if r["omega_ms"] == omega}
+        assert sub["PECJ-mlp"]["error"] < 0.5 * sub["WMJ"]["error"]
+        # The shifted variant's latency is comparable to the baselines'.
+        assert sub["PECJ (w-100)"]["p95_latency_ms"] < sub["PECJ-mlp"]["p95_latency_ms"]

@@ -1,0 +1,42 @@
+"""Fig. 8 — workload sensitivity: join-key count and event rate.
+
+Regenerates: error vs number of keys (8a), 95% latency vs event rate
+(8b), error vs event rate (8c).  Expected shape: PECJ best across key
+counts with a mild uptick at 5000 keys; KSJ's k-slack overhead blows its
+latency and error up first as the rate rises.
+"""
+
+from benchmarks.conftest import bench_scale, emit
+from repro.bench.experiments import fig8_workload_sensitivity
+from repro.bench.reporting import format_table
+
+
+def test_fig8_workload_sensitivity(benchmark):
+    rows = benchmark.pedantic(
+        fig8_workload_sensitivity, args=(bench_scale(),), rounds=1, iterations=1
+    )
+    keys_rows = [r for r in rows if r.get("sweep") == "keys"]
+    rate_rows = [r for r in rows if r.get("sweep") == "rate"]
+    emit(
+        "Fig 8a: error vs join keys",
+        format_table(keys_rows, ["num_keys", "method", "error"]),
+    )
+    emit(
+        "Fig 8b/c: latency & error vs event rate",
+        format_table(rate_rows, ["rate_ktps", "method", "error", "p95_latency_ms"]),
+    )
+    for r in keys_rows:
+        if r["method"] == "PECJ-aema":
+            wmj = next(
+                w
+                for w in keys_rows
+                if w["method"] == "WMJ" and w["num_keys"] == r["num_keys"]
+            )
+            assert r["error"] < wmj["error"]
+    ksj_200 = next(
+        r for r in rate_rows if r["method"] == "KSJ" and r["rate_ktps"] == 200.0
+    )
+    wmj_200 = next(
+        r for r in rate_rows if r["method"] == "WMJ" and r["rate_ktps"] == 200.0
+    )
+    assert ksj_200["p95_latency_ms"] > 1.3 * wmj_200["p95_latency_ms"]

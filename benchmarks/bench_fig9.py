@@ -1,0 +1,44 @@
+"""Fig. 9 — algorithm sensitivity: analytical vs learning instantiations.
+
+Regenerates: Q1 error vs omega (9a), Q3 error vs omega (9b), error vs
+Delta at fixed omega=100ms (9c).  Expected shape: both PECJ variants beat
+the baselines; the analytical instantiation degrades as the disorder
+becomes non-stationary (9b) or as Delta outgrows omega (9c), while the
+learning-based one keeps compensating.
+"""
+
+from benchmarks.conftest import bench_scale, emit
+from repro.bench.experiments import fig9_algorithm_sensitivity
+from repro.bench.reporting import format_table
+
+
+def test_fig9_algorithm_sensitivity(benchmark):
+    rows = benchmark.pedantic(
+        fig9_algorithm_sensitivity, args=(bench_scale(),), rounds=1, iterations=1
+    )
+    for panel, xcol in (("a", "omega_ms"), ("b", "omega_ms"), ("c", "delta_ms")):
+        sub = [r for r in rows if r["panel"] == panel]
+        emit(f"Fig 9({panel})", format_table(sub, [xcol, "method", "error"]))
+
+    # 9(a): both instantiations beat the baselines at every omega.
+    for omega in (5.0, 10.0, 12.0):
+        sub = {
+            r["method"]: r
+            for r in rows
+            if r["panel"] == "a" and r["omega_ms"] == omega
+        }
+        assert sub["PECJ-analytical"]["error"] < sub["WMJ"]["error"]
+        assert sub["PECJ-mlp"]["error"] < sub["WMJ"]["error"]
+
+    # 9(b): under regime switching, learning clearly beats analytical.
+    sub = {
+        r["method"]: r for r in rows if r["panel"] == "b" and r["omega_ms"] == 300.0
+    }
+    assert sub["PECJ-mlp"]["error"] < 0.7 * sub["PECJ-analytical"]["error"]
+
+    # 9(c): the analytical error escalates with Delta.
+    analytical = sorted(
+        (r for r in rows if r["panel"] == "c" and r["method"] == "PECJ-analytical"),
+        key=lambda r: r["delta_ms"],
+    )
+    assert analytical[-1]["error"] > 5 * max(analytical[0]["error"], 0.01)

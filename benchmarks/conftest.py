@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one figure of the paper's evaluation and
+prints the corresponding table.  ``REPRO_BENCH_SCALE`` controls the
+measured stream length: ``quick`` (default, CI-friendly), ``full``
+(the paper's configuration), or a float.
+"""
+
+from __future__ import annotations
+
+import os
+
+_SCALES = {"quick": 0.25, "full": 1.0}
+
+
+def bench_scale() -> float:
+    raw = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if raw in _SCALES:
+        return _SCALES[raw]
+    return float(raw)
+
+
+def emit(title: str, text: str) -> None:
+    """Print a results table so it lands in the benchmark log."""
+    print(f"\n=== {title} (scale={bench_scale()}) ===")
+    print(text)

@@ -1,0 +1,74 @@
+"""Sensor-network join across a congested wide-area network.
+
+The paper's Q3 regime: events reach the analytics site through multi-hop
+routes whose congestion comes and goes, so delays swing between ~150ms
+and ~700ms (Delta = 1s).  A stationary completeness model — the
+analytical instantiation's core assumption — is wrong for every
+individual window, and the learning-based backend's delay-shape reading
+is what keeps compensation on target.
+
+Run:  python examples/iot_network_monitoring.py   (takes ~1 minute)
+"""
+
+from repro.bench.reporting import format_table
+from repro.core import PECJoin
+from repro.joins import AggKind, WatermarkJoin, run_operator
+from repro.streams import RegimeSwitchingDelay, make_dataset, make_disordered_arrays
+
+
+def main() -> None:
+    arrays = make_disordered_arrays(
+        dataset=make_dataset("logistics"),
+        delay_model=RegimeSwitchingDelay(
+            calm_mean=150.0,
+            congested_mean=700.0,
+            regime_length=700.0,
+            max_delay=1000.0,
+        ),
+        duration_ms=10000.0,
+        rate_r=100.0,
+        rate_s=100.0,
+        seed=99,
+    )
+
+    rows = []
+    for operator in (
+        WatermarkJoin(AggKind.COUNT),
+        PECJoin(AggKind.COUNT, backend="aema"),
+        PECJoin(AggKind.COUNT, backend="mlp"),
+    ):
+        result = run_operator(
+            operator,
+            arrays,
+            window_length=10.0,
+            omega=300.0,
+            t_start=100.0,
+            t_end=9500.0,
+            warmup_windows=450,
+        )
+        rows.append(
+            {
+                "method": operator.name,
+                "rel_error": result.mean_error,
+                "p95_latency_ms": result.p95_latency,
+            }
+        )
+
+    print(
+        format_table(
+            rows,
+            title="Shipment-scan join, Delta = 1s regime-switching delays, omega = 300ms",
+        )
+    )
+    print(
+        "\nThe analytical backend applies the long-run average completeness\n"
+        "to every window, over-compensating in calm spells and under-\n"
+        "compensating in congested ones.  The learning-based backend reads\n"
+        "the current window's observed delay shape, infers which regime it\n"
+        "is in, and rescales the correction — at ~90ms of inference latency\n"
+        "that can be hidden by shifting omega (see benchmarks/bench_fig7.py)."
+    )
+
+
+if __name__ == "__main__":
+    main()

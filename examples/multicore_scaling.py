@@ -1,0 +1,69 @@
+"""Integrating PECJ into a multi-threaded join engine.
+
+Reproduces the flavour of the paper's Section 6.6: the simulated
+AllianceDB-style engine runs a lazy Parallel Radix Join and an eager
+Symmetric Hash Join across a thread sweep, with and without PECJ
+compensation.  Lazy scales better; PECJ rides along at a fraction of the
+error without disturbing latency or throughput.
+
+Run:  python examples/multicore_scaling.py   (takes ~1 minute)
+"""
+
+from repro.bench.reporting import format_table
+from repro.engine import ParallelJoinEngine
+from repro.joins import AggKind
+from repro.streams import UniformDelay, make_dataset, make_disordered_arrays
+
+
+def main() -> None:
+    # 800 Ktuples/s per stream: enough to overload small thread counts.
+    arrays = make_disordered_arrays(
+        dataset=make_dataset("stock"),
+        delay_model=UniformDelay(5.0),
+        duration_ms=1500.0,
+        rate_r=800.0,
+        rate_s=800.0,
+        seed=31,
+    )
+
+    rows = []
+    for threads in (1, 4, 16):
+        for algorithm in ("prj", "shj"):
+            for pecj in (False, True):
+                engine = ParallelJoinEngine(
+                    algorithm,
+                    threads=threads,
+                    agg=AggKind.COUNT,
+                    pecj=pecj,
+                    omega=10.0,
+                )
+                result = engine.run(
+                    arrays, t_start=100.0, t_end=1450.0, warmup_windows=40
+                )
+                rows.append(
+                    {
+                        "threads": threads,
+                        "method": engine.name,
+                        "rel_error": result.mean_error,
+                        "p95_latency_ms": result.p95_latency,
+                        "throughput_ktps": result.throughput_ktps,
+                    }
+                )
+
+    print(format_table(rows, title="Engine scaling at 2 x 800 Ktuples/s"))
+    print(
+        "\nReading the table: the lazy PRJ family recovers from overload with\n"
+        "a handful of threads while the eager SHJ family needs many more;\n"
+        "the PECJ- variants track their host algorithm's latency and\n"
+        "throughput while cutting the disorder-induced error.\n"
+        "\nNote PECJ-SHJ at low thread counts: an overloaded eager engine\n"
+        "starves PECJ of observations entirely (error -> 1, nothing emitted\n"
+        "in time) — the extreme form of the paper's finding that eager\n"
+        "disorder handling can mislead PECJ under heavy load, while the\n"
+        "lazy integration keeps compensating because its batches still\n"
+        "freeze the right data."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: proactive error compensation in 40 lines.
+
+Builds a disordered stream pair, runs the WMJ baseline and PECJ side by
+side, and prints the accuracy/latency comparison — the paper's Fig. 6
+story in miniature.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.bench.reporting import format_table
+from repro.core import PECJoin
+from repro.joins import AggKind, BatchArrays, KSlackJoin, WatermarkJoin, run_operator
+from repro.streams import UniformDelay, make_dataset, make_disordered_arrays
+
+
+def main() -> None:
+    # Two 100 Ktuples/s streams over 3 seconds, disordered by up to 5 ms.
+    arrays = make_disordered_arrays(
+        dataset=make_dataset("stock"),
+        delay_model=UniformDelay(5.0),
+        duration_ms=3000.0,
+        rate_r=100.0,
+        rate_s=100.0,
+        seed=7,
+    )
+
+    rows = []
+    for omega in (7.0, 10.0, 12.0):
+        for operator in (
+            WatermarkJoin(AggKind.COUNT),
+            KSlackJoin(AggKind.COUNT),
+            PECJoin(AggKind.COUNT, backend="aema"),
+        ):
+            result = run_operator(
+                operator,
+                arrays,
+                window_length=10.0,
+                omega=omega,
+                t_start=500.0,
+                t_end=2900.0,
+                warmup_windows=50,
+            )
+            rows.append(
+                {
+                    "omega_ms": omega,
+                    "method": operator.name,
+                    "rel_error": result.mean_error,
+                    "p95_latency_ms": result.p95_latency,
+                }
+            )
+
+    print(format_table(rows, title="JOIN-COUNT over 10ms windows, Delta = 5ms"))
+    print(
+        "\nPECJ answers at the same cutoff with a fraction of the error: it\n"
+        "estimates how many tuples are still in flight (and what they would\n"
+        "join to) instead of pretending the window is complete."
+    )
+
+
+if __name__ == "__main__":
+    main()

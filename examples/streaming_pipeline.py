@@ -1,0 +1,63 @@
+"""Driving the push-based streaming API.
+
+Everything else in ``examples/`` replays pre-built batches through the
+experiment runner; this script shows the deployable form: a
+:class:`~repro.streaming.StreamingPECJ` consuming one tuple at a time in
+arrival order, emitting compensated window outputs at each cutoff, and
+scoring itself retroactively once windows finalize.
+
+Run:  python examples/streaming_pipeline.py
+"""
+
+from repro.joins.arrays import AggKind
+from repro.streaming import StreamingPECJ, StreamingWMJ
+from repro.streams import UniformDelay, make_dataset, make_disordered_pair
+
+
+def main() -> None:
+    merged, _, _ = make_disordered_pair(
+        make_dataset("stock"),
+        UniformDelay(5.0),
+        duration_ms=2000.0,
+        rate_r=50.0,
+        rate_s=50.0,
+        seed=17,
+    )
+    arrival_ordered = merged.in_arrival_order()
+
+    pecj = StreamingPECJ(window_length=10.0, omega=10.0, agg=AggKind.COUNT)
+    wmj = StreamingWMJ(window_length=10.0, omega=10.0, agg=AggKind.COUNT)
+
+    print("First few emissions as the stream flows in:")
+    shown = 0
+    for t in arrival_ordered:
+        wmj.push(t)
+        for emission in pecj.push(t):
+            if 300.0 <= emission.window_start and shown < 5:
+                print(
+                    f"  window [{emission.window_start:.0f}, "
+                    f"{emission.window_end:.0f}) -> O = {emission.value:8.1f}  "
+                    f"(emitted at t = {emission.emit_time:.1f}ms, "
+                    f"{emission.observed} tuples observed)"
+                )
+                shown += 1
+    pecj.finish()
+    wmj.finish()
+
+    skip = 40  # estimator warm-up
+    pecj_scored = pecj.scored[skip:]
+    wmj_scored = wmj.scored[skip:]
+    pecj_err = sum(s.error for s in pecj_scored) / len(pecj_scored)
+    wmj_err = sum(s.error for s in wmj_scored) / len(wmj_scored)
+
+    print(f"\nWindows emitted: {len(pecj.scored)}; live state held at any "
+          f"time: <= {pecj.live_windows + 3} windows (bounded by the delay horizon)")
+    print(f"Steady-state relative error: StreamingWMJ {wmj_err:.1%}, "
+          f"StreamingPECJ {pecj_err:.1%}")
+    print("\nEach emission was produced at its cutoff from whatever had")
+    print("arrived, with the unobserved remainder filled in from the")
+    print("posterior — no buffering beyond omega, no second pass.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""PECJ reproduction: stream window join with proactive error compensation.
+
+The package implements the full system of "PECJ: Stream Window Join on
+Disorder Data Streams with Proactive Error Compensation" (SIGMOD 2024):
+
+- :mod:`repro.streams` — tuples, windows, disorder models, datasets;
+- :mod:`repro.vi` — the variational-inference substrate;
+- :mod:`repro.nn` — the pure-numpy neural substrate;
+- :mod:`repro.joins` — baselines, oracle, cost pipeline, runners;
+- :mod:`repro.core` — the PECJ operator and its estimator backends;
+- :mod:`repro.engine` — the simulated multi-threaded join engine;
+- :mod:`repro.metrics` — error / latency / throughput metrics;
+- :mod:`repro.bench` — workloads and per-figure experiments
+  (``python -m repro.bench fig6`` regenerates a figure's table).
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.pecj import PECJoin
+from repro.joins.arrays import AggKind
+from repro.joins.baselines import ExactJoin, KSlackJoin, WatermarkJoin
+from repro.joins.runner import run_operator
+from repro.joins.sliding import run_sliding_operator
+
+__all__ = [
+    "__version__",
+    "PECJoin",
+    "AggKind",
+    "WatermarkJoin",
+    "KSlackJoin",
+    "ExactJoin",
+    "run_operator",
+    "run_sliding_operator",
+]

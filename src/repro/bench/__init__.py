@@ -1,0 +1,30 @@
+"""Benchmark harness: workload specs, per-figure experiments, reporting."""
+
+from repro.bench.experiments import (
+    fig6_end_to_end,
+    fig7_q3_end_to_end,
+    fig8_workload_sensitivity,
+    fig9_algorithm_sensitivity,
+    fig10_integrated,
+    fig11_scaling,
+    run_standalone,
+)
+from repro.bench.reporting import format_table, pivot
+from repro.bench.workloads import WorkloadSpec, micro_spec, q1_spec, q2_spec, q3_spec
+
+__all__ = [
+    "WorkloadSpec",
+    "q1_spec",
+    "q2_spec",
+    "q3_spec",
+    "micro_spec",
+    "run_standalone",
+    "fig6_end_to_end",
+    "fig7_q3_end_to_end",
+    "fig8_workload_sensitivity",
+    "fig9_algorithm_sensitivity",
+    "fig10_integrated",
+    "fig11_scaling",
+    "format_table",
+    "pivot",
+]

@@ -1,0 +1,66 @@
+"""Command-line entry point: regenerate any figure's table.
+
+Usage::
+
+    python -m repro.bench fig6 [--scale 0.3]
+    python -m repro.bench fig9 --scale full
+    python -m repro.bench all
+
+Prints the same rows/series the corresponding paper figure plots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import (
+    fig6_end_to_end,
+    fig7_q3_end_to_end,
+    fig8_workload_sensitivity,
+    fig9_algorithm_sensitivity,
+    fig10_integrated,
+    fig11_scaling,
+)
+from repro.bench.reporting import format_table
+
+_FIGURES = {
+    "fig6": (fig6_end_to_end, ["workload", "omega_ms", "method", "error", "p95_latency_ms"]),
+    "fig7": (fig7_q3_end_to_end, ["omega_ms", "method", "error", "p95_latency_ms"]),
+    "fig8": (fig8_workload_sensitivity, None),
+    "fig9": (fig9_algorithm_sensitivity, None),
+    "fig10": (fig10_integrated, ["dataset", "method", "error", "p95_latency_ms"]),
+    "fig11": (fig11_scaling, ["threads", "method", "error", "p95_latency_ms", "throughput_ktps"]),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the tables behind the PECJ paper's figures.",
+    )
+    parser.add_argument(
+        "figure", choices=sorted(_FIGURES) + ["all"], help="which figure to regenerate"
+    )
+    parser.add_argument(
+        "--scale",
+        default="0.3",
+        help="measured stream fraction: a float, or 'full' (default 0.3)",
+    )
+    args = parser.parse_args(argv)
+    scale = 1.0 if args.scale == "full" else float(args.scale)
+
+    names = sorted(_FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        fn, columns = _FIGURES[name]
+        t0 = time.time()
+        rows = fn(scale)
+        elapsed = time.time() - t0
+        print(format_table(rows, columns, title=f"{name} (scale={scale:g}, {elapsed:.0f}s)"))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Plain-text table formatting for benchmark output.
+
+The harness prints, for every figure, the same rows/series the paper
+plots, so a run of ``pytest benchmarks/ --benchmark-only`` leaves a
+readable record next to the timing data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_value", "pivot"]
+
+
+def format_value(value) -> str:
+    """Human-friendly cell rendering (floats trimmed, rates suffixed)."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render row dictionaries as an aligned ASCII table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def pivot(
+    rows: Iterable[Mapping],
+    index: str,
+    series: str,
+    value: str,
+) -> list[dict]:
+    """Reshape rows into one row per ``index`` with a column per series.
+
+    Mirrors how the paper plots figures: x-axis = ``index``, one line per
+    ``series``, y-axis = ``value``.
+    """
+    table: dict[object, dict] = {}
+    for row in rows:
+        key = row[index]
+        table.setdefault(key, {index: key})[str(row[series])] = row[value]
+    return [table[k] for k in sorted(table, key=lambda v: (str(type(v)), v))]

@@ -1,0 +1,150 @@
+"""Workload definitions for the paper's three queries and sweeps.
+
+Section 6.1 defines:
+
+* **Q1** — JOIN-COUNT, ``|W| = 10ms``, ``Delta = 5ms`` (edge-of-cloud
+  disorder), Stock dataset, 100 Ktuples/s per stream;
+* **Q2** — Q1 with SUM aggregation;
+* **Q3** — Q1 with an intricate disorder pattern and ``Delta = 1000ms``
+  (intercontinental/TOR-like), latency target < 500ms.
+
+Each spec bundles the dataset generator, delay model and timing so every
+benchmark and test builds byte-identical workloads from one place.
+``scale`` shrinks the stream segment for quick runs while keeping the
+estimators' warm-up intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.joins.arrays import AggKind, BatchArrays
+from repro.streams.datasets import StreamGenerator, make_dataset
+from repro.streams.disorder import (
+    CorrelatedDelay,
+    DelayModel,
+    RegimeSwitchingDelay,
+    UniformDelay,
+)
+from repro.streams.sources import make_disordered_arrays
+
+__all__ = ["WorkloadSpec", "q1_spec", "q2_spec", "q3_spec", "micro_spec"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A fully-determined stream-join workload."""
+
+    name: str
+    dataset: StreamGenerator
+    delay: DelayModel
+    agg: AggKind
+    window_ms: float = 10.0
+    rate_r: float = 100.0  # tuples per ms (100 => 100 Ktuples/s)
+    rate_s: float = 100.0
+    duration_ms: float = 3000.0
+    warmup_ms: float = 300.0
+    seed: int = 11
+    #: Default emission cutoff (paper: omega = |W| unless tuned).
+    omega_ms: float = 10.0
+
+    def scaled(self, scale: float) -> "WorkloadSpec":
+        """Shrink the measured segment (warm-up is never shrunk)."""
+        if scale >= 1.0:
+            return self
+        measured = (self.duration_ms - self.warmup_ms) * scale
+        return replace(self, duration_ms=self.warmup_ms + max(measured, 10 * self.window_ms))
+
+    def build(self) -> BatchArrays:
+        """Materialise the disordered columnar batch."""
+        return make_disordered_arrays(
+            self.dataset, self.delay, self.duration_ms, self.rate_r, self.rate_s, self.seed
+        )
+
+    @property
+    def t_start(self) -> float:
+        """First window start usable by operators (history from 0)."""
+        return self.window_ms
+
+    @property
+    def t_end(self) -> float:
+        return self.duration_ms - self.window_ms
+
+    @property
+    def warmup_windows(self) -> int:
+        """Leading windows excluded from metrics."""
+        return int(self.warmup_ms / self.window_ms)
+
+
+def q1_spec(**overrides) -> WorkloadSpec:
+    """Q1: COUNT over Stock with small uniform disorder (Delta = 5ms)."""
+    defaults = dict(
+        name="Q1",
+        dataset=make_dataset("stock"),
+        delay=UniformDelay(5.0),
+        agg=AggKind.COUNT,
+        duration_ms=3000.0,
+        warmup_ms=500.0,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+def q2_spec(**overrides) -> WorkloadSpec:
+    """Q2: Q1 with SUM(R.v) aggregation."""
+    return q1_spec(name="Q2", agg=AggKind.SUM, **overrides)
+
+
+def q3_spec(**overrides) -> WorkloadSpec:
+    """Q3: COUNT over Stock with regime-switching heavy disorder.
+
+    ``Delta = 1000ms``; the delay distribution alternates between calm and
+    congested regimes (the "intricate disorder arrival pattern"), which is
+    what defeats the analytical instantiation in Section 6.5.
+    """
+    defaults = dict(
+        name="Q3",
+        dataset=make_dataset("stock"),
+        delay=RegimeSwitchingDelay(
+            calm_mean=150.0, congested_mean=700.0, regime_length=700.0, max_delay=1000.0
+        ),
+        agg=AggKind.COUNT,
+        duration_ms=12000.0,
+        warmup_ms=5000.0,
+        omega_ms=300.0,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+def micro_spec(
+    num_keys: int = 10,
+    rate: float = 100.0,
+    agg: AggKind = AggKind.SUM,
+    delay: DelayModel | None = None,
+    **overrides,
+) -> WorkloadSpec:
+    """Micro-benchmark workload for the sensitivity studies (Fig. 8/9c)."""
+    defaults = dict(
+        name=f"micro-k{num_keys}-r{rate:g}",
+        dataset=make_dataset("micro", num_keys=num_keys),
+        delay=delay or UniformDelay(5.0),
+        agg=agg,
+        rate_r=rate,
+        rate_s=rate,
+        duration_ms=2500.0,
+        warmup_ms=500.0,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+def correlated_delay_for(delta: float) -> CorrelatedDelay:
+    """The Fig. 9(c) disorder: correlated congestion scaled to ``Delta``."""
+    return CorrelatedDelay(
+        base_mean=delta / 4.0,
+        log_sigma=0.8,
+        reversion=0.08,
+        step_ms=50.0,
+        max_delay=delta,
+    )

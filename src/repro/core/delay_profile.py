@@ -1,0 +1,183 @@
+"""Online empirical delay distribution ("how late do tuples run?").
+
+PECJ's proactive compensation needs to know, for a sub-interval of age
+``a`` (time elapsed since its events occurred), what fraction of its tuples
+have already arrived — the *completeness* ``c(a) = P(delta <= a)``.  The
+reciprocal ``1/c(a)`` is exactly the expected reverse-linear distortion
+``E[z_i]`` of the paper's Eq. 6: an interval observed at age ``a`` shows
+``x_i ~ mu_w * c(a)``, so ``z_i ~ 1/c(a)`` restores it.
+
+The profile is learned continually from the delays of tuples as the
+operator processes them (delays are observable in hindsight: every arrived
+tuple carries both timestamps), with exponential forgetting so the profile
+tracks drifting network conditions.  It is intentionally a *time-averaged*
+view — under regime-switching delays this average is wrong for any single
+regime, which is precisely the bias that breaks the analytical
+instantiation in the paper's Section 6.5 and that the learning-based
+backend can overcome.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DelayProfile"]
+
+
+class DelayProfile:
+    """Histogram estimate of the tuple-delay CDF with forgetting.
+
+    Args:
+        num_bins: Histogram resolution.
+        initial_span: Starting delay range covered (ms); the range doubles
+            automatically when larger delays appear.
+        decay: Multiplicative forgetting applied per :meth:`decay_step`
+            (the operator calls it once per emitted window).
+        min_weight: Below this total weight the profile declines to answer
+            (completeness falls back to 1: no compensation while cold).
+    """
+
+    def __init__(
+        self,
+        num_bins: int = 128,
+        initial_span: float = 8.0,
+        decay: float = 0.999,
+        min_weight: float = 50.0,
+    ):
+        if num_bins < 8:
+            raise ValueError("need at least 8 bins")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.num_bins = num_bins
+        self.decay = decay
+        self.min_weight = min_weight
+        self._span = float(initial_span)
+        self._counts = np.zeros(num_bins)
+        self._total = 0.0
+        self._max_seen = 0.0
+
+    # -- learning ---------------------------------------------------------
+
+    def update(self, delays: np.ndarray) -> None:
+        """Absorb a batch of observed delays (ms, >= 0)."""
+        delays = np.asarray(delays, dtype=float)
+        if delays.size == 0:
+            return
+        dmax = float(delays.max())
+        if dmax < 0:
+            raise ValueError("delays must be non-negative")
+        self._max_seen = max(self._max_seen, dmax)
+        while dmax >= self._span:
+            self._grow()
+        hist, _ = np.histogram(delays, bins=self.num_bins, range=(0.0, self._span))
+        self._counts += hist
+        self._total += float(delays.size)
+
+    def _grow(self) -> None:
+        """Double the covered span, merging bin pairs."""
+        merged = self._counts.reshape(-1, 2).sum(axis=1)
+        self._counts = np.concatenate([merged, np.zeros(self.num_bins // 2)])
+        self._span *= 2.0
+
+    def decay_step(self) -> None:
+        """Apply one step of exponential forgetting."""
+        self._counts *= self.decay
+        self._total *= self.decay
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def weight(self) -> float:
+        """Effective number of delays currently remembered."""
+        return self._total
+
+    @property
+    def is_warm(self) -> bool:
+        return self._total >= self.min_weight
+
+    @property
+    def max_delay_seen(self) -> float:
+        """Largest raw delay ever observed (an estimate of ``Delta``)."""
+        return self._max_seen
+
+    def completeness(self, age: float) -> float:
+        """``P(delay <= age)`` — expected fraction arrived by ``age`` ms.
+
+        Cold profiles answer 1.0 (assume in-order until taught otherwise,
+        i.e. no compensation).  Interpolates within the hit bin.
+        """
+        if not self.is_warm:
+            return 1.0
+        if age <= 0.0:
+            return 0.0
+        if age >= self._span:
+            return 1.0
+        total = self._counts.sum()
+        if total <= 0.0:
+            return 1.0
+        bin_width = self._span / self.num_bins
+        pos = age / bin_width
+        idx = int(pos)
+        cdf = np.cumsum(self._counts)
+        below = cdf[idx - 1] if idx > 0 else 0.0
+        frac = pos - idx
+        inside = self._counts[idx] * frac if idx < self.num_bins else 0.0
+        return float(min(1.0, (below + inside) / total))
+
+    def completeness_many(self, ages: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`completeness` over an array of ages."""
+        ages = np.asarray(ages, dtype=float)
+        if not self.is_warm:
+            return np.ones_like(ages)
+        total = self._counts.sum()
+        if total <= 0.0:
+            return np.ones_like(ages)
+        bin_width = self._span / self.num_bins
+        cdf = np.concatenate([[0.0], np.cumsum(self._counts)]) / total
+        pos = np.clip(ages / bin_width, 0.0, self.num_bins)
+        idx = pos.astype(int)
+        frac = pos - idx
+        upper = np.minimum(idx + 1, self.num_bins)
+        vals = cdf[idx] + frac * (cdf[upper] - cdf[idx])
+        return np.where(ages <= 0.0, 0.0, np.minimum(vals, 1.0))
+
+    def quantile_age(self, p: float) -> float:
+        """Inverse CDF: the age by which a fraction ``p`` has arrived.
+
+        Used to build the truncated-quantile ages against which the
+        learning backend compares a window's *observed* delay shape.
+        """
+        if not 0.0 < p <= 1.0:
+            raise ValueError("p must be in (0, 1]")
+        if not self.is_warm:
+            return 0.0
+        total = self._counts.sum()
+        if total <= 0.0:
+            return 0.0
+        bin_width = self._span / self.num_bins
+        cdf = np.cumsum(self._counts) / total
+        idx = int(np.searchsorted(cdf, p, side="left"))
+        if idx >= self.num_bins:
+            return self._span
+        prev = cdf[idx - 1] if idx > 0 else 0.0
+        width = cdf[idx] - prev
+        frac = (p - prev) / width if width > 0 else 1.0
+        return (idx + frac) * bin_width
+
+    def horizon(self, quantile: float = 0.999) -> float:
+        """Age by which a ``quantile`` fraction of tuples has arrived.
+
+        Used to decide when a past interval can be *finalized* (treated as
+        complete).  Cold profiles report the max delay seen so far.
+        """
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        if not self.is_warm:
+            return self._max_seen
+        total = self._counts.sum()
+        if total <= 0.0:
+            return self._max_seen
+        cdf = np.cumsum(self._counts) / total
+        idx = int(np.searchsorted(cdf, quantile, side="left"))
+        bin_width = self._span / self.num_bins
+        return min((idx + 1) * bin_width, self._span)

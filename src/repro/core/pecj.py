@@ -1,0 +1,457 @@
+"""The PECJ operator: stream window join with proactive error compensation.
+
+Flow per emitted window (paper Sections 3-5):
+
+1. **Observe** — as virtual time advances, ingest the delays of every
+   newly processed tuple into the online :class:`DelayProfile` (the
+   learned stream-dynamics knowledge behind ``E[z_i]``).
+2. **Finalize** — sub-intervals ("buckets") and whole windows older than
+   the profile's delay horizon are complete; their now-unbiased statistics
+   feed the estimators' continual learning (Eq. 5's rolling prior).
+3. **Estimate** — the current window's buckets are observed *distorted*
+   (a bucket of age ``a`` has only seen a ``c(a)`` fraction of its
+   tuples); Eq. 9 blends the prior with the distortion-corrected
+   observations to produce posterior means for ``r_bar_R``, ``r_bar_S``,
+   ``sigma`` and ``alpha_R``.
+4. **Compensate** — closed forms from Section 3.2 produce the output
+   ``O`` *as if the unobserved tuples had arrived*.
+
+The estimator backend is pluggable: ``aema`` (default analytical), ``svi``
+(gradient-based analytical) or ``mlp`` (learning-based, Section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.compensation import compensate, product_interval
+from repro.core.delay_profile import DelayProfile
+from repro.core.estimators.base import PosteriorEstimator
+from repro.joins.arrays import AggKind, BatchArrays
+from repro.joins.base import StreamJoinOperator
+from repro.streams.windows import Window
+
+__all__ = ["PECJoin", "make_estimator"]
+
+
+def make_estimator(backend: str, seed: int = 0) -> PosteriorEstimator:
+    """Instantiate an estimator backend by name."""
+    if backend == "aema":
+        from repro.core.estimators.aema import AEMAEstimator
+
+        return AEMAEstimator()
+    if backend == "svi":
+        from repro.core.estimators.svi_backend import SVIEstimator
+
+        return SVIEstimator()
+    if backend == "mlp":
+        from repro.core.estimators.mlp_backend import MLPEstimator
+
+        return MLPEstimator(seed=seed)
+    raise ValueError(f"unknown PECJ backend {backend!r}")
+
+
+class PECJoin(StreamJoinOperator):
+    """Proactive Error Compensation Join.
+
+    Args:
+        agg: The aggregation of the join output (COUNT / SUM / AVG).
+        backend: Estimator backend — ``aema`` (default), ``svi`` or
+            ``mlp``.
+        buckets_per_window: Sub-interval resolution for rate observations.
+        min_completeness: Buckets whose expected completeness is below
+            this are too distorted to observe; the prior covers them.
+        finalize_quantile: Delay-CDF quantile treated as "everything has
+            arrived" when finalizing past intervals.
+        learning_inference_ms: Per-emission inference latency charged when
+            the backend is a neural network (the paper measures ~90ms for
+            its MLP, Fig. 7a).  ``None`` picks 90 for ``mlp``, 0 otherwise.
+        use_delay_context: Feed the per-window delay-shape reading to
+            learning backends (ablation switch; analytical backends
+            ignore it either way).
+        origin: Event-time offset of the window grid this operator
+            serves.  Tumbling joins leave it at 0; the sliding-window
+            adapter runs one PECJ instance per slide phase, each with its
+            own origin (see :mod:`repro.joins.sliding`).
+        estimator_factory: Override backend construction (ablations).
+        seed: Seed forwarded to learned backends.
+    """
+
+    name = "PECJ"
+    pipeline_method = "pecj"
+
+    def __init__(
+        self,
+        agg: AggKind = AggKind.COUNT,
+        backend: str = "aema",
+        buckets_per_window: int = 10,
+        min_completeness: float = 0.05,
+        finalize_quantile: float = 0.995,
+        learning_inference_ms: float | None = None,
+        use_delay_context: bool = True,
+        origin: float = 0.0,
+        estimator_factory: Callable[[], PosteriorEstimator] | None = None,
+        seed: int = 0,
+        debug: bool = False,
+    ):
+        super().__init__(agg)
+        if buckets_per_window < 1:
+            raise ValueError("buckets_per_window must be >= 1")
+        self.backend = backend
+        self.use_delay_context = use_delay_context
+        self.origin = origin
+        self.buckets_per_window = buckets_per_window
+        self.min_completeness = min_completeness
+        self.finalize_quantile = finalize_quantile
+        self.seed = seed
+        self._factory = estimator_factory or (lambda: make_estimator(backend, seed))
+        if learning_inference_ms is None:
+            learning_inference_ms = 90.0 if backend == "mlp" else 0.0
+        self.learning_inference_ms = learning_inference_ms
+        self.name = f"PECJ-{backend}"
+        self.debug = debug
+        self.debug_records: list[dict[str, float]] = []
+        #: 95% credible interval of the most recent compensated output
+        #: (None while cold).
+        self.last_interval: tuple[float, float] | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def prepare(self, arrays: BatchArrays, window_length: float, omega: float) -> None:
+        self._wlen = window_length
+        self._omega = omega
+        self._bucket_len = window_length / self.buckets_per_window
+        self.profile = DelayProfile(initial_span=max(8.0, omega))
+        self.rate_r = self._factory()
+        self.rate_s = self._factory()
+        self.sigma = self._factory()
+        self.alpha = self._factory()
+        # Delay-ingest cursor over completion-ordered tuples.
+        self._comp_order = np.argsort(arrays.completion, kind="stable")
+        self._comp_sorted = arrays.completion[self._comp_order]
+        self._ingest_cursor = 0
+        # Finalization cursors (bucket / window indices on the event axis).
+        if len(arrays):
+            t0 = float(arrays.event.min())
+        else:
+            t0 = 0.0
+        self._next_bucket = int(np.floor((t0 - self.origin) / self._bucket_len))
+        self._next_window = int(np.floor((t0 - self.origin) / self._wlen))
+        self._matches_ema = 0.0
+        self._m_ema: float | None = None
+        # Relative variance of the learned completeness factor, tracked
+        # from delayed ground truth (drives the inverse-variance fill).
+        self._m_rel_var = 0.04
+        # Emission-time observation snapshots, kept until window
+        # finalization so learning backends can be told the realised
+        # completeness factor: window idx -> (obs_r, obs_s, c_bar, m_hat).
+        self._emitted: dict[int, tuple[int, int, float, float]] = {}
+
+    # -- observation machinery ----------------------------------------------
+
+    def _ingest_delays(self, arrays: BatchArrays, now: float) -> None:
+        hi = int(np.searchsorted(self._comp_sorted, now, side="right"))
+        if hi <= self._ingest_cursor:
+            return
+        idx = self._comp_order[self._ingest_cursor : hi]
+        delays = arrays.arrival[idx] - arrays.event[idx]
+        self.profile.update(np.maximum(delays, 0.0))
+        self._ingest_cursor = hi
+
+    def _bucket_counts(
+        self, arrays: BatchArrays, start: float, end: float, now: float
+    ) -> tuple[int, int]:
+        sl = arrays.window_slice(start, end)
+        avail = arrays.completion[sl] <= now
+        r = int((arrays.is_r[sl] & avail).sum())
+        s = int(((~arrays.is_r[sl]) & avail).sum())
+        return r, s
+
+    def _finalize(self, arrays: BatchArrays, now: float) -> None:
+        horizon = self.profile.horizon(self.finalize_quantile)
+        # Finalize rate buckets.
+        while self.origin + (self._next_bucket + 1) * self._bucket_len + horizon <= now:
+            b = self._next_bucket
+            start = self.origin + b * self._bucket_len
+            end = start + self._bucket_len
+            age = now - 0.5 * (start + end)
+            c = self.profile.completeness(age)
+            z = 1.0 / c if c > 0.0 else 1.0
+            n_r, n_s = self._bucket_counts(arrays, start, end, now)
+            self.rate_r.observe(n_r / self._bucket_len, z)
+            self.rate_s.observe(n_s / self._bucket_len, z)
+            self._next_bucket += 1
+        # Finalize whole windows: ground truth for sigma/alpha (+feedback).
+        while self.origin + (self._next_window + 1) * self._wlen + horizon <= now:
+            w = self._next_window
+            start = self.origin + w * self._wlen
+            end = start + self._wlen
+            agg = arrays.aggregate(start, end, now)
+            if agg.n_r > 0 and agg.n_s > 0:
+                self.sigma.observe(agg.selectivity, 1.0)
+                self.sigma.feedback(w, agg.selectivity)
+            if agg.matches > 0:
+                self.alpha.observe(agg.alpha_r, 1.0)
+                self.alpha.feedback(w, agg.alpha_r)
+                if self._matches_ema <= 0.0:
+                    self._matches_ema = agg.matches
+                else:
+                    self._matches_ema = 0.95 * self._matches_ema + 0.05 * agg.matches
+            self.rate_r.feedback(w, agg.n_r / self._wlen)
+            self.rate_s.feedback(w, agg.n_s / self._wlen)
+            emitted = self._emitted.pop(w, None)
+            if emitted is not None:
+                obs_r, obs_s, c_bar, m_hat = emitted
+                if c_bar > 0.0:
+                    if agg.n_r > 0:
+                        m_true_r = (obs_r / agg.n_r) / c_bar
+                        self.rate_r.feedback_completeness(w, m_true_r)
+                        if m_hat > 0.0:
+                            rel = (m_true_r - m_hat) / m_hat
+                            self._m_rel_var = 0.97 * self._m_rel_var + 0.03 * rel * rel
+                    if agg.n_s > 0:
+                        self.rate_s.feedback_completeness(w, (obs_s / agg.n_s) / c_bar)
+            self._next_window += 1
+
+    # -- estimation ----------------------------------------------------------
+
+    def _delay_context(
+        self, arrays: BatchArrays, window: Window, now: float
+    ) -> tuple[float, float, float, float]:
+        """Delay-shape reading of the current window (see estimator base).
+
+        Compares the empirical CDF of the delays observed *in this window*
+        against the long-run profile at three truncated quantiles.  Ratios
+        near 1 mean the window matches the long-run dynamics; deviations
+        reveal the current regime.  Only learning backends consume this.
+        """
+        age = now - 0.5 * (window.start + window.end)
+        c_assumed = self.profile.completeness(age)
+        neutral = (c_assumed, 1.0, 1.0, 1.0)
+        if not self.use_delay_context:
+            return neutral
+        if not self.profile.is_warm or c_assumed <= 0.02:
+            return neutral
+        # Sample delays over several recent windows: regimes persist much
+        # longer than one window, and a wider sample cuts the quantile
+        # ratios' measurement noise (which multiplies straight into the
+        # learned regime factor).  The age mix adds a stable offset that
+        # the downstream learner absorbs.
+        span_start = window.start - 4.0 * window.length
+        sl = arrays.window_slice(span_start, window.end)
+        avail = arrays.completion[sl] <= now
+        delays = (arrays.arrival[sl] - arrays.event[sl])[avail]
+        if len(delays) < 10:
+            return neutral
+        ratios = []
+        for q in (0.25, 0.5, 0.75):
+            a_q = self.profile.quantile_age(q * c_assumed)
+            if a_q <= 0.0:
+                ratios.append(1.0)
+                continue
+            f_q = float(np.mean(delays <= a_q))
+            ratios.append(min(max(f_q / q, 0.0), 2.5))
+        return (c_assumed, ratios[0], ratios[1], ratios[2])
+
+    def _additive_rate_estimates(
+        self, arrays: BatchArrays, window: Window, now: float, widx: int
+    ) -> tuple[float, float, int, int]:
+        """Learning-backend path: ``n_hat = n_obs + (1 - c_hat) * mu * len``.
+
+        The network supplies (a) a history-trained prior rate ``mu`` and
+        (b) a regime factor ``m_hat`` correcting the stationary profile's
+        completeness; the unseen remainder of each bucket is filled from
+        the prior.  This additive form keeps the observed tuples exact and
+        only estimates what is actually missing, unlike the Eq. 9 blend
+        which re-estimates the whole window.
+        """
+        mu_r = max(self.rate_r.blend([], [], tag=widx), 0.0)
+        mu_s = max(self.rate_s.blend([], [], tag=widx), 0.0)
+        m_r = self.rate_r.completeness_factor() or 1.0
+        m_s = self.rate_s.completeness_factor() or 1.0
+        m_hat = 0.5 * (m_r + m_s)
+        # Short EMA over consecutive windows: regimes persist, so averaging
+        # two windows halves the factor's noise at a one-window lag cost.
+        if self._m_ema is not None:
+            m_hat = 0.5 * self._m_ema + 0.5 * m_hat
+        self._m_ema = m_hat
+
+        obs_r = 0
+        obs_s = 0
+        missing_time = 0.0
+        c_sum = 0.0
+        first_bucket = int(round((window.start - self.origin) / self._bucket_len))
+        for b in range(first_bucket, first_bucket + self.buckets_per_window):
+            start = self.origin + b * self._bucket_len
+            end = start + self._bucket_len
+            n_r, n_s = self._bucket_counts(arrays, start, min(end, window.end), now)
+            obs_r += n_r
+            obs_s += n_s
+            age = now - 0.5 * (start + end)
+            c_b = self.profile.completeness(age)
+            c_sum += c_b
+            c_hat = min(max(m_hat * c_b, 0.0), 1.0)
+            missing_time += (1.0 - c_hat) * self._bucket_len
+        c_bar = c_sum / self.buckets_per_window
+        c_hat_bar = 1.0 - missing_time / window.length
+        self._emitted[widx] = (obs_r, obs_s, c_bar, m_hat)
+
+        # Fill the unseen remainder at a rate that combines two estimates
+        # by inverse variance: (1) the current window's own observations
+        # extrapolated through the learned completeness — exact "now" but
+        # noisy through 1/c_hat; (2) the history-trained prior — smooth
+        # but lagging a full delay horizon behind the stream.  Both
+        # variances are tracked online from delayed ground truth.
+        n_hat = []
+        for obs, mu, est in ((obs_r, mu_r, self.rate_r), (obs_s, mu_s, self.rate_s)):
+            fill = mu
+            if c_hat_bar >= 0.05:
+                est1 = obs / (c_hat_bar * window.length)
+                rel_var1 = (1.0 - c_hat_bar) / (c_hat_bar * max(obs, 1.0))
+                rel_var1 += self._m_rel_var
+                sd2 = getattr(est, "residual_std", lambda: 0.0)()
+                rel_var2 = (sd2 / mu) ** 2 if mu > 0 else 1.0
+                rel_var2 = min(max(rel_var2, 1e-4), 1.0)
+                w1 = rel_var2 / (rel_var1 + rel_var2)
+                fill = w1 * est1 + (1.0 - w1) * mu
+            n_hat.append(obs + fill * missing_time)
+
+        self._last_m_hat = m_hat
+        self._last_c_bar = c_bar
+        self._last_mu_r = mu_r
+        self._last_mu_s = mu_s
+        self._last_missing = missing_time
+        return n_hat[0], n_hat[1], obs_r, obs_s
+
+    def _window_rate_estimates(
+        self, arrays: BatchArrays, window: Window, now: float
+    ) -> tuple[float, float, int, int]:
+        widx = int(round((window.start - self.origin) / self._wlen))
+        if self.rate_r.completeness_factor() is not None:
+            return self._additive_rate_estimates(arrays, window, now, widx)
+        xs_r: list[float] = []
+        xs_s: list[float] = []
+        zs: list[float] = []
+        obs_r = 0
+        obs_s = 0
+        first_bucket = int(round((window.start - self.origin) / self._bucket_len))
+        for b in range(first_bucket, first_bucket + self.buckets_per_window):
+            start = self.origin + b * self._bucket_len
+            end = start + self._bucket_len
+            n_r, n_s = self._bucket_counts(arrays, start, min(end, window.end), now)
+            obs_r += n_r
+            obs_s += n_s
+            age = now - 0.5 * (start + end)
+            c = self.profile.completeness(age)
+            if c < self.min_completeness:
+                continue
+            xs_r.append(n_r / self._bucket_len)
+            xs_s.append(n_s / self._bucket_len)
+            zs.append(1.0 / c)
+        widx = int(round((window.start - self.origin) / self._wlen))
+        mu_r = self.rate_r.blend(xs_r, zs, tag=widx)
+        mu_s = self.rate_s.blend(xs_s, zs, tag=widx)
+        n_hat_r = max(mu_r * window.length, float(obs_r))
+        n_hat_s = max(mu_s * window.length, float(obs_s))
+        return n_hat_r, n_hat_s, obs_r, obs_s
+
+    def _output_interval(self, est) -> tuple[float, float]:
+        """Delta-method credible interval for the compensated output.
+
+        Propagates each factor's posterior standard deviation (paper
+        Eq. 10 gives the per-statistic intervals; the product interval
+        follows by summing relative variances).
+        """
+
+        def sd_of(estimator) -> float:
+            lo, hi = estimator.credible_interval(1.96)
+            return max(hi - lo, 0.0) / (2 * 1.96)
+
+        factors = [
+            (est.sigma, sd_of(self.sigma)),
+            (est.n_r, sd_of(self.rate_r) * self._wlen),
+            (est.n_s, sd_of(self.rate_s) * self._wlen),
+        ]
+        if self.agg is AggKind.SUM:
+            factors.append((est.alpha_r, sd_of(self.alpha)))
+        elif self.agg is AggKind.AVG:
+            factors = [(est.alpha_r, sd_of(self.alpha))]
+        means = [m for m, _ in factors]
+        stds = [s for _, s in factors]
+        lo, hi = product_interval(means, stds)
+        return (max(lo, 0.0) if self.agg is not AggKind.AVG else lo, hi)
+
+    def process_window(
+        self, arrays: BatchArrays, window: Window, available_by: float
+    ) -> tuple[float, float]:
+        now = available_by
+        self._ingest_delays(arrays, now)
+        self._finalize(arrays, now)
+        self.profile.decay_step()
+
+        observed = arrays.aggregate(window.start, window.end, now)
+        extra = self.learning_inference_ms
+
+        # Cold start: no compensation knowledge yet — answer like WMJ.
+        if not (self.profile.is_warm and self.rate_r.is_warm and self.rate_s.is_warm):
+            self.last_interval = None
+            return observed.value(self.agg), extra
+
+        context = self._delay_context(arrays, window, now)
+        for est in (self.rate_r, self.rate_s, self.sigma, self.alpha):
+            est.set_context(context)
+
+        n_hat_r, n_hat_s, obs_r, obs_s = self._window_rate_estimates(arrays, window, now)
+
+        widx = int(round((window.start - self.origin) / self._wlen))
+        if observed.n_r > 0 and observed.n_s > 0:
+            # Weight the window's own selectivity reading by how much of
+            # the expected join evidence it carries.
+            if self._matches_ema > 0.0:
+                w_sigma = 60.0 * min(observed.matches / self._matches_ema, 1.2)
+            else:
+                w_sigma = 1.0
+            sigma_hat = self.sigma.blend(
+                [observed.selectivity], [1.0], tag=widx, weights=[max(w_sigma, 0.2)]
+            )
+        else:
+            sigma_hat = self.sigma.estimate()
+
+        alpha_hat = 0.0
+        if self.agg is not AggKind.COUNT:
+            if observed.matches > 0:
+                w_alpha = max(min(observed.matches ** 0.5, 40.0), 0.2)
+                alpha_hat = self.alpha.blend(
+                    [observed.alpha_r], [1.0], tag=widx, weights=[w_alpha]
+                )
+            else:
+                alpha_hat = self.alpha.estimate()
+
+        est = compensate(self.agg, n_hat_r, n_hat_s, sigma_hat, alpha_hat)
+        self.last_interval = self._output_interval(est)
+        if self.debug:
+            truth = arrays.aggregate(window.start, window.end, None)
+            self.debug_records.append(
+                {
+                    "window_start": window.start,
+                    "n_r_est": n_hat_r,
+                    "n_r_obs": float(obs_r),
+                    "n_r_true": float(truth.n_r),
+                    "n_s_est": n_hat_s,
+                    "n_s_true": float(truth.n_s),
+                    "sigma_est": sigma_hat,
+                    "sigma_true": truth.selectivity,
+                    "alpha_est": alpha_hat,
+                    "alpha_true": truth.alpha_r,
+                    "value": est.value,
+                    "expected": truth.value(self.agg),
+                    "m_hat": getattr(self, "_last_m_hat", float("nan")),
+                    "c_bar": getattr(self, "_last_c_bar", float("nan")),
+                    "mu_r": getattr(self, "_last_mu_r", float("nan")),
+                    "mu_s": getattr(self, "_last_mu_s", float("nan")),
+                    "missing": getattr(self, "_last_missing", float("nan")),
+                }
+            )
+        return est.value, extra

@@ -1,0 +1,196 @@
+"""Checkpoint/restore for PECJ's learned state.
+
+A deployed PECJ accumulates knowledge that is expensive to relearn — the
+delay profile, the estimators' posteriors, the learning backend's
+weights and kernel memory.  Operators migrate, restart and rescale;
+this module serialises that knowledge to plain JSON-compatible
+dictionaries so a successor can resume compensation immediately instead
+of re-warming (paper Eq. 5's rolling prior, made durable).
+
+Top level:
+
+    snapshot = checkpoint_pecj(operator)      # JSON-serialisable dict
+    restore_pecj(new_operator, snapshot)      # same backend required
+
+Both the batch :class:`~repro.core.pecj.PECJoin` (after ``prepare``) and
+the push-based :class:`~repro.streaming.StreamingPECJ` are supported —
+they share estimator and profile types.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.delay_profile import DelayProfile
+from repro.core.estimators.aema import AEMAEstimator
+from repro.core.estimators.base import PosteriorEstimator
+from repro.core.estimators.svi_backend import SVIEstimator
+
+__all__ = [
+    "profile_state",
+    "restore_profile",
+    "estimator_state",
+    "restore_estimator",
+    "checkpoint_pecj",
+    "restore_pecj",
+]
+
+_VERSION = 1
+
+
+# -- delay profile -----------------------------------------------------------
+
+
+def profile_state(profile: DelayProfile) -> dict[str, Any]:
+    """Serialise a delay profile."""
+    return {
+        "version": _VERSION,
+        "span": profile._span,
+        "counts": profile._counts.tolist(),
+        "total": profile._total,
+        "max_seen": profile._max_seen,
+    }
+
+
+def restore_profile(profile: DelayProfile, state: dict[str, Any]) -> None:
+    """Restore a delay profile in place (bin count must match)."""
+    counts = np.asarray(state["counts"], dtype=float)
+    if len(counts) != profile.num_bins:
+        raise ValueError(
+            f"bin count mismatch: snapshot has {len(counts)}, profile has "
+            f"{profile.num_bins}"
+        )
+    profile._span = float(state["span"])
+    profile._counts = counts
+    profile._total = float(state["total"])
+    profile._max_seen = float(state["max_seen"])
+
+
+# -- estimators -----------------------------------------------------------------
+
+
+def estimator_state(est: PosteriorEstimator) -> dict[str, Any]:
+    """Serialise an estimator backend (AEMA, SVI or MLP)."""
+    if isinstance(est, AEMAEstimator):
+        return {
+            "version": _VERSION,
+            "kind": "aema",
+            "mean": est._mean,
+            "var": est._var,
+            "smoothed_err": est._smoothed_err,
+            "smoothed_abs_err": est._smoothed_abs_err,
+            "alpha": est._alpha,
+            "count": est._count,
+        }
+    if isinstance(est, SVIEstimator):
+        state = est._svi._state
+        return {
+            "version": _VERSION,
+            "kind": "svi",
+            "tau": state.tau,
+            "tau_mu": state.tau_mu,
+            "phi_shape": state.phi_shape,
+            "phi_rate": state.phi_rate,
+            "step_count": est._svi._t,
+            "scale": est._scale,
+            "count": est._count,
+        }
+    # Learning backend: avoid a hard import unless needed.
+    from repro.core.estimators.mlp_backend import MLPEstimator
+
+    if isinstance(est, MLPEstimator):
+        return {
+            "version": _VERSION,
+            "kind": "mlp",
+            "weights": [p.tolist() for p in est.net.params()],
+            "hist": list(est._hist),
+            "scale": est._scale,
+            "ema": est._ema,
+            "count": est._count,
+            "residual_var": est._residual_var,
+            "shrink": {str(k): list(v) for k, v in est._shrink.items()},
+            "m_memory": [[c.tolist(), m] for c, m in est._m_memory],
+        }
+    raise TypeError(f"unsupported estimator type {type(est).__name__}")
+
+
+def restore_estimator(est: PosteriorEstimator, state: dict[str, Any]) -> None:
+    """Restore an estimator backend in place (kinds must match)."""
+    kind = state["kind"]
+    if isinstance(est, AEMAEstimator):
+        if kind != "aema":
+            raise ValueError(f"snapshot is {kind!r}, estimator is aema")
+        est._mean = state["mean"]
+        est._var = state["var"]
+        est._smoothed_err = state["smoothed_err"]
+        est._smoothed_abs_err = state["smoothed_abs_err"]
+        est._alpha = state["alpha"]
+        est._count = state["count"]
+        return
+    if isinstance(est, SVIEstimator):
+        if kind != "svi":
+            raise ValueError(f"snapshot is {kind!r}, estimator is svi")
+        from repro.vi.svi import _GlobalState
+
+        est._svi._state = _GlobalState(
+            tau=state["tau"],
+            tau_mu=state["tau_mu"],
+            phi_shape=state["phi_shape"],
+            phi_rate=state["phi_rate"],
+        )
+        est._svi._t = state["step_count"]
+        est._scale = state["scale"]
+        est._count = state["count"]
+        return
+    from repro.core.estimators.mlp_backend import MLPEstimator
+
+    if isinstance(est, MLPEstimator):
+        if kind != "mlp":
+            raise ValueError(f"snapshot is {kind!r}, estimator is mlp")
+        for p, w in zip(est.net.params(), state["weights"]):
+            arr = np.asarray(w)
+            if arr.shape != p.shape:
+                raise ValueError("weight shape mismatch in snapshot")
+            p[...] = arr
+        est._hist.clear()
+        est._hist.extend(state["hist"])
+        est._scale = state["scale"]
+        est._ema = state["ema"]
+        est._count = state["count"]
+        est._residual_var = state["residual_var"]
+        est._shrink = {k == "True": list(v) for k, v in state["shrink"].items()}
+        est._m_memory.clear()
+        for ctx, m in state["m_memory"]:
+            est._m_memory.append((np.asarray(ctx, dtype=float), float(m)))
+        return
+    raise TypeError(f"unsupported estimator type {type(est).__name__}")
+
+
+# -- whole operators ----------------------------------------------------------
+
+
+def checkpoint_pecj(operator) -> dict[str, Any]:
+    """Snapshot a PECJ operator's learned state.
+
+    Works for any object exposing ``profile`` plus the four estimators
+    (``rate_r``, ``rate_s``, ``sigma``, ``alpha``) — i.e. a prepared
+    :class:`~repro.core.pecj.PECJoin` or a
+    :class:`~repro.streaming.StreamingPECJ`.
+    """
+    return {
+        "version": _VERSION,
+        "profile": profile_state(operator.profile),
+        "estimators": {
+            name: estimator_state(getattr(operator, name))
+            for name in ("rate_r", "rate_s", "sigma", "alpha")
+        },
+    }
+
+
+def restore_pecj(operator, snapshot: dict[str, Any]) -> None:
+    """Restore a snapshot into a compatible PECJ operator."""
+    restore_profile(operator.profile, snapshot["profile"])
+    for name, state in snapshot["estimators"].items():
+        restore_estimator(getattr(operator, name), state)

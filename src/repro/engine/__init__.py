@@ -1,0 +1,11 @@
+"""Simulated multi-threaded join engine (the AllianceDB stand-in)."""
+
+from repro.engine.cost_model import EngineCostModel
+from repro.engine.simulator import EngineResult, EngineWindowRecord, ParallelJoinEngine
+
+__all__ = [
+    "EngineCostModel",
+    "ParallelJoinEngine",
+    "EngineResult",
+    "EngineWindowRecord",
+]

@@ -1,0 +1,25 @@
+"""Standalone join operators: baselines, oracle, cost pipeline and runner."""
+
+from repro.joins.arrays import AggKind, BatchArrays, WindowAggregate
+from repro.joins.base import RunResult, StreamJoinOperator, WindowRecord
+from repro.joins.baselines import ExactJoin, KSlackJoin, WatermarkJoin
+from repro.joins.pipeline import CostModel, apply_pipeline_costs, completion_times
+from repro.joins.runner import run_operator
+from repro.joins.sliding import run_sliding_operator
+
+__all__ = [
+    "AggKind",
+    "BatchArrays",
+    "WindowAggregate",
+    "StreamJoinOperator",
+    "WindowRecord",
+    "RunResult",
+    "WatermarkJoin",
+    "KSlackJoin",
+    "ExactJoin",
+    "CostModel",
+    "apply_pipeline_costs",
+    "completion_times",
+    "run_operator",
+    "run_sliding_operator",
+]

@@ -1,0 +1,203 @@
+"""Columnar view of a stream batch plus windowed join aggregation.
+
+Join operators need, per window, the aggregate of ``R join_W S`` over some
+*available subset* of tuples (those the operator has seen and processed by
+its emission cutoff).  Doing this tuple-object-at-a-time is too slow for
+the paper's event rates (100K-1600K tuples/s), so experiments convert a
+batch once into numpy columns and evaluate each window with vectorised
+key-count joins:
+
+* ``matches = sum_k cR_k * cS_k`` — the JOIN-COUNT output;
+* ``sum_r   = sum_k sumRv_k * cS_k`` — the JOIN-SUM(R.v) output (every
+  joined pair contributes its R payload).
+
+Both follow directly from the intra-window equi-join definition in
+Section 2.1/3.2 of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.streams.tuples import Side, StreamBatch
+
+__all__ = ["AggKind", "BatchArrays", "WindowAggregate"]
+
+
+class AggKind(enum.Enum):
+    """Aggregation applied to the join output (Section 3.2)."""
+
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+
+
+@dataclass(frozen=True, slots=True)
+class WindowAggregate:
+    """Join aggregates of one window over one availability view."""
+
+    n_r: int
+    n_s: int
+    matches: float
+    sum_r: float
+
+    @property
+    def selectivity(self) -> float:
+        """``sigma = matches / (n_r * n_s)`` (paper's definition via [18])."""
+        denom = self.n_r * self.n_s
+        return self.matches / denom if denom > 0 else 0.0
+
+    @property
+    def alpha_r(self) -> float:
+        """Average payload of joined R tuples (``alpha_R`` in Section 3.2)."""
+        return self.sum_r / self.matches if self.matches > 0 else 0.0
+
+    def value(self, agg: AggKind) -> float:
+        """The scalar output ``O`` for the requested aggregation."""
+        if agg is AggKind.COUNT:
+            return float(self.matches)
+        if agg is AggKind.SUM:
+            return float(self.sum_r)
+        if agg is AggKind.AVG:
+            return self.alpha_r
+        raise ValueError(f"unknown aggregation {agg!r}")
+
+
+class BatchArrays:
+    """Columnar arrays of a merged batch, event-sorted for window slicing.
+
+    Attributes (all aligned, sorted by event time):
+        event: Event timestamps (ms).
+        arrival: Arrival timestamps (ms).
+        key: Join keys.
+        payload: Payloads.
+        is_r: Boolean mask, True where the tuple belongs to stream R.
+        completion: Set by a processing pipeline — virtual time when the
+            operator has finished ingesting each tuple.  Defaults to the
+            arrival time (zero-cost processing).
+    """
+
+    def __init__(
+        self,
+        event: np.ndarray,
+        arrival: np.ndarray,
+        key: np.ndarray,
+        payload: np.ndarray,
+        is_r: np.ndarray,
+    ):
+        order = np.argsort(event, kind="stable")
+        self.event = event[order]
+        self.arrival = arrival[order]
+        self.key = key[order].astype(np.int64)
+        self.payload = payload[order]
+        self.is_r = is_r[order]
+        self.completion = self.arrival.copy()
+        self._num_keys = int(self.key.max()) + 1 if len(self.key) else 1
+
+    @classmethod
+    def from_batch(cls, batch: StreamBatch) -> "BatchArrays":
+        """Build columns from a merged tuple batch."""
+        n = len(batch)
+        event = np.empty(n)
+        arrival = np.empty(n)
+        key = np.empty(n, dtype=np.int64)
+        payload = np.empty(n)
+        is_r = np.empty(n, dtype=bool)
+        for i, t in enumerate(batch):
+            event[i] = t.event_time
+            arrival[i] = t.arrival_time
+            key[i] = t.key
+            payload[i] = t.payload
+            is_r[i] = t.side is Side.R
+        return cls(event, arrival, key, payload, is_r)
+
+    def __len__(self) -> int:
+        return len(self.event)
+
+    @property
+    def num_keys(self) -> int:
+        return self._num_keys
+
+    def window_slice(self, start: float, end: float) -> slice:
+        """Index range (into the event-sorted columns) of one window."""
+        lo = int(np.searchsorted(self.event, start, side="left"))
+        hi = int(np.searchsorted(self.event, end, side="left"))
+        return slice(lo, hi)
+
+    def aggregate(
+        self,
+        start: float,
+        end: float,
+        available_by: float | None = None,
+        clock: str = "completion",
+    ) -> WindowAggregate:
+        """Join aggregate of the window ``[start, end)``.
+
+        Args:
+            start, end: Window bounds in event time.
+            available_by: If given, only tuples available by this virtual
+                time participate (the operator's observed view).  ``None``
+                means the oracle view over all in-window tuples.
+            clock: Which per-tuple time availability is judged against —
+                ``"completion"`` (processed by the operator, the default)
+                or ``"arrival"`` (reached the system; used by lazy batch
+                joins that ingest whole batches at once).
+        """
+        sl = self.window_slice(start, end)
+        keys = self.key[sl]
+        is_r = self.is_r[sl]
+        payload = self.payload[sl]
+        if available_by is not None:
+            if clock == "completion":
+                times = self.completion[sl]
+            elif clock == "arrival":
+                times = self.arrival[sl]
+            else:
+                raise ValueError(f"unknown clock {clock!r}")
+            avail = times <= available_by
+            keys = keys[avail]
+            is_r = is_r[avail]
+            payload = payload[avail]
+        return self._aggregate_of(keys, is_r, payload)
+
+    def _aggregate_of(
+        self, keys: np.ndarray, is_r: np.ndarray, payload: np.ndarray
+    ) -> WindowAggregate:
+        n_r = int(is_r.sum())
+        n_s = int(len(keys) - n_r)
+        if n_r == 0 or n_s == 0:
+            return WindowAggregate(n_r, n_s, 0.0, 0.0)
+        r_keys = keys[is_r]
+        s_keys = keys[~is_r]
+        minlength = self._num_keys
+        c_r = np.bincount(r_keys, minlength=minlength)
+        c_s = np.bincount(s_keys, minlength=minlength)
+        sum_rv = np.bincount(r_keys, weights=payload[is_r], minlength=minlength)
+        matches = float(c_r @ c_s)
+        sum_r = float(sum_rv @ c_s)
+        return WindowAggregate(n_r, n_s, matches, sum_r)
+
+    def side_count(
+        self,
+        start: float,
+        end: float,
+        want_r: bool,
+        available_by: float | None = None,
+    ) -> int:
+        """Count of one side's tuples in an event-time range."""
+        sl = self.window_slice(start, end)
+        mask = self.is_r[sl] if want_r else ~self.is_r[sl]
+        if available_by is not None:
+            mask = mask & (self.completion[sl] <= available_by)
+        return int(mask.sum())
+
+    def arrivals_in_window(
+        self, start: float, end: float, available_by: float
+    ) -> np.ndarray:
+        """Arrival times of the tuples contributing to an emitted output."""
+        sl = self.window_slice(start, end)
+        avail = self.completion[sl] <= available_by
+        return self.arrival[sl][avail]

@@ -1,0 +1,110 @@
+"""Operator interface and run results for standalone stream window joins.
+
+A standalone operator (paper Section 6.2A) consumes the disordered merged
+stream and, for every tumbling window, emits the scalar aggregate ``O`` at
+its emission cutoff ``omega`` (measured from the window's start).  The
+runner in :mod:`repro.joins.runner` drives operators window by window and
+scores them against the exact oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.joins.arrays import AggKind, BatchArrays
+from repro.metrics.latency import LatencyTracker
+from repro.streams.windows import Window
+
+__all__ = ["StreamJoinOperator", "WindowRecord", "RunResult"]
+
+
+class StreamJoinOperator:
+    """Base class for standalone SWJ operators.
+
+    Subclasses set :attr:`pipeline_method` (which per-tuple cost profile
+    from :mod:`repro.joins.pipeline` applies) and implement
+    :meth:`process_window`.
+    """
+
+    #: Display name used in benchmark tables.
+    name: str = "base"
+    #: Cost profile key understood by ``apply_pipeline_costs``.
+    pipeline_method: str = "wmj"
+
+    def __init__(self, agg: AggKind = AggKind.COUNT):
+        self.agg = agg
+
+    def prepare(self, arrays: BatchArrays, window_length: float, omega: float) -> None:
+        """Hook called once before the window loop (reset state)."""
+
+    def process_window(
+        self, arrays: BatchArrays, window: Window, available_by: float
+    ) -> tuple[float, float]:
+        """Produce the output for one window.
+
+        Args:
+            arrays: The columnar batch with completion times assigned.
+            window: The event-time window to answer for.
+            available_by: Virtual time by which tuples must have been
+                processed to participate (the runner already folded the
+                overload grace period into this).
+
+        Returns:
+            ``(value, extra_emit_cost_ms)`` — the scalar output ``O`` and
+            any additional per-emission latency (e.g. NN inference).
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class WindowRecord:
+    """Outcome of one window emission."""
+
+    window: Window
+    value: float
+    expected: float
+    error: float
+    cutoff: float
+    emit_time: float
+    contributing: int
+
+    @property
+    def absolute_miss(self) -> float:
+        return abs(self.value - self.expected)
+
+
+@dataclass
+class RunResult:
+    """Everything measured over one operator run."""
+
+    operator: str
+    omega: float
+    records: list[WindowRecord] = field(default_factory=list)
+    latency: LatencyTracker = field(default_factory=LatencyTracker)
+    #: Records excluded from error aggregation (estimator warm-up).
+    warmup_records: list[WindowRecord] = field(default_factory=list)
+
+    @property
+    def mean_error(self) -> float:
+        """Mean per-window relative error epsilon over measured windows."""
+        if not self.records:
+            return 0.0
+        return sum(r.error for r in self.records) / len(self.records)
+
+    @property
+    def p95_latency(self) -> float:
+        """The paper's 95% l metric."""
+        return self.latency.p95()
+
+    @property
+    def num_windows(self) -> int:
+        return len(self.records)
+
+    def summary(self) -> dict[str, float]:
+        """Headline numbers for benchmark tables."""
+        return {
+            "mean_error": self.mean_error,
+            "p95_latency_ms": self.p95_latency,
+            "mean_latency_ms": self.latency.mean(),
+            "windows": float(self.num_windows),
+        }

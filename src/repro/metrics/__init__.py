@@ -1,0 +1,15 @@
+"""Evaluation metrics: relative error, latency percentiles, throughput."""
+
+from repro.metrics.error import mean_relative_error, relative_error, summarize_errors
+from repro.metrics.latency import LatencyTracker, p95, percentile
+from repro.metrics.throughput import throughput_ktuples_per_s
+
+__all__ = [
+    "relative_error",
+    "mean_relative_error",
+    "summarize_errors",
+    "LatencyTracker",
+    "p95",
+    "percentile",
+    "throughput_ktuples_per_s",
+]

@@ -1,0 +1,55 @@
+"""Accuracy metrics.
+
+The paper's accuracy metric (Section 2.1) is the relative error of the
+aggregated join output: ``epsilon = |O_opr - O_exp| / O_exp``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["relative_error", "mean_relative_error", "summarize_errors"]
+
+
+def relative_error(observed: float, expected: float) -> float:
+    """``|observed - expected| / expected``.
+
+    A zero expected value with a zero observed value is a perfect answer
+    (error 0); a zero expected value with a nonzero observed value is an
+    unbounded miss, reported as ``inf``.
+    """
+    if expected == 0.0:
+        return 0.0 if observed == 0.0 else math.inf
+    return abs(observed - expected) / abs(expected)
+
+
+def mean_relative_error(pairs: Iterable[tuple[float, float]]) -> float:
+    """Mean of per-window relative errors over ``(observed, expected)`` pairs.
+
+    Windows with an expected value of zero and a correct zero answer count
+    as zero error; infinite errors propagate (they indicate a degenerate
+    workload configuration the caller should fix).
+    """
+    errors = [relative_error(o, e) for o, e in pairs]
+    if not errors:
+        return 0.0
+    return sum(errors) / len(errors)
+
+
+def summarize_errors(errors: Sequence[float]) -> dict[str, float]:
+    """Mean / median / max summary of a collection of relative errors."""
+    if not errors:
+        return {"mean": 0.0, "median": 0.0, "max": 0.0, "count": 0.0}
+    ordered = sorted(errors)
+    n = len(ordered)
+    if n % 2:
+        median = ordered[n // 2]
+    else:
+        median = 0.5 * (ordered[n // 2 - 1] + ordered[n // 2])
+    return {
+        "mean": sum(ordered) / n,
+        "median": median,
+        "max": ordered[-1],
+        "count": float(n),
+    }

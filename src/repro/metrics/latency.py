@@ -1,0 +1,77 @@
+"""Latency metrics.
+
+Per the paper (Section 2.1): for every tuple contributing to an output
+``O``, latency is ``l = tau_emit - tau_arrival`` and the headline number is
+the 95th percentile ("95% l").  Percentiles follow the nearest-rank
+convention so small samples behave predictably.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["percentile", "p95", "LatencyTracker"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``q`` in [0, 100])."""
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(samples)
+    if q == 0.0:
+        return ordered[0]
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+def p95(samples: Sequence[float]) -> float:
+    """The paper's headline "95% l" metric."""
+    return percentile(samples, 95.0)
+
+
+class LatencyTracker:
+    """Accumulates per-tuple latency samples across windows.
+
+    Join operators record, for every tuple that contributed to an emitted
+    output, ``emit_time - arrival_time``.  The tracker aggregates those
+    samples over a whole experiment run.
+    """
+
+    def __init__(self):
+        self._samples: list[float] = []
+
+    def record(self, emit_time: float, arrival_time: float) -> None:
+        """Record one tuple's latency (clamped at zero)."""
+        self._samples.append(max(0.0, emit_time - arrival_time))
+
+    def record_many(self, emit_time: float, arrival_times: Iterable[float]) -> None:
+        """Record latencies for every arrival against one emit time."""
+        for a in arrival_times:
+            self.record(emit_time, a)
+
+    def extend(self, samples: Iterable[float]) -> None:
+        """Merge raw latency samples (e.g. from another tracker)."""
+        for s in samples:
+            self._samples.append(max(0.0, float(s)))
+
+    @property
+    def samples(self) -> Sequence[float]:
+        return self._samples
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def p95(self) -> float:
+        return p95(self._samples)
+
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def max(self) -> float:
+        return max(self._samples) if self._samples else 0.0

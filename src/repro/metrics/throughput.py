@@ -1,0 +1,20 @@
+"""Throughput metric for the integrated (multi-threaded) evaluation.
+
+Throughput is input tuples processed per second of (virtual) wall time —
+the metric plotted in the paper's scaling study (Fig. 11c).
+"""
+
+from __future__ import annotations
+
+__all__ = ["throughput_ktuples_per_s"]
+
+
+def throughput_ktuples_per_s(num_tuples: int, makespan_ms: float) -> float:
+    """Throughput in Ktuples/s given a tuple count and a makespan in ms.
+
+    A zero makespan (degenerate empty run) reports zero rather than
+    dividing by zero.
+    """
+    if makespan_ms <= 0.0:
+        return 0.0
+    return (num_tuples / makespan_ms)  # tuples/ms == Ktuples/s

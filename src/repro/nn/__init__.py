@@ -1,0 +1,23 @@
+"""Pure-numpy neural-network substrate for the learning-based PECJ."""
+
+from repro.nn.layers import Dense, Identity, Layer, ReLU, Sigmoid, Tanh
+from repro.nn.losses import bounded_elbo_loss, elbo_from_outputs, huber_loss, mse_loss
+from repro.nn.mlp import MLP
+from repro.nn.optim import Adam, Optimizer, SGD
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "MLP",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "mse_loss",
+    "huber_loss",
+    "bounded_elbo_loss",
+    "elbo_from_outputs",
+]

@@ -1,0 +1,136 @@
+"""Neural-network layers in pure numpy.
+
+The learning-based instantiation (paper Section 5.2) only needs "a simple
+Multilayer Perceptron", so this substrate keeps to dense layers and common
+activations, with explicit forward/backward passes.  Shapes follow the
+``(batch, features)`` convention throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Layer", "Dense", "ReLU", "Tanh", "Sigmoid", "Identity"]
+
+
+class Layer:
+    """Base layer: forward, backward and (possibly empty) parameters."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Given dL/d(output), return dL/d(input) and stash parameter grads."""
+        raise NotImplementedError
+
+    def params(self) -> list[np.ndarray]:
+        """Trainable parameter arrays (mutated in place by optimizers)."""
+        return []
+
+    def grads(self) -> list[np.ndarray]:
+        """Gradient arrays aligned with :meth:`params`."""
+        return []
+
+
+class Dense(Layer):
+    """Affine layer ``y = x @ W + b``.
+
+    Weights use scaled-Gaussian initialisation: He scaling when the layer
+    is followed by a ReLU, Xavier otherwise (choose via ``init``).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        init: str = "xavier",
+    ):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature counts must be positive")
+        if init == "he":
+            scale = np.sqrt(2.0 / in_features)
+        elif init == "xavier":
+            scale = np.sqrt(1.0 / in_features)
+        else:
+            raise ValueError(f"unknown init {init!r}")
+        self.w = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.b = np.zeros(out_features)
+        self.grad_w = np.zeros_like(self.w)
+        self.grad_b = np.zeros_like(self.b)
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.w + self.b
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.grad_w[...] = self._x.T @ grad_out
+        self.grad_b[...] = grad_out.sum(axis=0)
+        return grad_out @ self.w.T
+
+    def params(self) -> list[np.ndarray]:
+        return [self.w, self.b]
+
+    def grads(self) -> list[np.ndarray]:
+        return [self.grad_w, self.grad_b]
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self):
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0.0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic-tangent activation."""
+
+    def __init__(self):
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * (1.0 - self._y**2)
+
+
+class Sigmoid(Layer):
+    """Logistic activation."""
+
+    def __init__(self):
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._y * (1.0 - self._y)
+
+
+class Identity(Layer):
+    """No-op activation (linear output head)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out

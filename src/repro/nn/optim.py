@@ -1,0 +1,90 @@
+"""Gradient-descent optimizers (SGD with momentum, Adam) in pure numpy.
+
+The paper's Section 5.2 step (3) names ADAM and SGD as the optimizers that
+drive the ELBO-regulated loss; both are provided here with the textbook
+update rules, mutating parameter arrays in place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer over aligned (params, grads) array lists."""
+
+    def __init__(self, params: list[np.ndarray], grads: list[np.ndarray], lr: float):
+        if len(params) != len(grads):
+            raise ValueError("params and grads must align")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.params = params
+        self.grads = grads
+        self.lr = lr
+
+    def step(self) -> None:
+        """Apply one update using the current gradient arrays."""
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for g in self.grads:
+            g[...] = 0.0
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        params: list[np.ndarray],
+        grads: list[np.ndarray],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+    ):
+        super().__init__(params, grads, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p) for p in params]
+
+    def step(self) -> None:
+        for p, g, v in zip(self.params, self.grads, self._velocity):
+            v *= self.momentum
+            v -= self.lr * g
+            p += v
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        params: list[np.ndarray],
+        grads: list[np.ndarray],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(params, grads, lr)
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in params]
+        self._v = [np.zeros_like(p) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(self.params, self.grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)

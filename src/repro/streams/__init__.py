@@ -1,0 +1,81 @@
+"""Stream substrate: tuples, windows, disorder models and dataset generators."""
+
+from repro.streams.tuples import Side, StreamBatch, StreamTuple
+from repro.streams.windows import (
+    IntervalWindows,
+    SlidingWindows,
+    TumblingWindows,
+    Window,
+)
+from repro.streams.disorder import (
+    BimodalDelay,
+    CorrelatedDelay,
+    DelayModel,
+    ExponentialDelay,
+    MultiHopDelay,
+    NoDisorder,
+    ParetoDelay,
+    RegimeSwitchingDelay,
+    UniformDelay,
+    apply_disorder,
+)
+from repro.streams.datasets import (
+    DATASETS,
+    LogisticsDataset,
+    MicroDataset,
+    RetailDataset,
+    RovioDataset,
+    StockDataset,
+    StreamGenerator,
+    make_dataset,
+)
+from repro.streams.watermarks import (
+    AdaptiveWatermark,
+    HeuristicWatermark,
+    PeriodicWatermark,
+    WatermarkGenerator,
+    suggest_omega,
+)
+from repro.streams.sources import (
+    ReplaySource,
+    make_disordered_arrays,
+    make_disordered_pair,
+    merge_arrival,
+)
+
+__all__ = [
+    "Side",
+    "StreamBatch",
+    "StreamTuple",
+    "Window",
+    "TumblingWindows",
+    "SlidingWindows",
+    "IntervalWindows",
+    "DelayModel",
+    "NoDisorder",
+    "UniformDelay",
+    "ExponentialDelay",
+    "ParetoDelay",
+    "MultiHopDelay",
+    "BimodalDelay",
+    "CorrelatedDelay",
+    "RegimeSwitchingDelay",
+    "apply_disorder",
+    "DATASETS",
+    "StreamGenerator",
+    "MicroDataset",
+    "StockDataset",
+    "RovioDataset",
+    "LogisticsDataset",
+    "RetailDataset",
+    "make_dataset",
+    "ReplaySource",
+    "merge_arrival",
+    "make_disordered_pair",
+    "make_disordered_arrays",
+    "WatermarkGenerator",
+    "PeriodicWatermark",
+    "HeuristicWatermark",
+    "AdaptiveWatermark",
+    "suggest_omega",
+]

@@ -1,0 +1,340 @@
+"""Dataset generators.
+
+The paper evaluates on four real-world traces — **Stock**, **Rovio**,
+**Logistics**, **Retail** — plus the synthetic **Micro** benchmark from
+AllianceDB.  Those traces are not redistributable, so each generator below
+synthesises a stream pair matching the trace's documented character
+(key-domain size, key skew, payload distribution, rate burstiness); see
+DESIGN.md Section 5 for the substitution argument.  What PECJ and the
+baselines are sensitive to — join selectivity statistics, payload averages,
+rate variability — are exactly the knobs these generators control.
+
+Every generator emits a pair of event-ordered :class:`StreamBatch` objects
+(R, S) with ``arrival_time == event_time``; disorder is injected separately
+via :func:`repro.streams.disorder.apply_disorder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.streams.tuples import Side, StreamBatch, StreamTuple
+
+__all__ = [
+    "StreamGenerator",
+    "MicroDataset",
+    "StockDataset",
+    "RovioDataset",
+    "LogisticsDataset",
+    "RetailDataset",
+    "DATASETS",
+    "make_dataset",
+]
+
+
+def _poisson_event_times(
+    rng: np.random.Generator, duration_ms: float, rate_per_ms: float
+) -> np.ndarray:
+    """Event times of a homogeneous Poisson process on ``[0, duration)``."""
+    if rate_per_ms <= 0 or duration_ms <= 0:
+        return np.empty(0, dtype=float)
+    n = rng.poisson(rate_per_ms * duration_ms)
+    times = rng.uniform(0.0, duration_ms, size=n)
+    times.sort()
+    return times
+
+
+def _modulated_event_times(
+    rng: np.random.Generator,
+    duration_ms: float,
+    rate_per_ms: float,
+    modulation: np.ndarray | None,
+    period_ms: float,
+) -> np.ndarray:
+    """Event times of a Poisson process with periodic rate modulation.
+
+    ``modulation`` is a vector of multiplicative factors applied per equal
+    phase slice of ``period_ms``; mean factor should be ~1 so ``rate_per_ms``
+    remains the average rate.  Implemented by thinning a dominating process.
+    """
+    if modulation is None:
+        return _poisson_event_times(rng, duration_ms, rate_per_ms)
+    modulation = np.asarray(modulation, dtype=float)
+    peak = float(modulation.max())
+    candidates = _poisson_event_times(rng, duration_ms, rate_per_ms * peak)
+    if candidates.size == 0:
+        return candidates
+    phase = (candidates % period_ms) / period_ms
+    idx = np.minimum((phase * len(modulation)).astype(int), len(modulation) - 1)
+    keep = rng.random(candidates.size) < (modulation[idx] / peak)
+    return candidates[keep]
+
+
+def _zipf_keys(
+    rng: np.random.Generator, n: int, num_keys: int, skew: float
+) -> np.ndarray:
+    """Draw ``n`` keys from ``[0, num_keys)`` with Zipf(``skew``) popularity.
+
+    ``skew = 0`` degenerates to uniform.  A fixed permutation is *not*
+    applied: key ``0`` is always the hottest, which is fine because join
+    operators never interpret key values.
+    """
+    if num_keys <= 0:
+        raise ValueError("num_keys must be positive")
+    if skew <= 0:
+        return rng.integers(0, num_keys, size=n)
+    ranks = np.arange(1, num_keys + 1, dtype=float)
+    probs = ranks**-skew
+    probs /= probs.sum()
+    return rng.choice(num_keys, size=n, p=probs)
+
+
+@dataclass
+class StreamGenerator:
+    """Base generator: Poisson arrivals, uniform keys, unit payloads.
+
+    Attributes:
+        num_keys: Size of the join-key domain shared by R and S.
+        key_skew: Zipf exponent of key popularity (0 = uniform).
+    """
+
+    num_keys: int = 10
+    key_skew: float = 0.0
+
+    #: Human-readable dataset name (overridden by subclasses).
+    name: str = "base"
+
+    def generate(
+        self,
+        duration_ms: float,
+        rate_r: float,
+        rate_s: float,
+        rng: np.random.Generator,
+    ) -> tuple[StreamBatch, StreamBatch]:
+        """Generate the (R, S) stream pair.
+
+        Args:
+            duration_ms: Event-time span to cover, starting at 0.
+            rate_r: Average R rate in tuples **per millisecond**.
+            rate_s: Average S rate in tuples per millisecond.
+            rng: Source of randomness (callers pass a seeded Generator).
+        """
+        r = self._one_side(Side.R, duration_ms, rate_r, rng)
+        s = self._one_side(Side.S, duration_ms, rate_s, rng)
+        return r, s
+
+    # -- hooks for subclasses -------------------------------------------------
+
+    def _event_times(
+        self, side: Side, duration_ms: float, rate: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        return _poisson_event_times(rng, duration_ms, rate)
+
+    def _keys(
+        self, side: Side, times: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return _zipf_keys(rng, len(times), self.num_keys, self.key_skew)
+
+    def _payloads(
+        self, side: Side, times: np.ndarray, keys: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return np.ones(len(times), dtype=float)
+
+    # -- assembly -------------------------------------------------------------
+
+    def generate_columns(
+        self,
+        duration_ms: float,
+        rate_r: float,
+        rate_s: float,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Columnar fast path: ``(event, key, payload, is_r)`` arrays.
+
+        Semantically identical to :meth:`generate` but skips tuple-object
+        materialisation — required at the paper's higher event rates
+        (hundreds of Ktuples/s over multi-second segments).
+        """
+        events = []
+        keys = []
+        payloads = []
+        flags = []
+        for side, rate in ((Side.R, rate_r), (Side.S, rate_s)):
+            t = self._event_times(side, duration_ms, rate, rng)
+            k = self._keys(side, t, rng)
+            v = self._payloads(side, t, k, rng)
+            events.append(t)
+            keys.append(k)
+            payloads.append(v)
+            flags.append(np.full(len(t), side is Side.R))
+        return (
+            np.concatenate(events),
+            np.concatenate(keys),
+            np.concatenate(payloads),
+            np.concatenate(flags),
+        )
+
+    def _one_side(
+        self, side: Side, duration_ms: float, rate: float, rng: np.random.Generator
+    ) -> StreamBatch:
+        times = self._event_times(side, duration_ms, rate, rng)
+        keys = self._keys(side, times, rng)
+        payloads = self._payloads(side, times, keys, rng)
+        tuples = [
+            StreamTuple(
+                key=int(k),
+                payload=float(v),
+                event_time=float(t),
+                arrival_time=float(t),
+                side=side,
+                seq=i,
+            )
+            for i, (t, k, v) in enumerate(zip(times, keys, payloads))
+        ]
+        return StreamBatch(tuples)
+
+
+@dataclass
+class MicroDataset(StreamGenerator):
+    """AllianceDB's synthetic micro-benchmark.
+
+    Uniform keys over a configurable domain, uniform payloads.  The
+    workload-sensitivity study (Fig. 8) sweeps ``num_keys`` from 10 to 5000
+    on this dataset.
+    """
+
+    payload_low: float = 1.0
+    payload_high: float = 100.0
+    name: str = "micro"
+
+    def _payloads(self, side, times, keys, rng):
+        return rng.uniform(self.payload_low, self.payload_high, size=len(times))
+
+
+@dataclass
+class StockDataset(StreamGenerator):
+    """Stock-exchange quotes/trades (AllianceDB's Stock trace).
+
+    R models quotes, S models trades.  Symbols (keys) follow a Zipf law —
+    a few tickers dominate volume — and payloads are per-symbol
+    geometric-random-walk prices.  Rates burst on a short period, mimicking
+    opening-auction style clustering.
+    """
+
+    num_keys: int = 1000
+    key_skew: float = 0.8
+    base_price_low: float = 10.0
+    base_price_high: float = 500.0
+    walk_volatility: float = 0.0002
+    burst_period_ms: float = 3000.0
+    name: str = "stock"
+    _base_prices: np.ndarray | None = field(default=None, repr=False)
+
+    def _event_times(self, side, duration_ms, rate, rng):
+        modulation = np.array([1.15, 1.05, 0.95, 0.85, 0.95, 1.05])
+        modulation /= modulation.mean()
+        return _modulated_event_times(rng, duration_ms, rate, modulation, self.burst_period_ms)
+
+    def _payloads(self, side, times, keys, rng):
+        if self._base_prices is None or len(self._base_prices) != self.num_keys:
+            price_rng = np.random.default_rng(12021)  # fixed per-symbol base prices
+            self._base_prices = price_rng.uniform(
+                self.base_price_low, self.base_price_high, size=self.num_keys
+            )
+        drift = rng.normal(0.0, self.walk_volatility, size=len(times)).cumsum()
+        return self._base_prices[keys] * np.exp(drift)
+
+
+@dataclass
+class RovioDataset(StreamGenerator):
+    """Mobile-gaming telemetry (AllianceDB's Rovio trace).
+
+    Keys are player/session ids; play sessions make arrivals bursty
+    (on/off modulation with a long period) and payloads are in-game scores
+    with occasional outliers.
+    """
+
+    num_keys: int = 500
+    key_skew: float = 0.5
+    session_period_ms: float = 1000.0
+    score_mean: float = 40.0
+    outlier_fraction: float = 0.02
+    outlier_scale: float = 20.0
+    name: str = "rovio"
+
+    def _event_times(self, side, duration_ms, rate, rng):
+        modulation = np.array([1.8, 1.8, 1.4, 0.6, 0.2, 0.2, 0.6, 1.4])
+        modulation /= modulation.mean()
+        return _modulated_event_times(rng, duration_ms, rate, modulation, self.session_period_ms)
+
+    def _payloads(self, side, times, keys, rng):
+        scores = rng.exponential(self.score_mean, size=len(times))
+        outliers = rng.random(len(times)) < self.outlier_fraction
+        scores[outliers] *= self.outlier_scale
+        return scores
+
+
+@dataclass
+class LogisticsDataset(StreamGenerator):
+    """Shipment tracking events (OpenMLDB's Logistics workload).
+
+    Keys are shipment/route ids (mild skew), payloads are lognormal parcel
+    weights, and rates follow a smooth diurnal-style cycle.
+    """
+
+    num_keys: int = 2000
+    key_skew: float = 0.3
+    weight_mu: float = 1.2
+    weight_sigma: float = 0.8
+    cycle_period_ms: float = 20000.0
+    name: str = "logistics"
+
+    def _event_times(self, side, duration_ms, rate, rng):
+        phases = np.linspace(0.0, 2 * np.pi, 12, endpoint=False)
+        modulation = 1.0 + 0.5 * np.sin(phases)
+        modulation /= modulation.mean()
+        return _modulated_event_times(rng, duration_ms, rate, modulation, self.cycle_period_ms)
+
+    def _payloads(self, side, times, keys, rng):
+        return rng.lognormal(self.weight_mu, self.weight_sigma, size=len(times))
+
+
+@dataclass
+class RetailDataset(StreamGenerator):
+    """Retail transactions (OpenMLDB's Retail workload).
+
+    Keys are product ids with strong Zipf skew (bestsellers dominate),
+    payloads are transaction amounts: a lognormal basket value quantised to
+    cents.
+    """
+
+    num_keys: int = 3000
+    key_skew: float = 1.1
+    amount_mu: float = 2.5
+    amount_sigma: float = 1.0
+    name: str = "retail"
+
+    def _payloads(self, side, times, keys, rng):
+        amounts = rng.lognormal(self.amount_mu, self.amount_sigma, size=len(times))
+        return np.round(amounts, 2)
+
+
+#: Registry of dataset constructors by paper name.
+DATASETS: dict[str, type[StreamGenerator]] = {
+    "micro": MicroDataset,
+    "stock": StockDataset,
+    "rovio": RovioDataset,
+    "logistics": LogisticsDataset,
+    "retail": RetailDataset,
+}
+
+
+def make_dataset(name: str, **overrides) -> StreamGenerator:
+    """Instantiate a dataset generator by name with field overrides."""
+    try:
+        cls = DATASETS[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown dataset {name!r}; choose from {sorted(DATASETS)}") from None
+    return cls(**overrides)

@@ -1,0 +1,252 @@
+"""Disorder injection: delay models that turn ordered streams into
+out-of-order arrival sequences.
+
+The paper (Section 6.1) creates disorder by re-stamping arrival times so
+that ``delta = tau_arrival - tau_event`` is random, bounded by a maximum
+delay ``Delta``.  Two regimes matter for the evaluation:
+
+* **Q1/Q2** use a small ``Delta`` (5ms) with a simple pattern — stream
+  processing near the data source (cloud edge).  ``UniformDelay`` and
+  ``ExponentialDelay`` cover this.
+* **Q3** uses a large ``Delta`` (1000ms) with an "intricate disorder
+  arrival pattern" — e.g. multi-hop intercontinental routing through a TOR
+  network.  ``MultiHopDelay``, ``BimodalDelay`` and
+  ``RegimeSwitchingDelay`` model this: heavy tails, route bimodality and
+  time-varying congestion, all of which violate the stationarity that the
+  analytical instantiation leans on (Section 6.5).
+
+All delays are in milliseconds.  Every model is truncated to its
+``max_delay`` so the realised ``Delta`` is bounded, matching the paper's
+experimental control of ``Delta``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.streams.tuples import StreamBatch, StreamTuple
+
+__all__ = [
+    "DelayModel",
+    "NoDisorder",
+    "UniformDelay",
+    "ExponentialDelay",
+    "ParetoDelay",
+    "MultiHopDelay",
+    "BimodalDelay",
+    "CorrelatedDelay",
+    "RegimeSwitchingDelay",
+    "apply_disorder",
+]
+
+
+class DelayModel:
+    """Base class: draws per-tuple delays ``delta`` given event times."""
+
+    #: Upper bound on any sampled delay (the paper's ``Delta``), in ms.
+    max_delay: float
+
+    def sample(self, rng: np.random.Generator, event_times: np.ndarray) -> np.ndarray:
+        """Delays (ms) for tuples occurring at ``event_times``.
+
+        Implementations must return values in ``[0, max_delay]``.
+        """
+        raise NotImplementedError
+
+    def _truncate(self, delays: np.ndarray) -> np.ndarray:
+        return np.clip(delays, 0.0, self.max_delay)
+
+
+@dataclass
+class NoDisorder(DelayModel):
+    """In-order arrival: ``tau_arrival == tau_event`` for every tuple."""
+
+    max_delay: float = 0.0
+
+    def sample(self, rng: np.random.Generator, event_times: np.ndarray) -> np.ndarray:
+        return np.zeros_like(event_times, dtype=float)
+
+
+@dataclass
+class UniformDelay(DelayModel):
+    """Delays uniform on ``[0, max_delay]`` — the simplest disorder."""
+
+    max_delay: float = 5.0
+
+    def sample(self, rng: np.random.Generator, event_times: np.ndarray) -> np.ndarray:
+        return rng.uniform(0.0, self.max_delay, size=event_times.shape)
+
+
+@dataclass
+class ExponentialDelay(DelayModel):
+    """Exponential delays truncated at ``max_delay``.
+
+    ``mean`` is the untruncated mean; most mass sits near zero with a thin
+    tail, a common model for single-link network latency.
+    """
+
+    mean: float = 1.5
+    max_delay: float = 5.0
+
+    def sample(self, rng: np.random.Generator, event_times: np.ndarray) -> np.ndarray:
+        return self._truncate(rng.exponential(self.mean, size=event_times.shape))
+
+
+@dataclass
+class ParetoDelay(DelayModel):
+    """Heavy-tailed (Pareto) delays truncated at ``max_delay``.
+
+    Long-tail delays are the regime the paper's Appendix A targets; a small
+    ``shape`` makes stragglers dominate.
+    """
+
+    shape: float = 1.5
+    scale: float = 10.0
+    max_delay: float = 1000.0
+
+    def sample(self, rng: np.random.Generator, event_times: np.ndarray) -> np.ndarray:
+        draws = self.scale * rng.pareto(self.shape, size=event_times.shape)
+        return self._truncate(draws)
+
+
+@dataclass
+class MultiHopDelay(DelayModel):
+    """Sum of per-hop exponential delays — TOR-like multi-hop routing.
+
+    Q3 (Section 6.1) motivates its 1000ms ``Delta`` with "multiple
+    intercontinental communications within a TOR network".  Each hop
+    contributes an independent exponential delay plus a fixed propagation
+    cost, producing an Erlang-like body with occasional large sums.
+    """
+
+    hops: int = 3
+    hop_mean: float = 80.0
+    propagation: float = 40.0
+    max_delay: float = 1000.0
+
+    def sample(self, rng: np.random.Generator, event_times: np.ndarray) -> np.ndarray:
+        total = np.full(event_times.shape, self.hops * self.propagation, dtype=float)
+        for _ in range(self.hops):
+            total += rng.exponential(self.hop_mean, size=event_times.shape)
+        return self._truncate(total)
+
+
+@dataclass
+class BimodalDelay(DelayModel):
+    """Mixture of a fast path and a slow path.
+
+    A fraction ``slow_fraction`` of tuples takes the slow route (e.g. a
+    congested relay), with its own mean; the rest arrive quickly.  The
+    resulting delay CDF has a plateau that a single-decay filter tracks
+    poorly, stressing the analytical instantiation.
+    """
+
+    fast_mean: float = 20.0
+    slow_mean: float = 600.0
+    slow_fraction: float = 0.3
+    max_delay: float = 1000.0
+
+    def sample(self, rng: np.random.Generator, event_times: np.ndarray) -> np.ndarray:
+        slow = rng.random(size=event_times.shape) < self.slow_fraction
+        fast_draws = rng.exponential(self.fast_mean, size=event_times.shape)
+        slow_draws = self.slow_mean * (0.5 + rng.random(size=event_times.shape))
+        return self._truncate(np.where(slow, slow_draws, fast_draws))
+
+
+@dataclass
+class CorrelatedDelay(DelayModel):
+    """Exponential delays whose scale drifts as an AR(1) process.
+
+    Real network delays are temporally correlated: congestion raises the
+    delay of *many* consecutive tuples, not independent ones.  The
+    log-scale of the exponential delay follows an Ornstein–Uhlenbeck walk
+    sampled per ``step_ms`` of event time, so nearby tuples share their
+    delay regime.  The larger ``max_delay`` grows relative to the emission
+    cutoff, the further a single window's realised completeness can stray
+    from the long-run average — the "observation distortion" that defeats
+    the central-limit reasoning of the analytical instantiation
+    (paper Fig. 9c).
+    """
+
+    base_mean: float = 30.0
+    log_sigma: float = 0.8
+    reversion: float = 0.1
+    step_ms: float = 50.0
+    max_delay: float = 500.0
+
+    def sample(self, rng: np.random.Generator, event_times: np.ndarray) -> np.ndarray:
+        event_times = np.asarray(event_times, dtype=float)
+        if event_times.size == 0:
+            return np.zeros(0)
+        t_min = float(event_times.min())
+        t_max = float(event_times.max())
+        n_steps = int(np.floor((t_max - t_min) / self.step_ms)) + 2
+        # OU walk on the log of the delay scale.
+        log_scale = np.empty(n_steps)
+        log_scale[0] = rng.normal(0.0, self.log_sigma)
+        innovation_sd = self.log_sigma * np.sqrt(
+            max(1.0 - (1.0 - self.reversion) ** 2, 1e-9)
+        )
+        for i in range(1, n_steps):
+            log_scale[i] = (1.0 - self.reversion) * log_scale[i - 1] + rng.normal(
+                0.0, innovation_sd
+            )
+        idx = np.clip(((event_times - t_min) / self.step_ms).astype(int), 0, n_steps - 1)
+        scales = self.base_mean * np.exp(log_scale[idx])
+        draws = rng.exponential(1.0, size=event_times.shape) * scales
+        return self._truncate(draws)
+
+
+@dataclass
+class RegimeSwitchingDelay(DelayModel):
+    """Delay distribution that alternates between regimes over time.
+
+    The delay mean switches between ``calm_mean`` and ``congested_mean``
+    every ``regime_length`` ms of event time.  Observations made during one
+    regime are biased estimates of the other — exactly the kind of
+    non-stationary "observation distortion" under which Section 6.5 shows
+    the analytical instantiation breaking down while the learning-based one
+    keeps up.
+    """
+
+    calm_mean: float = 50.0
+    congested_mean: float = 450.0
+    regime_length: float = 500.0
+    max_delay: float = 1000.0
+
+    def regime_of(self, event_times: np.ndarray) -> np.ndarray:
+        """0 for calm, 1 for congested, per event time."""
+        phase = np.floor(event_times / self.regime_length).astype(int)
+        return phase % 2
+
+    def sample(self, rng: np.random.Generator, event_times: np.ndarray) -> np.ndarray:
+        regime = self.regime_of(np.asarray(event_times, dtype=float))
+        means = np.where(regime == 0, self.calm_mean, self.congested_mean)
+        draws = rng.exponential(1.0, size=event_times.shape) * means
+        return self._truncate(draws)
+
+
+def apply_disorder(
+    batch: StreamBatch,
+    model: DelayModel,
+    rng: np.random.Generator,
+) -> StreamBatch:
+    """Re-stamp a batch's arrival times with delays drawn from ``model``.
+
+    The input batch's arrival times are ignored; each tuple's new arrival
+    time is ``event_time + delta`` with ``delta`` sampled per tuple.
+    Returns a new batch (inputs are immutable).
+    """
+    tuples = list(batch)
+    if not tuples:
+        return StreamBatch([])
+    event_times = np.array([t.event_time for t in tuples], dtype=float)
+    delays = model.sample(rng, event_times)
+    if delays.shape != event_times.shape:
+        raise ValueError("delay model returned wrong shape")
+    restamped: list[StreamTuple] = [
+        t.with_arrival(t.event_time + float(d)) for t, d in zip(tuples, delays)
+    ]
+    return StreamBatch(restamped)

@@ -1,0 +1,110 @@
+"""Stream sources: merging and replaying finite stream segments.
+
+Join operators consume a single interleaved sequence of R and S tuples in
+*arrival* order, which is what a network front-end would deliver.  This
+module turns a generated (R, S) pair into that sequence, and provides a
+small pull-based replayer with a virtual clock.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.streams.tuples import StreamBatch, StreamTuple, by_arrival
+
+__all__ = ["merge_arrival", "ReplaySource", "make_disordered_pair"]
+
+
+def merge_arrival(r: StreamBatch, s: StreamBatch) -> StreamBatch:
+    """Interleave two stream batches into a single arrival-ordered batch."""
+    merged = list(r) + list(s)
+    merged.sort(key=by_arrival)
+    return StreamBatch(merged)
+
+
+class ReplaySource:
+    """Pull-based replay of an arrival-ordered batch against a virtual clock.
+
+    ``poll(now)`` returns every tuple whose arrival time is ``<= now`` and
+    has not been returned before.  Operators drive the clock themselves
+    (e.g. to each window's emission time ``omega``).
+    """
+
+    def __init__(self, batch: StreamBatch):
+        self._tuples = batch.in_arrival_order()
+        self._cursor = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every tuple has been delivered."""
+        return self._cursor >= len(self._tuples)
+
+    @property
+    def remaining(self) -> int:
+        """Number of tuples not yet delivered."""
+        return len(self._tuples) - self._cursor
+
+    def peek_next_arrival(self) -> float | None:
+        """Arrival time of the next undelivered tuple, or None."""
+        if self.exhausted:
+            return None
+        return self._tuples[self._cursor].arrival_time
+
+    def poll(self, now: float) -> list[StreamTuple]:
+        """All not-yet-delivered tuples with ``arrival_time <= now``."""
+        out: list[StreamTuple] = []
+        while self._cursor < len(self._tuples):
+            t = self._tuples[self._cursor]
+            if t.arrival_time > now:
+                break
+            out.append(t)
+            self._cursor += 1
+        return out
+
+    def drain(self) -> list[StreamTuple]:
+        """Every remaining tuple, regardless of the clock."""
+        out = self._tuples[self._cursor :]
+        self._cursor = len(self._tuples)
+        return out
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        while self._cursor < len(self._tuples):
+            t = self._tuples[self._cursor]
+            self._cursor += 1
+            yield t
+
+
+def make_disordered_arrays(dataset, delay_model, duration_ms, rate_r, rate_s, seed):
+    """Columnar fast path: generate, disorder and pack into BatchArrays.
+
+    Equivalent to :func:`make_disordered_pair` + ``BatchArrays.from_batch``
+    but never materialises tuple objects; use for high event rates.
+    """
+    import numpy as np
+
+    from repro.joins.arrays import BatchArrays
+
+    rng = np.random.default_rng(seed)
+    event, key, payload, is_r = dataset.generate_columns(
+        duration_ms, rate_r, rate_s, rng
+    )
+    delays = delay_model.sample(rng, event)
+    arrival = event + np.maximum(delays, 0.0)
+    return BatchArrays(event, arrival, key, payload, is_r)
+
+
+def make_disordered_pair(dataset, delay_model, duration_ms, rate_r, rate_s, seed):
+    """Convenience: generate, disorder and merge a stream pair.
+
+    Returns ``(merged_batch, r_batch, s_batch)`` where the merged batch is
+    arrival-ordered and the side batches carry the same re-stamped tuples.
+    """
+    import numpy as np
+
+    from repro.streams.disorder import apply_disorder
+
+    rng = np.random.default_rng(seed)
+    r, s = dataset.generate(duration_ms, rate_r, rate_s, rng)
+    r = apply_disorder(r, delay_model, rng)
+    s = apply_disorder(s, delay_model, rng)
+    return merge_arrival(r, s), r, s

@@ -1,0 +1,158 @@
+"""Watermark generators: deciding the assumed completeness point.
+
+The buffering baselines — and PECJ itself — need some time point
+``omega`` at which to stop waiting (paper Section 2.2).  The paper treats
+the automatic determination of ``omega`` as orthogonal and tunes it by
+hand; this module supplies the standard mechanisms so the knob can also
+be set automatically:
+
+* :class:`PeriodicWatermark` — a fixed lag behind the maximum event time
+  seen (Flink-style bounded-out-of-orderness);
+* :class:`HeuristicWatermark` — lag tracks the maximum delay observed so
+  far (never regresses, converges to ``Delta``);
+* :class:`AdaptiveWatermark` — lag tracks a quantile of *recent* delays
+  with exponential forgetting, following the adaptive-watermark idea of
+  Awad et al. [8]: the watermark advances faster in calm periods and
+  backs off under congestion.
+
+A watermark at lag ``ell`` corresponds to emitting a window ``[s, s+L)``
+at ``s + L + ell`` — i.e. ``omega = L + ell`` in the paper's notation —
+which :func:`suggest_omega` makes explicit.
+"""
+
+from __future__ import annotations
+
+import collections
+import math
+
+import numpy as np
+
+from repro.streams.tuples import StreamTuple
+
+__all__ = [
+    "WatermarkGenerator",
+    "PeriodicWatermark",
+    "HeuristicWatermark",
+    "AdaptiveWatermark",
+    "suggest_omega",
+]
+
+
+class WatermarkGenerator:
+    """Base class: observes arriving tuples, exposes the watermark.
+
+    The watermark is the event time ``T`` such that the generator believes
+    all tuples with ``tau_event < T`` have arrived.
+    """
+
+    def __init__(self) -> None:
+        self._max_event = -math.inf
+
+    def observe(self, t: StreamTuple) -> None:
+        """Account for one arriving tuple (call in arrival order)."""
+        self._max_event = max(self._max_event, t.event_time)
+
+    @property
+    def max_event_seen(self) -> float:
+        return self._max_event
+
+    @property
+    def lag(self) -> float:
+        """Current watermark lag behind the newest event, in ms."""
+        raise NotImplementedError
+
+    @property
+    def watermark(self) -> float:
+        """Event time below which the stream is assumed complete."""
+        if math.isinf(self._max_event):
+            return -math.inf
+        return self._max_event - self.lag
+
+    def is_late(self, t: StreamTuple) -> bool:
+        """Whether a tuple arrives behind the current watermark."""
+        return t.event_time < self.watermark
+
+
+class PeriodicWatermark(WatermarkGenerator):
+    """Fixed-lag watermark (bounded out-of-orderness)."""
+
+    def __init__(self, lag_ms: float):
+        super().__init__()
+        if lag_ms < 0:
+            raise ValueError("lag must be non-negative")
+        self._lag = lag_ms
+
+    @property
+    def lag(self) -> float:
+        return self._lag
+
+
+class HeuristicWatermark(WatermarkGenerator):
+    """Lag tracks the largest delay observed so far (plus a margin).
+
+    Conservative: the watermark is late-proof for any disorder already
+    seen, at the cost of never tightening after a single extreme
+    straggler.
+    """
+
+    def __init__(self, margin: float = 1.05):
+        super().__init__()
+        if margin < 1.0:
+            raise ValueError("margin must be >= 1")
+        self.margin = margin
+        self._max_delay = 0.0
+
+    def observe(self, t: StreamTuple) -> None:
+        super().observe(t)
+        self._max_delay = max(self._max_delay, t.delay)
+
+    @property
+    def lag(self) -> float:
+        return self._max_delay * self.margin
+
+
+class AdaptiveWatermark(WatermarkGenerator):
+    """Lag tracks a delay quantile over a sliding sample (Awad et al.).
+
+    The lag follows the ``quantile`` of the most recent ``sample_size``
+    delays, so it relaxes after congestion clears instead of staying
+    pinned at the historical maximum.  ``safety`` scales the quantile to
+    trade lateness against waiting.
+    """
+
+    def __init__(
+        self,
+        quantile: float = 0.99,
+        sample_size: int = 2048,
+        safety: float = 1.1,
+    ):
+        super().__init__()
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        if sample_size < 8:
+            raise ValueError("sample_size must be >= 8")
+        self.quantile = quantile
+        self.safety = safety
+        self._delays: collections.deque[float] = collections.deque(maxlen=sample_size)
+
+    def observe(self, t: StreamTuple) -> None:
+        super().observe(t)
+        self._delays.append(max(t.delay, 0.0))
+
+    @property
+    def lag(self) -> float:
+        if len(self._delays) < 8:
+            return 0.0
+        return float(np.quantile(np.asarray(self._delays), self.quantile)) * self.safety
+
+
+def suggest_omega(generator: WatermarkGenerator, window_length: float) -> float:
+    """The emission cutoff a watermark implies for tumbling windows.
+
+    A window ``[s, s + L)`` is complete when the watermark passes
+    ``s + L``, i.e. at event-time progress ``s + L + lag``; relative to
+    the window start that is ``omega = L + lag``.
+    """
+    if window_length <= 0:
+        raise ValueError("window_length must be positive")
+    return window_length + max(generator.lag, 0.0)

@@ -1,0 +1,18 @@
+"""Variational-inference substrate: conjugate distributions, mean-field
+CAVI for the paper's distortion model, and streaming SVI."""
+
+from repro.vi.distributions import Gamma, Gaussian
+from repro.vi.meanfield import DistortionModelPriors, MeanFieldPosterior, cavi
+from repro.vi.special import digamma, gammaln
+from repro.vi.svi import StreamingSVI
+
+__all__ = [
+    "Gaussian",
+    "Gamma",
+    "DistortionModelPriors",
+    "MeanFieldPosterior",
+    "cavi",
+    "StreamingSVI",
+    "digamma",
+    "gammaln",
+]

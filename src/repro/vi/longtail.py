@@ -1,0 +1,167 @@
+"""The Appendix-A long-tail analytical instantiation.
+
+The paper's appendix explores a richer analytical model that makes the
+long-tail effects of stream data a first-class citizen (Eqs. 16-20):
+
+* each local latent ``z_i`` splits into ``a_i`` (the concentration point,
+  Gaussian around the global mean: ``a_i ~ N(mu_w, 1/phi_w)``) and
+  ``lambda_i`` (the tail rate);
+* observations are exponentially tailed above their concentration point:
+  ``x_i | a_i, lambda_i ~ a_i + Exp(lambda_i)``.
+
+The paper abandons this instantiation because its ELBO, unrolled into a
+generic autograd optimizer, produces "a catastrophically complicated
+tensor graph".  Coordinate ascent, however, stays tractable *for this
+specific model* — every factor is conjugate once ``q(a_i)`` is recognised
+as a truncated Gaussian — so we implement CAVI here both as a working
+estimator for long-tailed streams and as an executable demonstration of
+the appendix's key point: the posterior mean of ``mu_w`` is **no longer
+linear in the observations** (contrast Eq. 19 with Eq. 9), which is
+exactly what breaks the simple-filter (AEMA/EMA) implementation route.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.vi.distributions import Gamma, Gaussian
+
+__all__ = ["LongTailPriors", "LongTailPosterior", "longtail_cavi"]
+
+_SQRT2 = math.sqrt(2.0)
+_SQRT_2PI = math.sqrt(2.0 * math.pi)
+
+
+def _phi(u: float) -> float:
+    """Standard normal pdf."""
+    return math.exp(-0.5 * u * u) / _SQRT_2PI
+
+
+def _Phi(u: float) -> float:
+    """Standard normal cdf."""
+    return 0.5 * (1.0 + math.erf(u / _SQRT2))
+
+
+def _upper_truncated_normal_mean(mean: float, sd: float, upper: float) -> float:
+    """E[X | X <= upper] for X ~ N(mean, sd^2).
+
+    Uses the standard inverse-Mills form; degenerates gracefully when the
+    truncation point sits far in either tail.
+    """
+    beta = (upper - mean) / sd
+    denom = _Phi(beta)
+    if denom < 1e-12:
+        # Essentially all mass beyond the bound: collapse onto it.
+        return upper
+    return mean - sd * _phi(beta) / denom
+
+
+@dataclass(frozen=True, slots=True)
+class LongTailPriors:
+    """Priors of the appendix model.
+
+    ``mu_w ~ N(mu0, 1/tau0)``; ``phi_w ~ Gamma(phi_shape, phi_rate)``;
+    every tail rate ``lambda_i ~ Gamma(lam_shape, lam_rate)``.
+    """
+
+    mu0: float = 0.0
+    tau0: float = 1.0
+    phi_shape: float = 2.0
+    phi_rate: float = 2.0
+    lam_shape: float = 2.0
+    lam_rate: float = 2.0
+
+    def __post_init__(self) -> None:
+        if min(self.tau0, self.phi_shape, self.phi_rate, self.lam_shape, self.lam_rate) <= 0:
+            raise ValueError("prior strengths must be positive")
+
+
+@dataclass
+class LongTailPosterior:
+    """Factored posterior of the long-tail model."""
+
+    q_mu: Gaussian
+    q_phi: Gamma
+    #: Posterior means of the concentration points ``a_i``.
+    a_means: list[float] = field(default_factory=list)
+    #: Posterior tail rates ``E[lambda_i]``.
+    lam_means: list[float] = field(default_factory=list)
+    iterations: int = 0
+
+    @property
+    def mu_mean(self) -> float:
+        return self.q_mu.mean
+
+    def mu_credible_interval(self, quantile_z: float = 1.96) -> tuple[float, float]:
+        return self.q_mu.interval(quantile_z)
+
+
+def longtail_cavi(
+    observations: Sequence[float],
+    priors: LongTailPriors | None = None,
+    max_iters: int = 80,
+    tol: float = 1e-9,
+) -> LongTailPosterior:
+    """Coordinate-ascent VI for the Appendix-A model.
+
+    Args:
+        observations: The ``x_i`` readings (long-tailed above their
+            concentration points).
+        priors: Model priors.
+        max_iters: Maximum CAVI sweeps.
+        tol: Stop when ``E[mu_w]`` moves less than this between sweeps.
+
+    Returns:
+        The factored posterior.  ``mu_mean`` estimates the level *below*
+        the long tail — for delay-style data this is the typical value,
+        with stragglers explained by the exponential tails rather than
+        dragging the mean (what a plain Gaussian model would do).
+    """
+    xs = [float(x) for x in observations]
+    n = len(xs)
+    priors = priors or LongTailPriors()
+
+    q_phi = Gamma(priors.phi_shape, priors.phi_rate)
+    q_mu = Gaussian(priors.mu0 if n == 0 else min(xs), priors.tau0)
+    lam_means = [priors.lam_shape / priors.lam_rate] * n
+    a_means = list(xs)
+
+    posterior = LongTailPosterior(q_mu, q_phi, a_means, lam_means)
+    if n == 0:
+        return posterior
+
+    for it in range(max_iters):
+        e_phi = q_phi.mean
+        sd = 1.0 / math.sqrt(e_phi)
+        mu_mean = q_mu.mean
+
+        # q(a_i): N(mu + lambda/phi, 1/phi) truncated at a_i <= x_i
+        # (the exponential tail only reaches upward).
+        a_means = [
+            _upper_truncated_normal_mean(mu_mean + lam / e_phi, sd, x)
+            for x, lam in zip(xs, lam_means)
+        ]
+        # q(lambda_i): Gamma(shape+1, rate + E[x_i - a_i]).
+        lam_means = [
+            (priors.lam_shape + 1.0)
+            / (priors.lam_rate + max(x - a, 1e-12))
+            for x, a in zip(xs, a_means)
+        ]
+        # q(mu): conjugate Gaussian given the E[a_i].
+        post_prec = priors.tau0 + n * e_phi
+        post_mean = (priors.tau0 * priors.mu0 + e_phi * sum(a_means)) / post_prec
+        new_q_mu = Gaussian(post_mean, post_prec)
+        # q(phi): Gamma with the expected squared residuals of the a_i
+        # (Eq. 20; the a-variance term is folded into a 1/phi inflation).
+        resid = sum((a - post_mean) ** 2 for a in a_means) + n / post_prec
+        q_phi = Gamma(priors.phi_shape + 0.5 * n, priors.phi_rate + 0.5 * resid)
+
+        moved = abs(new_q_mu.mean - q_mu.mean)
+        q_mu = new_q_mu
+        posterior = LongTailPosterior(q_mu, q_phi, a_means, lam_means, it + 1)
+        if moved < tol:
+            break
+
+    return posterior

@@ -1,0 +1,51 @@
+"""Special functions needed by variational inference.
+
+Only ``digamma`` is missing from the standard library (``math.lgamma``
+covers the log-gamma function), so we implement it here with the standard
+recurrence + asymptotic-series approach.  Keeping this local avoids a hard
+scipy dependency in the core library.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["digamma", "gammaln"]
+
+#: Coefficients of the asymptotic expansion psi(x) ~ ln x - 1/(2x) - sum B_2n/(2n x^2n).
+_ASYMPTOTIC = (
+    1.0 / 12.0,
+    -1.0 / 120.0,
+    1.0 / 252.0,
+    -1.0 / 240.0,
+    1.0 / 132.0,
+    -691.0 / 32760.0,
+    1.0 / 12.0,
+)
+
+
+def digamma(x: float) -> float:
+    """The digamma function ``psi(x) = d/dx ln Gamma(x)`` for ``x > 0``.
+
+    Uses the recurrence ``psi(x) = psi(x + 1) - 1/x`` to push the argument
+    above 6, then an asymptotic series accurate to ~1e-12 there.
+    """
+    if x <= 0.0:
+        raise ValueError("digamma implemented for positive arguments only")
+    value = 0.0
+    while x < 6.0:
+        value -= 1.0 / x
+        x += 1.0
+    inv = 1.0 / x
+    inv2 = inv * inv
+    series = 0.0
+    power = inv2
+    for coeff in _ASYMPTOTIC:
+        series += coeff * power
+        power *= inv2
+    return value + math.log(x) - 0.5 * inv - series
+
+
+def gammaln(x: float) -> float:
+    """``ln Gamma(x)`` (thin wrapper over the standard library)."""
+    return math.lgamma(x)

@@ -1,0 +1,211 @@
+"""Streaming stochastic variational inference (SVI) for the Section 5.1 model.
+
+Implements the Hoffman et al. [17] recipe the paper builds on: each
+minibatch of observations triggers
+
+1. a **local step** — closed-form ``q(z_i)`` for the minibatch's latent
+   distortions given the current global factors;
+2. a **global step** — "intermediate" global parameters computed as if the
+   minibatch were the whole dataset, blended into the running parameters
+   along the natural gradient with a Robbins–Monro step size
+   ``rho_t = (t + delay) ** -kappa``.
+
+Continual learning (paper Eq. 5) is supported by ``carry_over``: the
+current posterior becomes the prior for subsequent data, optionally
+down-weighted so the model can track drifting streams instead of freezing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.vi.distributions import Gamma, Gaussian
+from repro.vi.meanfield import DistortionModelPriors, _expected_sq_residual
+
+__all__ = ["StreamingSVI"]
+
+
+@dataclass
+class _GlobalState:
+    """Natural-parameter view of the global factors.
+
+    ``q(mu)`` is tracked as (pseudo-count ``tau``, weighted mean ``tau_mu``)
+    so that blending in natural-parameter space is a plain convex
+    combination; ``q(phi)`` is tracked by its Gamma (shape, rate).
+    """
+
+    tau: float
+    tau_mu: float
+    phi_shape: float
+    phi_rate: float
+
+    @property
+    def mu_mean(self) -> float:
+        return self.tau_mu / self.tau
+
+    def q_phi(self) -> Gamma:
+        return Gamma(self.phi_shape, self.phi_rate)
+
+    def q_mu(self) -> Gaussian:
+        return Gaussian(self.mu_mean, self.tau * self.q_phi().mean)
+
+
+class StreamingSVI:
+    """Online posterior tracker for one window-averaged statistic.
+
+    Args:
+        priors: Model priors (also the reset state).
+        batches_per_window: Rough number of minibatches making up one
+            "full dataset" view; the intermediate estimate scales the
+            minibatch to this effective size (Hoffman's ``N / |B|``).
+        kappa: Forgetting exponent of the step size, in (0.5, 1] for
+            convergence on stationary streams.
+        delay: Down-weights early iterations.
+        drift_floor: Lower bound on the step size so the estimator keeps
+            adapting on infinite (non-stationary) streams.
+    """
+
+    def __init__(
+        self,
+        priors: DistortionModelPriors | None = None,
+        batches_per_window: int = 8,
+        kappa: float = 0.7,
+        delay: float = 4.0,
+        drift_floor: float = 0.05,
+    ):
+        if not 0.5 < kappa <= 1.0:
+            raise ValueError("kappa must lie in (0.5, 1]")
+        if batches_per_window < 1:
+            raise ValueError("batches_per_window must be >= 1")
+        self.priors = priors or DistortionModelPriors()
+        self.batches_per_window = batches_per_window
+        self.kappa = kappa
+        self.delay = delay
+        self.drift_floor = drift_floor
+        self._t = 0
+        self._state = _GlobalState(
+            tau=self.priors.tau0,
+            tau_mu=self.priors.tau0 * self.priors.mu0,
+            phi_shape=self.priors.phi_shape,
+            phi_rate=self.priors.phi_rate,
+        )
+
+    # -- read side -------------------------------------------------------
+
+    @property
+    def step_count(self) -> int:
+        """How many minibatches have been absorbed."""
+        return self._t
+
+    @property
+    def q_mu(self) -> Gaussian:
+        return self._state.q_mu()
+
+    @property
+    def q_phi(self) -> Gamma:
+        return self._state.q_phi()
+
+    def estimate(self) -> float:
+        """Posterior mean of ``mu_w``."""
+        return self._state.mu_mean
+
+    def credible_interval(self, quantile_z: float = 1.96) -> tuple[float, float]:
+        """Symmetric credible interval per paper Eq. 10."""
+        return self.q_mu.interval(quantile_z)
+
+    # -- write side ------------------------------------------------------
+
+    def _step_size(self) -> float:
+        rho = (self._t + self.delay) ** (-self.kappa)
+        return max(rho, self.drift_floor)
+
+    def local_step(
+        self, xs: Sequence[float], z_prior_means: Sequence[float]
+    ) -> list[Gaussian]:
+        """Closed-form ``q(z_i)`` for a minibatch given current globals."""
+        e_phi = self._state.q_phi().mean
+        mu_mean = self._state.mu_mean
+        lam = self.priors.z_precision
+        return [
+            Gaussian(
+                (lam * m + e_phi * x * mu_mean) / (lam + e_phi * x * x),
+                lam + e_phi * x * x,
+            )
+            for x, m in zip(xs, z_prior_means)
+        ]
+
+    def observe_batch(
+        self,
+        xs: Sequence[float],
+        z_prior_means: Sequence[float] | None = None,
+    ) -> None:
+        """Absorb one minibatch of observations.
+
+        ``z_prior_means`` carries the caller's expected distortion per
+        observation (default 1: undistorted).
+        """
+        xs = [float(x) for x in xs]
+        if not xs:
+            return
+        if z_prior_means is None:
+            z_prior_means = [1.0] * len(xs)
+        elif len(z_prior_means) != len(xs):
+            raise ValueError("z_prior_means length must match xs")
+
+        q_z = self.local_step(xs, z_prior_means)
+        scale = self.batches_per_window  # N / |B| replication factor
+        n_eff = len(xs) * scale
+
+        # Intermediate globals: the minibatch replicated to the full size.
+        g_sum = scale * sum(qz.mean * x for x, qz in zip(xs, q_z))
+        tau_hat = self.priors.tau0 + n_eff
+        tau_mu_hat = self.priors.tau0 * self.priors.mu0 + g_sum
+
+        q_mu_now = self._state.q_mu()
+        resid = scale * sum(
+            _expected_sq_residual(x, qz, q_mu_now) for x, qz in zip(xs, q_z)
+        )
+        phi_shape_hat = self.priors.phi_shape + 0.5 * n_eff
+        phi_rate_hat = self.priors.phi_rate + 0.5 * resid
+
+        rho = self._step_size()
+        self._state = _GlobalState(
+            tau=(1 - rho) * self._state.tau + rho * tau_hat,
+            tau_mu=(1 - rho) * self._state.tau_mu + rho * tau_mu_hat,
+            phi_shape=(1 - rho) * self._state.phi_shape + rho * phi_shape_hat,
+            phi_rate=(1 - rho) * self._state.phi_rate + rho * phi_rate_hat,
+        )
+        self._t += 1
+
+    def carry_over(self, forget: float = 0.5) -> None:
+        """Continual-learning reset (paper Eq. 5): posterior becomes prior.
+
+        ``forget`` in (0, 1] scales the carried pseudo-counts down so the
+        next segment of the stream can move the estimate; ``forget=1``
+        keeps full confidence.
+        """
+        if not 0.0 < forget <= 1.0:
+            raise ValueError("forget must be in (0, 1]")
+        self.priors = DistortionModelPriors(
+            mu0=self._state.mu_mean,
+            tau0=max(self._state.tau * forget, 1e-6),
+            phi_shape=max(self._state.phi_shape * forget, 1e-3),
+            phi_rate=max(self._state.phi_rate * forget, 1e-6),
+            z_precision=self.priors.z_precision,
+        )
+
+    def elbo(self, xs: Sequence[float], z_prior_means: Sequence[float] | None = None) -> float:
+        """ELBO of the current globals against a held-out minibatch.
+
+        Useful for monitoring; not used by the update itself (updates are
+        natural-gradient steps, which maximise the same objective).
+        """
+        from repro.vi.meanfield import _elbo
+
+        xs = [float(x) for x in xs]
+        if z_prior_means is None:
+            z_prior_means = [1.0] * len(xs)
+        q_z = self.local_step(xs, z_prior_means)
+        return _elbo(xs, z_prior_means, self.priors, self.q_mu, self.q_phi, q_z)

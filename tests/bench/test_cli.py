@@ -1,0 +1,29 @@
+"""Tests for the ``python -m repro.bench`` entry point."""
+
+import pytest
+
+from repro.bench.__main__ import _FIGURES, main
+
+
+class TestCli:
+    def test_figure_registry_covers_all_benchmarks(self):
+        assert set(_FIGURES) == {"fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
+
+    def test_runs_one_figure(self, capsys):
+        rc = main(["fig6", "--scale", "0.05"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fig6" in out
+        assert "PECJ-aema" in out
+        assert "WMJ" in out
+
+    def test_full_keyword_scale(self):
+        # Argument parsing only: 'full' resolves to 1.0 (not executed here).
+        import argparse
+
+        with pytest.raises(SystemExit):
+            main(["not-a-figure"])
+
+    def test_scale_must_be_float(self):
+        with pytest.raises(ValueError):
+            main(["fig6", "--scale", "tiny"])

@@ -1,0 +1,124 @@
+"""Smoke + shape tests for the per-figure experiment functions.
+
+These run heavily scaled-down versions of every experiment and assert the
+*comparative shapes* the paper reports (who wins, what escalates) rather
+than absolute numbers.  The benchmark suite runs the full versions.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    fig6_end_to_end,
+    fig8_workload_sensitivity,
+    fig10_integrated,
+    fig11_scaling,
+    run_standalone,
+)
+from repro.bench.workloads import micro_spec
+
+
+def by(rows, **filters):
+    out = [r for r in rows if all(r.get(k) == v for k, v in filters.items())]
+    assert out, f"no rows matching {filters}"
+    return out
+
+
+@pytest.fixture(scope="module")
+def fig6_rows():
+    return fig6_end_to_end(scale=0.12)
+
+
+class TestRunStandalone:
+    def test_row_schema(self):
+        spec = micro_spec(duration_ms=900.0, warmup_ms=200.0)
+        row = run_standalone(spec, "wmj")
+        assert set(row) >= {"workload", "method", "omega_ms", "error", "p95_latency_ms"}
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            run_standalone(micro_spec(), "sort-merge")
+
+
+class TestFig6Shapes:
+    def test_pecj_beats_baselines_at_every_omega(self, fig6_rows):
+        for omega in (7.0, 10.0, 12.0):
+            wmj = by(fig6_rows, workload="Q1", method="WMJ", omega_ms=omega)[0]
+            pecj = by(fig6_rows, workload="Q1", method="PECJ-aema", omega_ms=omega)[0]
+            assert pecj["error"] < 0.5 * wmj["error"]
+
+    def test_latency_similar_across_methods(self, fig6_rows):
+        for omega in (7.0, 12.0):
+            rows = [r for r in fig6_rows if r["workload"] == "Q1" and r["omega_ms"] == omega]
+            lats = [r["p95_latency_ms"] for r in rows]
+            assert max(lats) - min(lats) < 0.5
+
+    def test_baseline_error_decreases_with_omega(self, fig6_rows):
+        errs = [
+            by(fig6_rows, workload="Q2", method="WMJ", omega_ms=o)[0]["error"]
+            for o in (7.0, 10.0, 12.0)
+        ]
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_wmj_and_ksj_align(self, fig6_rows):
+        for omega in (7.0, 10.0, 12.0):
+            wmj = by(fig6_rows, workload="Q1", method="WMJ", omega_ms=omega)[0]
+            ksj = by(fig6_rows, workload="Q1", method="KSJ", omega_ms=omega)[0]
+            assert wmj["error"] == pytest.approx(ksj["error"], rel=0.05)
+
+
+class TestFig8Shapes:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig8_workload_sensitivity(scale=0.12)
+
+    def test_pecj_wins_across_key_counts(self, rows):
+        for r in by(rows, sweep="keys", method="PECJ-aema"):
+            wmj = by(rows, sweep="keys", method="WMJ", num_keys=r["num_keys"])[0]
+            assert r["error"] < wmj["error"]
+
+    def test_ksj_overloads_at_high_rate(self, rows):
+        ksj_200 = by(rows, sweep="rate", method="KSJ", rate_ktps=200.0)[0]
+        wmj_200 = by(rows, sweep="rate", method="WMJ", rate_ktps=200.0)[0]
+        assert ksj_200["error"] > wmj_200["error"] * 1.2
+        assert ksj_200["p95_latency_ms"] > wmj_200["p95_latency_ms"] * 1.3
+
+
+class TestFig10Shapes:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig10_integrated(scale=0.12)
+
+    def test_integration_reduces_error_on_every_dataset(self, rows):
+        for dataset in ("stock", "rovio", "logistics", "retail"):
+            prj = by(rows, dataset=dataset, method="PRJ")[0]
+            pecj = by(rows, dataset=dataset, method="PECJ-PRJ")[0]
+            assert pecj["error"] < 0.7 * prj["error"]
+
+    def test_latency_preserved(self, rows):
+        for dataset in ("stock", "retail"):
+            shj = by(rows, dataset=dataset, method="SHJ")[0]
+            pecj = by(rows, dataset=dataset, method="PECJ-SHJ")[0]
+            assert pecj["p95_latency_ms"] < shj["p95_latency_ms"] * 1.3 + 1.0
+
+
+class TestFig11Shapes:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig11_scaling(scale=0.5, thread_counts=(2, 8, 24))
+
+    def test_prj_throughput_scales_up(self, rows):
+        t2 = by(rows, method="PRJ", threads=2)[0]["throughput_ktps"]
+        t24 = by(rows, method="PRJ", threads=24)[0]["throughput_ktps"]
+        assert t24 > t2
+
+    def test_lazy_beats_eager_at_low_threads(self, rows):
+        prj = by(rows, method="PRJ", threads=2)[0]
+        shj = by(rows, method="SHJ", threads=2)[0]
+        assert prj["p95_latency_ms"] < shj["p95_latency_ms"]
+        assert prj["throughput_ktps"] > shj["throughput_ktps"]
+
+    def test_pecj_prj_error_stays_low_under_load(self, rows):
+        for threads in (2, 8, 24):
+            pecj = by(rows, method="PECJ-PRJ", threads=threads)[0]
+            base = by(rows, method="PRJ", threads=threads)[0]
+            assert pecj["error"] < 0.3 * base["error"]

@@ -1,0 +1,49 @@
+"""Tests for benchmark table formatting."""
+
+from repro.bench.reporting import format_table, format_value, pivot
+
+
+class TestFormatValue:
+    def test_float_rendering(self):
+        assert format_value(0.0) == "0"
+        assert format_value(0.123456) == "0.123"
+        assert format_value(12.34) == "12.3"
+        assert format_value(1234.5) == "1,234"
+
+    def test_non_float_passthrough(self):
+        assert format_value("abc") == "abc"
+        assert format_value(7) == "7"
+
+
+class TestFormatTable:
+    ROWS = [
+        {"method": "WMJ", "error": 0.43},
+        {"method": "PECJ", "error": 0.03},
+    ]
+
+    def test_contains_all_cells(self):
+        text = format_table(self.ROWS, title="t")
+        assert "WMJ" in text and "PECJ" in text and "0.430" in text
+
+    def test_column_selection(self):
+        text = format_table(self.ROWS, columns=["method"])
+        assert "error" not in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_alignment(self):
+        lines = format_table(self.ROWS).splitlines()
+        assert len({len(line) for line in lines[:2]}) == 1
+
+
+class TestPivot:
+    def test_reshapes_series(self):
+        rows = [
+            {"omega": 7, "method": "WMJ", "error": 0.8},
+            {"omega": 7, "method": "PECJ", "error": 0.1},
+            {"omega": 10, "method": "WMJ", "error": 0.4},
+        ]
+        out = pivot(rows, index="omega", series="method", value="error")
+        assert out[0] == {"omega": 7, "WMJ": 0.8, "PECJ": 0.1}
+        assert out[1] == {"omega": 10, "WMJ": 0.4}

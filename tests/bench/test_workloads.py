@@ -1,0 +1,58 @@
+"""Tests for workload specifications."""
+
+import pytest
+
+from repro.bench.workloads import (
+    correlated_delay_for,
+    micro_spec,
+    q1_spec,
+    q2_spec,
+    q3_spec,
+)
+from repro.joins.arrays import AggKind
+
+
+class TestSpecs:
+    def test_q1_defaults_match_paper(self):
+        spec = q1_spec()
+        assert spec.agg is AggKind.COUNT
+        assert spec.window_ms == 10.0
+        assert spec.delay.max_delay == 5.0
+        assert spec.rate_r == 100.0  # 100 Ktuples/s
+
+    def test_q2_is_sum(self):
+        assert q2_spec().agg is AggKind.SUM
+
+    def test_q3_has_large_delta(self):
+        spec = q3_spec()
+        assert spec.delay.max_delay == 1000.0
+        assert spec.omega_ms == 300.0
+
+    def test_micro_spec_parameterisation(self):
+        spec = micro_spec(num_keys=500, rate=20.0)
+        assert spec.dataset.num_keys == 500
+        assert spec.rate_s == 20.0
+
+    def test_scaled_preserves_warmup(self):
+        spec = q1_spec()
+        small = spec.scaled(0.25)
+        assert small.warmup_ms == spec.warmup_ms
+        assert small.duration_ms < spec.duration_ms
+        assert spec.scaled(1.0).duration_ms == spec.duration_ms
+
+    def test_scaled_floors_at_minimum_windows(self):
+        tiny = q1_spec().scaled(1e-6)
+        assert tiny.duration_ms >= tiny.warmup_ms + 10 * tiny.window_ms
+
+    def test_build_produces_expected_volume(self):
+        spec = micro_spec(rate=20.0, duration_ms=600.0, warmup_ms=100.0)
+        arrays = spec.build()
+        assert len(arrays) == pytest.approx(2 * 20.0 * 600.0, rel=0.1)
+
+    def test_warmup_windows(self):
+        assert q1_spec(warmup_ms=500.0).warmup_windows == 50
+
+    def test_correlated_delay_scales_with_delta(self):
+        d = correlated_delay_for(300.0)
+        assert d.max_delay == 300.0
+        assert d.base_mean == 75.0

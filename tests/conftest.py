@@ -1,0 +1,56 @@
+"""Shared fixtures: small deterministic workloads reused across tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.joins.arrays import BatchArrays
+from repro.streams.datasets import make_dataset
+from repro.streams.disorder import UniformDelay
+from repro.streams.sources import make_disordered_arrays
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_micro_arrays() -> BatchArrays:
+    """A 1.2s micro stream at 2x50 tuples/ms with Delta = 5ms."""
+    return make_disordered_arrays(
+        make_dataset("micro", num_keys=10),
+        UniformDelay(5.0),
+        duration_ms=1200.0,
+        rate_r=50.0,
+        rate_s=50.0,
+        seed=77,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_stock_arrays() -> BatchArrays:
+    """A 1.2s stock stream at 2x50 tuples/ms with Delta = 5ms."""
+    return make_disordered_arrays(
+        make_dataset("stock"),
+        UniformDelay(5.0),
+        duration_ms=1200.0,
+        rate_r=50.0,
+        rate_s=50.0,
+        seed=78,
+    )
+
+
+def fresh_micro_arrays(seed: int = 77, **kwargs) -> BatchArrays:
+    """A mutable copy-equivalent of the micro fixture (operators write
+    completion times in place, so mutation-sensitive tests build fresh)."""
+    params = dict(
+        duration_ms=1200.0,
+        rate_r=50.0,
+        rate_s=50.0,
+    )
+    params.update(kwargs)
+    return make_disordered_arrays(
+        make_dataset("micro", num_keys=10), UniformDelay(5.0), seed=seed, **params
+    )

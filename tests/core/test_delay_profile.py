@@ -1,0 +1,116 @@
+"""Tests for the online delay-distribution profile."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delay_profile import DelayProfile
+
+
+def warm_profile(delays, **kwargs):
+    p = DelayProfile(**kwargs)
+    p.update(np.asarray(delays, dtype=float))
+    return p
+
+
+class TestLearning:
+    def test_cold_profile_answers_optimistically(self):
+        p = DelayProfile(min_weight=50.0)
+        assert not p.is_warm
+        assert p.completeness(1.0) == 1.0
+
+    def test_learns_uniform_cdf(self):
+        rng = np.random.default_rng(0)
+        p = warm_profile(rng.uniform(0, 5.0, 20000))
+        assert p.completeness(2.5) == pytest.approx(0.5, abs=0.03)
+        assert p.completeness(5.0) == pytest.approx(1.0, abs=0.01)
+        assert p.completeness(0.0) == 0.0
+
+    def test_completeness_monotone_in_age(self):
+        rng = np.random.default_rng(1)
+        p = warm_profile(rng.exponential(3.0, 5000))
+        ages = np.linspace(0, 30, 50)
+        values = [p.completeness(a) for a in ages]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_vectorised_matches_scalar(self):
+        rng = np.random.default_rng(2)
+        p = warm_profile(rng.exponential(3.0, 5000))
+        ages = np.array([0.0, 0.5, 2.0, 7.7, 100.0])
+        many = p.completeness_many(ages)
+        for a, m in zip(ages, many):
+            assert m == pytest.approx(p.completeness(a), abs=1e-9)
+
+    def test_span_grows_to_cover_large_delays(self):
+        p = DelayProfile(initial_span=8.0)
+        p.update(np.array([100.0]))
+        assert p.completeness(200.0) == 1.0 or not p.is_warm
+        assert p.max_delay_seen == 100.0
+
+    def test_rejects_negative_delays(self):
+        p = DelayProfile()
+        with pytest.raises(ValueError):
+            p.update(np.array([-1.0]))
+
+    def test_forgetting_tracks_regime_change(self):
+        """After enough decay, old delays stop dominating the CDF."""
+        p = DelayProfile(decay=0.9, min_weight=10.0)
+        p.update(np.full(1000, 1.0))  # old: fast regime
+        for _ in range(100):
+            p.decay_step()
+            p.update(np.full(10, 50.0))  # new: slow regime
+        assert p.completeness(2.0) < 0.3
+
+
+class TestQueries:
+    def test_horizon_brackets_quantile(self):
+        rng = np.random.default_rng(3)
+        p = warm_profile(rng.uniform(0, 10.0, 20000))
+        assert p.horizon(0.5) == pytest.approx(5.0, abs=0.3)
+        assert p.horizon(0.999) >= 9.5
+
+    def test_quantile_age_inverts_completeness(self):
+        rng = np.random.default_rng(4)
+        p = warm_profile(rng.exponential(5.0, 20000))
+        for q in (0.25, 0.5, 0.75):
+            age = p.quantile_age(q)
+            assert p.completeness(age) == pytest.approx(q, abs=0.02)
+
+    def test_quantile_age_validates(self):
+        p = DelayProfile()
+        with pytest.raises(ValueError):
+            p.quantile_age(0.0)
+        with pytest.raises(ValueError):
+            p.horizon(1.5)
+
+    def test_cold_horizon_is_max_seen(self):
+        p = DelayProfile(min_weight=1e9)
+        p.update(np.array([3.0, 7.0]))
+        assert p.horizon() == 7.0
+
+    def test_rejects_tiny_bins(self):
+        with pytest.raises(ValueError):
+            DelayProfile(num_bins=4)
+        with pytest.raises(ValueError):
+            DelayProfile(decay=0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    delays=st.lists(st.floats(min_value=0, max_value=500), min_size=60, max_size=300),
+    age=st.floats(min_value=0, max_value=600),
+)
+def test_completeness_is_valid_probability(delays, age):
+    p = warm_profile(delays, min_weight=50.0)
+    c = p.completeness(age)
+    assert 0.0 <= c <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0.1, max_value=100), min_size=60, max_size=300))
+def test_horizon_covers_all_but_tail(delays):
+    p = warm_profile(delays, min_weight=50.0)
+    h = p.horizon(0.999)
+    below = np.mean(np.asarray(delays) <= h + 1e-9)
+    assert below >= 0.99

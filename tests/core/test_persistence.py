@@ -1,0 +1,142 @@
+"""Tests for PECJ state checkpoint/restore."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.delay_profile import DelayProfile
+from repro.core.estimators.aema import AEMAEstimator
+from repro.core.estimators.svi_backend import SVIEstimator
+from repro.core.persistence import (
+    checkpoint_pecj,
+    estimator_state,
+    profile_state,
+    restore_estimator,
+    restore_pecj,
+    restore_profile,
+)
+from repro.joins.arrays import AggKind
+from repro.streaming.operators import StreamingPECJ
+from repro.streams.datasets import make_dataset
+from repro.streams.disorder import UniformDelay
+from repro.streams.sources import make_disordered_pair
+
+
+class TestProfileRoundtrip:
+    def test_completeness_preserved(self):
+        rng = np.random.default_rng(0)
+        original = DelayProfile()
+        original.update(rng.exponential(3.0, 5000))
+        clone = DelayProfile()
+        restore_profile(clone, profile_state(original))
+        for age in (0.5, 2.0, 7.0, 20.0):
+            assert clone.completeness(age) == original.completeness(age)
+        assert clone.horizon() == original.horizon()
+
+    def test_json_serialisable(self):
+        p = DelayProfile()
+        p.update(np.array([1.0, 2.0]))
+        json.dumps(profile_state(p))  # must not raise
+
+    def test_bin_mismatch_rejected(self):
+        p = DelayProfile(num_bins=128)
+        q = DelayProfile(num_bins=64)
+        with pytest.raises(ValueError, match="bin count"):
+            restore_profile(q, profile_state(p))
+
+
+@pytest.mark.parametrize("factory", [AEMAEstimator, SVIEstimator], ids=["aema", "svi"])
+class TestEstimatorRoundtrip:
+    def test_estimates_preserved(self, factory):
+        rng = np.random.default_rng(1)
+        original = factory()
+        for x in rng.normal(25.0, 2.0, 300):
+            original.observe(float(x))
+        clone = factory()
+        restore_estimator(clone, estimator_state(original))
+        assert clone.estimate() == pytest.approx(original.estimate())
+        assert clone.credible_interval() == pytest.approx(original.credible_interval())
+        assert clone.blend([30.0], [1.0]) == pytest.approx(original.blend([30.0], [1.0]))
+
+    def test_kind_mismatch_rejected(self, factory):
+        original = factory()
+        original.observe(1.0)
+        snapshot = estimator_state(original)
+        snapshot["kind"] = "bogus"
+        with pytest.raises(ValueError):
+            restore_estimator(factory(), snapshot)
+
+    def test_json_serialisable(self, factory):
+        est = factory()
+        est.observe(5.0)
+        json.dumps(estimator_state(est))
+
+
+class TestOperatorCheckpoint:
+    def _stream(self):
+        merged, _, _ = make_disordered_pair(
+            make_dataset("micro", num_keys=10),
+            UniformDelay(5.0),
+            900.0,
+            40.0,
+            40.0,
+            seed=7,
+        )
+        return merged.in_arrival_order()
+
+    def test_restored_operator_resumes_warm(self):
+        """A fresh operator restored from a checkpoint skips the cold
+        start: its first emissions already compensate."""
+        tuples = self._stream()
+        donor = StreamingPECJ(10.0, 10.0, AggKind.COUNT, backend="aema")
+        for t in tuples:
+            donor.push(t)
+        donor.finish()
+
+        snapshot = json.loads(json.dumps(checkpoint_pecj(donor)))
+        cold = StreamingPECJ(10.0, 10.0, AggKind.COUNT, backend="aema")
+        warm = StreamingPECJ(10.0, 10.0, AggKind.COUNT, backend="aema")
+        restore_pecj(warm, snapshot)
+
+        assert warm.profile.is_warm
+        assert warm.rate_r.is_warm
+        assert warm.rate_r.estimate() == pytest.approx(donor.rate_r.estimate())
+        assert not cold.rate_r.is_warm
+
+    def test_restore_into_batch_operator(self):
+        from repro.core.pecj import PECJoin
+        from repro.streams.sources import make_disordered_arrays
+
+        arrays = make_disordered_arrays(
+            make_dataset("micro", num_keys=10), UniformDelay(5.0), 300.0, 40.0, 40.0, seed=7
+        )
+        donor = StreamingPECJ(10.0, 10.0, AggKind.COUNT, backend="aema")
+        for t in self._stream():
+            donor.push(t)
+        batch_op = PECJoin(AggKind.COUNT, backend="aema")
+        batch_op.prepare(arrays, 10.0, 10.0)
+        restore_pecj(batch_op, checkpoint_pecj(donor))
+        assert batch_op.rate_r.estimate() == pytest.approx(donor.rate_r.estimate())
+
+    def test_mlp_checkpoint_roundtrip(self):
+        from repro.core.estimators.mlp_backend import MLPEstimator
+
+        rng = np.random.default_rng(2)
+        original = MLPEstimator(seed=0)
+        for x in rng.normal(10.0, 1.0, 40):
+            original.observe(float(x))
+        original.set_context((0.8, 1.1, 1.0, 0.9))
+        original.blend([9.0], [1.0], tag=1)
+        original.feedback(1, 10.5)
+        original.feedback_completeness(1, 1.2)
+
+        snapshot = json.loads(json.dumps(estimator_state(original)))
+        clone = MLPEstimator(seed=0)
+        restore_estimator(clone, snapshot)
+        clone.set_context((0.8, 1.1, 1.0, 0.9))
+        original.set_context((0.8, 1.1, 1.0, 0.9))
+        assert clone.estimate() == pytest.approx(original.estimate())
+        assert clone.completeness_factor() == pytest.approx(
+            original.completeness_factor()
+        )

@@ -1,0 +1,49 @@
+"""Tests for the engine cost model's monotonicity properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.cost_model import EngineCostModel
+
+MODEL = EngineCostModel()
+
+
+class TestPrjBatch:
+    def test_zero_tuples_is_free(self):
+        assert MODEL.prj_batch_ms(0, 8) == 0.0
+
+    def test_more_threads_is_faster(self):
+        slow = MODEL.prj_batch_ms(100_000, 1)
+        fast = MODEL.prj_batch_ms(100_000, 16)
+        assert fast < slow
+
+    def test_speedup_is_sublinear(self):
+        """Parallel efficiency < 1: doubling threads less than halves time."""
+        t8 = MODEL.prj_batch_ms(1_000_000, 8) - MODEL.prj_sync_ms * (1 + 0.04 * 8)
+        t16 = MODEL.prj_batch_ms(1_000_000, 16) - MODEL.prj_sync_ms * (1 + 0.04 * 16)
+        assert t16 > t8 / 2
+
+    @given(n=st.integers(min_value=1, max_value=10**7), t=st.integers(min_value=1, max_value=64))
+    def test_always_positive(self, n, t):
+        assert MODEL.prj_batch_ms(n, t) > 0
+
+
+class TestShjTuple:
+    def test_thrashing_grows_with_threads(self):
+        assert MODEL.shj_tuple_ms(24, False) > MODEL.shj_tuple_ms(1, False)
+
+    def test_pecj_observation_adds_cost(self):
+        assert MODEL.shj_tuple_ms(8, True) > MODEL.shj_tuple_ms(8, False)
+
+    def test_eager_tuple_costs_more_than_lazy_amortised(self):
+        """The core of Fig. 11: SHJ pays more per tuple than PRJ."""
+        prj_per_tuple = MODEL.prj_batch_ms(1_000_000, 1) / 1_000_000
+        assert MODEL.shj_tuple_ms(1, False) > prj_per_tuple
+
+
+def test_pecj_extra_scales_with_tuples():
+    assert MODEL.prj_pecj_extra_ms(2000, 8) == pytest.approx(
+        2 * MODEL.prj_pecj_extra_ms(1000, 8)
+    )
+    assert MODEL.prj_pecj_extra_ms(0, 8) == 0.0

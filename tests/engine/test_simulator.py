@@ -1,0 +1,162 @@
+"""Tests for the multi-threaded engine simulation."""
+
+import numpy as np
+import pytest
+
+from repro.engine.simulator import EngineResult, ParallelJoinEngine
+from repro.joins.arrays import AggKind
+from repro.streams.datasets import make_dataset
+from repro.streams.disorder import UniformDelay
+from repro.streams.sources import make_disordered_arrays
+
+
+@pytest.fixture(scope="module")
+def arrays():
+    """Moderate-rate stream shared by engine tests."""
+    return make_disordered_arrays(
+        make_dataset("micro", num_keys=10),
+        UniformDelay(5.0),
+        duration_ms=1500.0,
+        rate_r=100.0,
+        rate_s=100.0,
+        seed=21,
+    )
+
+
+def run_engine(arrays, algorithm, pecj=False, threads=8, **kwargs):
+    engine = ParallelJoinEngine(
+        algorithm, threads=threads, agg=AggKind.COUNT, pecj=pecj, omega=10.0, **kwargs
+    )
+    return engine.run(arrays, t_start=100.0, t_end=1450.0, warmup_windows=40)
+
+
+class TestValidation:
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            ParallelJoinEngine("sort-merge")
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            ParallelJoinEngine("prj", threads=0)
+
+    def test_names(self):
+        assert ParallelJoinEngine("prj").name == "PRJ"
+        assert ParallelJoinEngine("shj", pecj=True).name == "PECJ-SHJ"
+
+
+class TestBaselines:
+    def test_baselines_share_error_level(self, arrays):
+        """Same in-order completeness assumption => similar error."""
+        prj = run_engine(arrays, "prj")
+        shj = run_engine(arrays, "shj")
+        assert prj.mean_error == pytest.approx(shj.mean_error, rel=0.05)
+        assert prj.mean_error > 0.2  # disorder hurts them
+
+    def test_errors_are_undercounts(self, arrays):
+        prj = run_engine(arrays, "prj")
+        assert all(r.value <= r.expected for r in prj.records)
+
+
+class TestPecjIntegration:
+    def test_pecj_slashes_error_at_similar_latency(self, arrays):
+        for algorithm in ("prj", "shj"):
+            base = run_engine(arrays, algorithm)
+            integrated = run_engine(arrays, algorithm, pecj=True)
+            assert integrated.mean_error < 0.35 * base.mean_error
+            assert integrated.p95_latency < base.p95_latency * 1.3 + 1.0
+
+    def test_pecj_shj_beats_pecj_prj_accuracy(self, arrays):
+        """Per-tuple observations beat batch-granular ones (Fig. 10)."""
+        prj = run_engine(arrays, "prj", pecj=True)
+        shj = run_engine(arrays, "shj", pecj=True)
+        assert shj.mean_error <= prj.mean_error * 1.1
+
+
+@pytest.fixture(scope="module")
+def heavy_arrays():
+    """1600 Ktuples/s per stream — the Fig. 11 load regime."""
+    return make_disordered_arrays(
+        make_dataset("micro", num_keys=10),
+        UniformDelay(5.0),
+        duration_ms=400.0,
+        rate_r=1600.0,
+        rate_s=1600.0,
+        seed=22,
+    )
+
+
+def run_heavy(arrays, algorithm, threads):
+    engine = ParallelJoinEngine(
+        algorithm, threads=threads, agg=AggKind.COUNT, omega=10.0
+    )
+    return engine.run(arrays, t_start=100.0, t_end=380.0, warmup_windows=5)
+
+
+class TestScaling:
+    def test_prj_latency_decreases_with_threads_under_load(self, heavy_arrays):
+        lat = {
+            t: run_heavy(heavy_arrays, "prj", t).p95_latency for t in (1, 8, 24)
+        }
+        assert lat[24] < lat[8] < lat[1]
+
+    def test_shj_latency_explodes_when_overloaded(self, heavy_arrays):
+        few = run_heavy(heavy_arrays, "shj", 2)
+        many = run_heavy(heavy_arrays, "shj", 24)
+        assert few.p95_latency > 5 * many.p95_latency
+
+    def test_throughput_saturates_at_input_rate(self, arrays):
+        res = run_engine(arrays, "prj", threads=16)
+        # 2 x 100 Ktuples/s input; reported throughput cannot exceed it
+        # by more than bookkeeping noise.
+        assert res.throughput_ktps < 230.0
+        assert res.throughput_ktps > 150.0
+
+
+class TestEngineResult:
+    def test_empty_result_safe(self):
+        res = EngineResult("PRJ", 8)
+        assert res.mean_error == 0.0
+        assert res.throughput_ktps == 0.0
+
+    def test_summary_keys(self, arrays):
+        res = run_engine(arrays, "prj")
+        assert set(res.summary()) == {
+            "mean_error",
+            "p95_latency_ms",
+            "throughput_ktps",
+            "windows",
+        }
+
+
+class TestEagerVariants:
+    """Handshake Join and SplitJoin — the related-work dataflow designs."""
+
+    def test_algorithms_accepted(self, arrays):
+        for alg in ("hsj", "spj"):
+            res = run_engine(arrays, alg)
+            assert res.records
+
+    def test_error_matches_other_baselines(self, arrays):
+        """All in-order-assuming baselines share the completeness error."""
+        shj = run_engine(arrays, "shj")
+        for alg in ("hsj", "spj"):
+            res = run_engine(arrays, alg)
+            assert res.mean_error == pytest.approx(shj.mean_error, rel=0.05)
+
+    def test_handshake_latency_grows_with_pipeline_length(self, heavy_arrays):
+        few = run_heavy(heavy_arrays, "hsj", 8)
+        many = run_heavy(heavy_arrays, "hsj", 24)
+        assert many.p95_latency > few.p95_latency
+
+    def test_splitjoin_scales_past_shj(self, heavy_arrays):
+        """SplitJoin's independent sub-joins avoid SHJ's thrashing: at a
+        thread count where SHJ still queues, SplitJoin keeps up."""
+        shj = run_heavy(heavy_arrays, "shj", 8)
+        spj = run_heavy(heavy_arrays, "spj", 8)
+        assert spj.p95_latency < 0.5 * shj.p95_latency
+
+    def test_pecj_integrates_with_variants(self, arrays):
+        for alg in ("hsj", "spj"):
+            base = run_engine(arrays, alg)
+            pecj = run_engine(arrays, alg, pecj=True)
+            assert pecj.mean_error < 0.35 * base.mean_error

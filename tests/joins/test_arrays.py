@@ -1,0 +1,152 @@
+"""Tests for columnar batches and windowed join aggregation.
+
+The aggregates are verified against a brute-force nested-loop join —
+the ground-truth definition of ``R join_W S`` from the paper.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins.arrays import AggKind, BatchArrays, WindowAggregate
+from repro.streams.tuples import Side, StreamBatch, StreamTuple
+
+
+def brute_force(keys_r, pay_r, keys_s):
+    """Nested-loop reference: (match count, sum of joined R payloads)."""
+    matches = 0
+    sum_r = 0.0
+    for kr, vr in zip(keys_r, pay_r):
+        for ks in keys_s:
+            if kr == ks:
+                matches += 1
+                sum_r += vr
+    return matches, sum_r
+
+
+def make_arrays(rows):
+    """rows: list of (event, arrival, key, payload, is_r)."""
+    event, arrival, key, payload, is_r = (np.array(c) for c in zip(*rows))
+    return BatchArrays(event, arrival, key.astype(np.int64), payload, is_r.astype(bool))
+
+
+class TestWindowAggregate:
+    def test_selectivity_definition(self):
+        agg = WindowAggregate(n_r=10, n_s=5, matches=2.0, sum_r=6.0)
+        assert agg.selectivity == pytest.approx(2 / 50)
+
+    def test_alpha_r_is_mean_joined_payload(self):
+        agg = WindowAggregate(n_r=10, n_s=5, matches=4.0, sum_r=20.0)
+        assert agg.alpha_r == 5.0
+
+    def test_degenerate_cases(self):
+        empty = WindowAggregate(0, 0, 0.0, 0.0)
+        assert empty.selectivity == 0.0
+        assert empty.alpha_r == 0.0
+        assert empty.value(AggKind.AVG) == 0.0
+
+    def test_value_dispatch(self):
+        agg = WindowAggregate(2, 2, 3.0, 12.0)
+        assert agg.value(AggKind.COUNT) == 3.0
+        assert agg.value(AggKind.SUM) == 12.0
+        assert agg.value(AggKind.AVG) == 4.0
+
+
+class TestBatchArrays:
+    def test_from_batch_roundtrip(self):
+        batch = StreamBatch(
+            [
+                StreamTuple(1, 2.0, 5.0, 6.0, Side.R, 0),
+                StreamTuple(1, 3.0, 1.0, 4.0, Side.S, 0),
+            ]
+        )
+        arrays = BatchArrays.from_batch(batch)
+        assert len(arrays) == 2
+        # Event-sorted: the S tuple (event 1.0) comes first.
+        assert not arrays.is_r[0]
+        assert arrays.event[0] == 1.0
+
+    def test_window_slice_half_open(self):
+        arrays = make_arrays(
+            [(0.0, 0, 1, 1.0, True), (9.99, 9.99, 1, 1.0, True), (10.0, 10, 1, 1.0, True)]
+        )
+        sl = arrays.window_slice(0.0, 10.0)
+        assert sl.stop - sl.start == 2
+
+    def test_oracle_aggregate_matches_brute_force(self):
+        arrays = make_arrays(
+            [
+                (1.0, 1.0, 7, 2.0, True),
+                (2.0, 2.0, 7, 3.0, True),
+                (3.0, 3.0, 7, 0.0, False),
+                (4.0, 4.0, 8, 1.0, False),
+                (5.0, 5.0, 8, 4.0, True),
+            ]
+        )
+        agg = arrays.aggregate(0.0, 10.0, None)
+        # key 7: 2 R x 1 S -> 2 matches, payload 2+3; key 8: 1 R x 1 S.
+        assert agg.matches == 3
+        assert agg.sum_r == pytest.approx(2 + 3 + 4)
+
+    def test_availability_filters_by_completion(self):
+        arrays = make_arrays(
+            [(1.0, 1.0, 7, 2.0, True), (2.0, 9.0, 7, 1.0, False)]
+        )
+        # Late S tuple not yet completed -> no matches observable.
+        assert arrays.aggregate(0.0, 10.0, 5.0).matches == 0
+        assert arrays.aggregate(0.0, 10.0, 9.5).matches == 1
+
+    def test_arrival_clock(self):
+        arrays = make_arrays([(1.0, 3.0, 7, 2.0, True), (2.0, 2.0, 7, 1.0, False)])
+        arrays.completion[...] = 100.0  # processed much later
+        agg = arrays.aggregate(0.0, 10.0, 5.0, clock="arrival")
+        assert agg.matches == 1
+        with pytest.raises(ValueError):
+            arrays.aggregate(0.0, 10.0, 5.0, clock="bogus")
+
+    def test_side_count(self):
+        arrays = make_arrays(
+            [(1.0, 1.0, 0, 1.0, True), (2.0, 2.0, 0, 1.0, False), (3.0, 3.0, 0, 1.0, True)]
+        )
+        assert arrays.side_count(0.0, 10.0, want_r=True) == 2
+        assert arrays.side_count(0.0, 10.0, want_r=False) == 1
+        assert arrays.side_count(0.0, 10.0, want_r=True, available_by=1.5) == 1
+
+    def test_arrivals_in_window(self):
+        arrays = make_arrays([(1.0, 2.0, 0, 1.0, True), (3.0, 8.0, 0, 1.0, False)])
+        got = arrays.arrivals_in_window(0.0, 10.0, 5.0)
+        assert list(got) == [2.0]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=99.99),  # event
+            st.floats(min_value=0, max_value=20),  # extra delay
+            st.integers(min_value=0, max_value=4),  # key
+            st.floats(min_value=-10, max_value=10),  # payload
+            st.booleans(),  # is_r
+        ),
+        min_size=0,
+        max_size=60,
+    ),
+    cutoff=st.floats(min_value=0, max_value=130),
+)
+def test_aggregate_matches_brute_force_property(data, cutoff):
+    """Vectorised windowed join == nested-loop join on the same subset."""
+    rows = [(e, e + d, k, p, r) for (e, d, k, p, r) in data]
+    arrays = make_arrays(rows) if rows else BatchArrays(
+        np.empty(0), np.empty(0), np.empty(0, dtype=np.int64), np.empty(0), np.empty(0, dtype=bool)
+    )
+    agg = arrays.aggregate(0.0, 100.0, cutoff)
+    visible = [(e, a, k, p, r) for (e, a, k, p, r) in rows if 0 <= e < 100 and a <= cutoff]
+    keys_r = [k for (_, _, k, _, r) in visible if r]
+    pay_r = [p for (_, _, _, p, r) in visible if r]
+    keys_s = [k for (_, _, k, _, r) in visible if not r]
+    matches, sum_r = brute_force(keys_r, pay_r, keys_s)
+    assert agg.n_r == len(keys_r)
+    assert agg.n_s == len(keys_s)
+    assert agg.matches == matches
+    assert agg.sum_r == pytest.approx(sum_r, abs=1e-9)

@@ -1,0 +1,58 @@
+"""Tests for the WMJ/KSJ baselines and the exact oracle."""
+
+import pytest
+
+from repro.joins.arrays import AggKind
+from repro.joins.baselines import ExactJoin, KSlackJoin, WatermarkJoin
+from repro.joins.runner import run_operator
+from tests.conftest import fresh_micro_arrays
+
+WLEN = 10.0
+
+
+def run(op, arrays, omega=10.0):
+    return run_operator(op, arrays, WLEN, omega, t_start=50.0, t_end=1150.0)
+
+
+class TestExactJoin:
+    def test_zero_error_by_construction(self):
+        res = run(ExactJoin(AggKind.COUNT), fresh_micro_arrays())
+        assert res.mean_error == 0.0
+
+    def test_latency_reflects_waiting_for_stragglers(self):
+        """The oracle waits for the last in-window arrival (up to Delta)."""
+        res = run(ExactJoin(AggKind.COUNT), fresh_micro_arrays(), omega=10.0)
+        assert res.p95_latency > 10.0  # window wait
+
+
+class TestBaselines:
+    def test_wmj_and_ksj_have_identical_data_completeness(self):
+        """Paper Section 6.3: same omega => same view => same error."""
+        r_w = run(WatermarkJoin(AggKind.COUNT), fresh_micro_arrays())
+        r_k = run(KSlackJoin(AggKind.COUNT), fresh_micro_arrays())
+        assert r_w.mean_error == pytest.approx(r_k.mean_error, rel=0.02)
+
+    @pytest.mark.parametrize("agg", [AggKind.COUNT, AggKind.SUM])
+    def test_error_decreases_with_omega(self, agg):
+        errors = [
+            run(WatermarkJoin(agg), fresh_micro_arrays(), omega).mean_error
+            for omega in (7.0, 10.0, 12.0)
+        ]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_latency_increases_with_omega(self):
+        lats = [
+            run(WatermarkJoin(AggKind.COUNT), fresh_micro_arrays(), omega).p95_latency
+            for omega in (7.0, 10.0, 12.0)
+        ]
+        assert lats[0] < lats[1] < lats[2]
+
+    def test_error_approaches_zero_beyond_delta(self):
+        """omega >= |W| + Delta sees every tuple."""
+        res = run(WatermarkJoin(AggKind.COUNT), fresh_micro_arrays(), omega=16.0)
+        assert res.mean_error < 0.01
+
+    def test_undercounts_never_overcount(self):
+        """Baselines answer from a subset: COUNT output <= oracle."""
+        res = run(WatermarkJoin(AggKind.COUNT), fresh_micro_arrays())
+        assert all(rec.value <= rec.expected for rec in res.records)

@@ -1,0 +1,90 @@
+"""Tests for the standalone window-loop runner."""
+
+import pytest
+
+from repro.joins.arrays import AggKind
+from repro.joins.base import RunResult, WindowRecord
+from repro.joins.baselines import WatermarkJoin
+from repro.joins.pipeline import CostModel
+from repro.joins.runner import run_operator
+from repro.streams.windows import Window
+from tests.conftest import fresh_micro_arrays
+
+
+class TestRunOperator:
+    def test_windows_fully_inside_range(self):
+        arrays = fresh_micro_arrays()
+        res = run_operator(
+            WatermarkJoin(AggKind.COUNT), arrays, 10.0, 10.0, t_start=55.0, t_end=205.0
+        )
+        assert res.records[0].window.start == 60.0
+        assert res.records[-1].window.end <= 205.0
+
+    def test_warmup_windows_excluded_from_metrics(self):
+        arrays = fresh_micro_arrays()
+        full = run_operator(
+            WatermarkJoin(AggKind.COUNT), arrays, 10.0, 10.0, t_start=50.0, t_end=550.0
+        )
+        warm = run_operator(
+            WatermarkJoin(AggKind.COUNT),
+            arrays,
+            10.0,
+            10.0,
+            t_start=50.0,
+            t_end=550.0,
+            warmup_windows=10,
+        )
+        assert warm.num_windows == full.num_windows - 10
+        assert len(warm.warmup_records) == 10
+
+    def test_rejects_nonpositive_omega(self):
+        with pytest.raises(ValueError):
+            run_operator(WatermarkJoin(AggKind.COUNT), fresh_micro_arrays(), 10.0, 0.0)
+
+    def test_emit_times_monotone_and_after_cutoff(self):
+        arrays = fresh_micro_arrays()
+        res = run_operator(
+            WatermarkJoin(AggKind.COUNT), arrays, 10.0, 8.0, t_start=50.0, t_end=450.0
+        )
+        emits = [r.emit_time for r in res.records]
+        assert all(b >= a for a, b in zip(emits, emits[1:]))
+        assert all(r.emit_time >= r.cutoff for r in res.records)
+
+    def test_latency_samples_nonnegative(self):
+        arrays = fresh_micro_arrays()
+        res = run_operator(
+            WatermarkJoin(AggKind.COUNT), arrays, 10.0, 10.0, t_start=50.0, t_end=450.0
+        )
+        assert res.latency.count > 0
+        assert min(res.latency.samples) >= 0.0
+
+    def test_custom_cost_model_emit_overhead(self):
+        arrays = fresh_micro_arrays()
+        cheap = run_operator(
+            WatermarkJoin(AggKind.COUNT), arrays, 10.0, 10.0, t_start=50.0,
+            t_end=250.0, cost_model=CostModel(emit_overhead=0.0),
+        )
+        dear = run_operator(
+            WatermarkJoin(AggKind.COUNT), arrays, 10.0, 10.0, t_start=50.0,
+            t_end=250.0, cost_model=CostModel(emit_overhead=5.0),
+        )
+        assert dear.p95_latency == pytest.approx(cheap.p95_latency + 5.0, abs=0.2)
+
+
+class TestRunResult:
+    def _record(self, error):
+        return WindowRecord(Window(0, 10), 1.0, 1.0, error, 10.0, 10.0, 5)
+
+    def test_mean_error(self):
+        res = RunResult("x", 10.0, records=[self._record(0.2), self._record(0.4)])
+        assert res.mean_error == pytest.approx(0.3)
+
+    def test_empty_result(self):
+        res = RunResult("x", 10.0)
+        assert res.mean_error == 0.0
+        assert res.p95_latency == 0.0
+
+    def test_summary_keys(self):
+        res = RunResult("x", 10.0, records=[self._record(0.1)])
+        summary = res.summary()
+        assert set(summary) == {"mean_error", "p95_latency_ms", "mean_latency_ms", "windows"}

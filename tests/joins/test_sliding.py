@@ -1,0 +1,100 @@
+"""Tests for the sliding-window adapter."""
+
+import numpy as np
+import pytest
+
+from repro.core.pecj import PECJoin
+from repro.joins.arrays import AggKind
+from repro.joins.baselines import WatermarkJoin
+from repro.joins.sliding import run_sliding_operator
+from tests.conftest import fresh_micro_arrays
+
+
+def run_sliding(factory, arrays, length=20.0, slide=5.0, omega=20.0, warmup=10):
+    return run_sliding_operator(
+        factory,
+        arrays,
+        window_length=length,
+        slide=slide,
+        omega=omega,
+        t_start=100.0,
+        t_end=1100.0,
+        warmup_windows=warmup,
+    )
+
+
+class TestValidation:
+    def test_rejects_non_divisible_slide(self):
+        with pytest.raises(ValueError, match="integer multiple"):
+            run_sliding_operator(
+                lambda o: WatermarkJoin(AggKind.COUNT),
+                fresh_micro_arrays(),
+                window_length=20.0,
+                slide=7.0,
+                omega=20.0,
+            )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            run_sliding_operator(
+                lambda o: WatermarkJoin(AggKind.COUNT),
+                fresh_micro_arrays(),
+                window_length=0.0,
+                slide=5.0,
+                omega=10.0,
+            )
+
+
+class TestCoverage:
+    def test_every_slide_start_is_covered_once(self):
+        res = run_sliding(
+            lambda o: WatermarkJoin(AggKind.COUNT), fresh_micro_arrays(), warmup=0
+        )
+        starts = [r.window.start for r in res.records]
+        assert starts == sorted(starts)
+        diffs = np.diff(starts)
+        assert np.allclose(diffs, 5.0)
+        assert len(set(starts)) == len(starts)
+
+    def test_windows_have_sliding_length(self):
+        res = run_sliding(
+            lambda o: WatermarkJoin(AggKind.COUNT), fresh_micro_arrays(), warmup=0
+        )
+        assert all(r.window.length == pytest.approx(20.0) for r in res.records)
+
+    def test_degenerates_to_tumbling_when_slide_equals_length(self):
+        res = run_sliding(
+            lambda o: WatermarkJoin(AggKind.COUNT),
+            fresh_micro_arrays(),
+            length=20.0,
+            slide=20.0,
+            warmup=0,
+        )
+        starts = [r.window.start for r in res.records]
+        assert np.allclose(np.diff(starts), 20.0)
+
+
+class TestAccuracy:
+    def test_sliding_pecj_beats_sliding_wmj(self):
+        arrays = fresh_micro_arrays()
+        wmj = run_sliding(lambda o: WatermarkJoin(AggKind.COUNT), arrays)
+        pecj = run_sliding(
+            lambda o: PECJoin(AggKind.COUNT, backend="aema", origin=o), arrays
+        )
+        assert wmj.mean_error > 0.05  # disorder hurts the baseline
+        assert pecj.mean_error < 0.5 * wmj.mean_error
+
+    def test_oracle_values_match_overlapping_windows(self):
+        """Adjacent sliding windows share 3/4 of their tuples; their
+        oracle counts must be consistent with that overlap."""
+        arrays = fresh_micro_arrays()
+        res = run_sliding(
+            lambda o: WatermarkJoin(AggKind.COUNT), arrays, omega=30.0, warmup=0
+        )
+        expected = {r.window.start: r.expected for r in res.records}
+        direct = {
+            s: arrays.aggregate(s, s + 20.0, None).value(AggKind.COUNT)
+            for s in list(expected)[:20]
+        }
+        for s, v in direct.items():
+            assert expected[s] == pytest.approx(v)

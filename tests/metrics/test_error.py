@@ -1,0 +1,67 @@
+"""Tests for the accuracy metrics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.error import mean_relative_error, relative_error, summarize_errors
+
+
+class TestRelativeError:
+    def test_paper_definition(self):
+        """epsilon = |O_opr - O_exp| / O_exp."""
+        assert relative_error(8.0, 10.0) == pytest.approx(0.2)
+        assert relative_error(12.0, 10.0) == pytest.approx(0.2)
+
+    def test_exact_answer(self):
+        assert relative_error(10.0, 10.0) == 0.0
+
+    def test_zero_expected_zero_observed(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_zero_expected_nonzero_observed(self):
+        assert math.isinf(relative_error(1.0, 0.0))
+
+    def test_negative_expected(self):
+        assert relative_error(-8.0, -10.0) == pytest.approx(0.2)
+
+    @given(
+        observed=st.floats(min_value=-1e6, max_value=1e6),
+        expected=st.floats(min_value=1e-3, max_value=1e6),
+    )
+    def test_nonnegative_property(self, observed, expected):
+        assert relative_error(observed, expected) >= 0.0
+
+    @given(expected=st.floats(min_value=1e-3, max_value=1e6))
+    def test_scale_invariance(self, expected):
+        """epsilon(kx, ky) == epsilon(x, y)."""
+        e1 = relative_error(0.8 * expected, expected)
+        e2 = relative_error(0.8 * expected * 7, expected * 7)
+        assert e1 == pytest.approx(e2)
+
+
+class TestMeanRelativeError:
+    def test_averages_pairs(self):
+        pairs = [(8.0, 10.0), (10.0, 10.0)]
+        assert mean_relative_error(pairs) == pytest.approx(0.1)
+
+    def test_empty(self):
+        assert mean_relative_error([]) == 0.0
+
+
+class TestSummarizeErrors:
+    def test_summary_fields(self):
+        s = summarize_errors([0.1, 0.2, 0.3, 0.4])
+        assert s["mean"] == pytest.approx(0.25)
+        assert s["median"] == pytest.approx(0.25)
+        assert s["max"] == 0.4
+        assert s["count"] == 4.0
+
+    def test_odd_median(self):
+        assert summarize_errors([0.1, 0.5, 0.9])["median"] == 0.5
+
+    def test_empty(self):
+        s = summarize_errors([])
+        assert s == {"mean": 0.0, "median": 0.0, "max": 0.0, "count": 0.0}

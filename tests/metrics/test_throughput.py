@@ -1,0 +1,19 @@
+"""Tests for the throughput metric."""
+
+import pytest
+
+from repro.metrics.throughput import throughput_ktuples_per_s
+
+
+def test_units():
+    """tuples/ms == Ktuples/s."""
+    assert throughput_ktuples_per_s(1000, 10.0) == pytest.approx(100.0)
+
+
+def test_zero_makespan():
+    assert throughput_ktuples_per_s(100, 0.0) == 0.0
+
+
+def test_scales_linearly():
+    base = throughput_ktuples_per_s(500, 25.0)
+    assert throughput_ktuples_per_s(1000, 25.0) == pytest.approx(2 * base)

@@ -1,0 +1,116 @@
+"""Tests for the neural-network layers, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Identity, ReLU, Sigmoid, Tanh
+
+
+def numerical_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f wrt array x."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = f()
+        x[idx] = orig - eps
+        lo = f()
+        x[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestDense:
+    def test_forward_shape_and_value(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(3, 2, rng)
+        layer.w[...] = np.arange(6).reshape(3, 2)
+        layer.b[...] = [1.0, -1.0]
+        x = np.array([[1.0, 0.0, 2.0]])
+        out = layer.forward(x)
+        assert out.shape == (1, 2)
+        assert out[0, 0] == pytest.approx(1 * 0 + 0 * 2 + 2 * 4 + 1)
+
+    def test_backward_weight_gradient_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(4, 3, rng)
+        x = rng.normal(size=(5, 4))
+
+        def loss():
+            return float((layer.forward(x) ** 2).sum())
+
+        loss()  # populate cache
+        grad_out = 2 * layer.forward(x)
+        layer.backward(grad_out)
+        num = numerical_grad(loss, layer.w)
+        assert np.allclose(layer.grad_w, num, atol=1e-4)
+
+    def test_backward_input_gradient_matches_numeric(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(3, 2, rng)
+        x = rng.normal(size=(2, 3))
+
+        def loss():
+            return float((layer.forward(x) ** 2).sum())
+
+        grad_out = 2 * layer.forward(x)
+        grad_in = layer.backward(grad_out)
+        num = numerical_grad(loss, x)
+        assert np.allclose(grad_in, num, atol=1e-4)
+
+    def test_backward_before_forward_raises(self):
+        layer = Dense(2, 2, np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_rejects_bad_sizes_and_init(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            Dense(0, 2, rng)
+        with pytest.raises(ValueError):
+            Dense(2, 2, rng, init="bogus")
+
+    def test_he_init_has_larger_scale(self):
+        rng1 = np.random.default_rng(3)
+        rng2 = np.random.default_rng(3)
+        he = Dense(100, 50, rng1, init="he")
+        xavier = Dense(100, 50, rng2, init="xavier")
+        assert he.w.std() > xavier.w.std()
+
+
+@pytest.mark.parametrize("activation", [ReLU, Tanh, Sigmoid, Identity])
+def test_activation_gradient_matches_numeric(activation):
+    rng = np.random.default_rng(4)
+    layer = activation()
+    # Avoid the ReLU kink at 0 for the finite-difference check.
+    x = rng.normal(size=(4, 3))
+    x[np.abs(x) < 1e-3] = 0.5
+
+    def loss():
+        return float((layer.forward(x) ** 2).sum())
+
+    grad_out = 2 * layer.forward(x)
+    grad_in = layer.backward(grad_out)
+    num = numerical_grad(loss, x)
+    assert np.allclose(grad_in, num, atol=1e-4)
+
+
+def test_relu_zeroes_negative():
+    out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+    assert list(out[0]) == [0.0, 0.0, 2.0]
+
+
+def test_sigmoid_bounded():
+    out = Sigmoid().forward(np.array([[-1000.0, 0.0, 1000.0]]))
+    assert out[0, 0] == pytest.approx(0.0, abs=1e-9)
+    assert out[0, 1] == pytest.approx(0.5)
+    assert out[0, 2] == pytest.approx(1.0, abs=1e-9)
+
+
+def test_activations_have_no_params():
+    for activation in (ReLU(), Tanh(), Sigmoid(), Identity()):
+        assert activation.params() == []
+        assert activation.grads() == []

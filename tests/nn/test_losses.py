@@ -1,0 +1,119 @@
+"""Tests for the loss functions (values + analytic gradients)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import (
+    bounded_elbo_loss,
+    elbo_from_outputs,
+    huber_loss,
+    mse_loss,
+    weighted_mse_loss,
+)
+
+
+def check_gradient(loss_fn, pred, eps=1e-6):
+    """Finite-difference check of d(loss)/d(pred)."""
+    _, grad = loss_fn(pred)
+    num = np.zeros_like(pred)
+    for idx in np.ndindex(pred.shape):
+        orig = pred[idx]
+        pred[idx] = orig + eps
+        hi, _ = loss_fn(pred)
+        pred[idx] = orig - eps
+        lo, _ = loss_fn(pred)
+        pred[idx] = orig
+        num[idx] = (hi - lo) / (2 * eps)
+    assert np.allclose(grad, num, atol=1e-5)
+
+
+class TestMSE:
+    def test_zero_at_perfect_prediction(self):
+        x = np.ones((3, 2))
+        value, grad = mse_loss(x, x.copy())
+        assert value == 0.0
+        assert np.all(grad == 0.0)
+
+    def test_value(self):
+        value, _ = mse_loss(np.array([[2.0]]), np.array([[0.0]]))
+        assert value == 4.0
+
+    def test_gradient_numeric(self):
+        rng = np.random.default_rng(0)
+        target = rng.normal(size=(4, 3))
+        pred = rng.normal(size=(4, 3))
+        check_gradient(lambda p: mse_loss(p, target), pred)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse_loss(np.zeros((1, 2)), np.zeros((2, 1)))
+
+
+class TestWeightedMSE:
+    def test_weights_change_emphasis(self):
+        loss = weighted_mse_loss(np.array([1.0, 0.0]))
+        value, grad = loss(np.array([[1.0, 1.0]]), np.array([[0.0, 0.0]]))
+        assert value == pytest.approx(0.5)
+        assert grad[0, 1] == 0.0
+
+    def test_gradient_numeric(self):
+        rng = np.random.default_rng(1)
+        loss = weighted_mse_loss(np.array([0.2, 3.0, 1.0]))
+        target = rng.normal(size=(4, 3))
+        pred = rng.normal(size=(4, 3))
+        check_gradient(lambda p: loss(p, target), pred)
+
+    def test_rejects_wrong_width(self):
+        loss = weighted_mse_loss(np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            loss(np.zeros((1, 3)), np.zeros((1, 3)))
+
+
+class TestHuber:
+    def test_quadratic_inside_delta(self):
+        value, _ = huber_loss(np.array([[0.5]]), np.array([[0.0]]), delta=1.0)
+        assert value == pytest.approx(0.125)
+
+    def test_linear_outside_delta(self):
+        value, _ = huber_loss(np.array([[3.0]]), np.array([[0.0]]), delta=1.0)
+        assert value == pytest.approx(2.5)
+
+    def test_gradient_numeric(self):
+        rng = np.random.default_rng(2)
+        target = rng.normal(size=(3, 2))
+        pred = rng.normal(size=(3, 2)) * 3
+        check_gradient(lambda p: huber_loss(p, target, delta=1.0), pred)
+
+
+class TestBoundedELBO:
+    def test_elbo_is_sum_of_first_seven(self):
+        out = np.arange(8.0)[None, :]
+        assert elbo_from_outputs(out)[0] == pytest.approx(sum(range(7)))
+
+    def test_requires_seven_dims(self):
+        with pytest.raises(ValueError):
+            elbo_from_outputs(np.zeros((1, 5)))
+
+    def test_loss_monotone_decreasing_in_elbo(self):
+        """-sigmoid(ELBO): higher ELBO => lower loss."""
+        low = np.zeros((1, 7))
+        high = np.ones((1, 7))
+        l_low, _ = bounded_elbo_loss(low)
+        l_high, _ = bounded_elbo_loss(high)
+        assert l_high < l_low
+
+    def test_loss_bounded(self):
+        huge = np.full((1, 7), 1e6)
+        tiny = np.full((1, 7), -1e6)
+        assert -1.0 <= bounded_elbo_loss(huge)[0] <= 0.0
+        assert -1.0 <= bounded_elbo_loss(tiny)[0] <= 0.0
+
+    def test_saturation_kills_gradient(self):
+        """Over-confident networks stop receiving ELBO pressure."""
+        _, grad = bounded_elbo_loss(np.full((1, 7), 100.0))
+        assert np.all(np.abs(grad) < 1e-9)
+
+    def test_gradient_numeric(self):
+        rng = np.random.default_rng(3)
+        pred = rng.normal(size=(2, 8))
+        check_gradient(bounded_elbo_loss, pred)

@@ -1,0 +1,80 @@
+"""Tests for the SGD and Adam optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import SGD, Adam
+
+
+def quadratic_setup(start=5.0):
+    """Minimise f(p) = (p - 2)^2 elementwise."""
+    p = np.full(3, start)
+    g = np.zeros(3)
+
+    def compute_grad():
+        g[...] = 2 * (p - 2.0)
+
+    return p, g, compute_grad
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda p, g: SGD([p], [g], lr=0.1),
+        lambda p, g: SGD([p], [g], lr=0.05, momentum=0.9),
+        lambda p, g: Adam([p], [g], lr=0.3),
+    ],
+    ids=["sgd", "sgd-momentum", "adam"],
+)
+def test_minimizes_quadratic(factory):
+    p, g, compute_grad = quadratic_setup()
+    opt = factory(p, g)
+    for _ in range(200):
+        compute_grad()
+        opt.step()
+    assert np.allclose(p, 2.0, atol=1e-2)
+
+
+def test_zero_grad_clears():
+    p, g, compute_grad = quadratic_setup()
+    opt = SGD([p], [g], lr=0.1)
+    compute_grad()
+    opt.zero_grad()
+    assert np.all(g == 0.0)
+
+
+def test_rejects_mismatched_lists():
+    with pytest.raises(ValueError):
+        SGD([np.zeros(2)], [], lr=0.1)
+
+
+def test_rejects_bad_lr_and_momentum():
+    p, g = np.zeros(2), np.zeros(2)
+    with pytest.raises(ValueError):
+        SGD([p], [g], lr=0.0)
+    with pytest.raises(ValueError):
+        SGD([p], [g], lr=0.1, momentum=1.0)
+    with pytest.raises(ValueError):
+        Adam([p], [g], lr=0.1, beta1=1.0)
+
+
+def test_adam_bias_correction_first_step():
+    """First Adam step size is ~lr regardless of gradient magnitude."""
+    p = np.array([0.0])
+    g = np.array([1e-4])
+    opt = Adam([p], [g], lr=0.1)
+    opt.step()
+    assert p[0] == pytest.approx(-0.1, rel=1e-3)
+
+
+def test_momentum_accelerates_along_consistent_gradient():
+    p1, g1, grad1 = quadratic_setup()
+    p2, g2, grad2 = quadratic_setup()
+    plain = SGD([p1], [g1], lr=0.01)
+    heavy = SGD([p2], [g2], lr=0.01, momentum=0.9)
+    for _ in range(10):
+        grad1()
+        plain.step()
+        grad2()
+        heavy.step()
+    assert abs(p2[0] - 2.0) < abs(p1[0] - 2.0)

@@ -1,0 +1,143 @@
+"""Tests for the push-based streaming operators."""
+
+import pytest
+
+from repro.joins.arrays import AggKind
+from repro.streaming.operators import StreamingKSJ, StreamingPECJ, StreamingWMJ
+from repro.streams.datasets import make_dataset
+from repro.streams.disorder import NoDisorder, UniformDelay
+from repro.streams.sources import make_disordered_pair
+from repro.streams.tuples import Side, StreamTuple
+
+
+def arrival_stream(delay=None, seed=5, duration=1200.0, rate=40.0):
+    merged, _, _ = make_disordered_pair(
+        make_dataset("micro", num_keys=10),
+        delay or UniformDelay(5.0),
+        duration,
+        rate,
+        rate,
+        seed=seed,
+    )
+    return merged.in_arrival_order()
+
+
+def drive(op, tuples):
+    emissions = []
+    for t in tuples:
+        emissions.extend(op.push(t))
+    emissions.extend(op.finish())
+    return emissions
+
+
+def steady_error(op, skip=30):
+    scored = op.scored[skip:]
+    assert scored
+    return sum(s.error for s in scored) / len(scored)
+
+
+class TestClockwork:
+    def test_emissions_in_window_order_at_cutoff(self):
+        op = StreamingWMJ(10.0, 10.0)
+        emissions = drive(op, arrival_stream())
+        starts = [e.window_start for e in emissions]
+        assert starts == sorted(starts)
+        for e in emissions:
+            assert e.emit_time == pytest.approx(e.window_start + 10.0)
+
+    def test_rejects_backwards_clock(self):
+        op = StreamingWMJ(10.0, 10.0)
+        op.push(StreamTuple(0, 1.0, 5.0, 8.0, Side.R))
+        with pytest.raises(ValueError, match="backwards"):
+            op.push(StreamTuple(0, 1.0, 5.0, 2.0, Side.R))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            StreamingWMJ(0.0, 10.0)
+        with pytest.raises(ValueError):
+            StreamingWMJ(10.0, -1.0)
+
+    def test_memory_is_bounded_by_eviction(self):
+        op = StreamingWMJ(10.0, 10.0)
+        peak = 0
+        for t in arrival_stream(duration=2000.0):
+            op.push(t)
+            peak = max(peak, op.live_windows)
+        # Horizon ~ Delta + |W|: only a couple of windows stay live.
+        assert peak <= 6
+
+    def test_every_emitted_window_is_eventually_scored(self):
+        op = StreamingWMJ(10.0, 10.0)
+        emissions = drive(op, arrival_stream())
+        assert len(op.scored) == len(emissions)
+
+    def test_in_order_stream_is_exact(self):
+        op = StreamingWMJ(10.0, 10.0)
+        drive(op, arrival_stream(delay=NoDisorder()))
+        assert steady_error(op) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestAccuracy:
+    def test_wmj_and_ksj_align(self):
+        tuples = arrival_stream()
+        wmj = StreamingWMJ(10.0, 10.0)
+        ksj = StreamingKSJ(10.0, 10.0)
+        drive(wmj, tuples)
+        drive(ksj, tuples)
+        assert steady_error(ksj) == pytest.approx(steady_error(wmj), rel=0.05)
+
+    def test_pecj_beats_wmj(self):
+        tuples = arrival_stream()
+        wmj = StreamingWMJ(10.0, 10.0)
+        pecj = StreamingPECJ(10.0, 10.0, backend="aema")
+        drive(wmj, tuples)
+        drive(pecj, tuples)
+        assert steady_error(pecj) < 0.35 * steady_error(wmj)
+
+    def test_pecj_sum_aggregation(self):
+        tuples = arrival_stream()
+        wmj = StreamingWMJ(10.0, 10.0, AggKind.SUM)
+        pecj = StreamingPECJ(10.0, 10.0, AggKind.SUM, backend="aema")
+        drive(wmj, tuples)
+        drive(pecj, tuples)
+        assert steady_error(pecj) < 0.35 * steady_error(wmj)
+
+    def test_streaming_matches_batch_pecj(self):
+        """Push-based PECJ must land near the batch runner's error on the
+        same stream (same estimator machinery, different plumbing)."""
+        from repro.core.pecj import PECJoin
+        from repro.joins.arrays import BatchArrays
+        from repro.joins.runner import run_operator
+        from repro.streams.sources import make_disordered_arrays
+
+        arrays = make_disordered_arrays(
+            make_dataset("micro", num_keys=10), UniformDelay(5.0), 1200.0, 40.0, 40.0, seed=5
+        )
+        batch = run_operator(
+            PECJoin(AggKind.COUNT, backend="aema"),
+            arrays,
+            10.0,
+            10.0,
+            t_start=10.0,
+            t_end=1190.0,
+            warmup_windows=30,
+        )
+        pecj = StreamingPECJ(10.0, 10.0, backend="aema")
+        drive(pecj, arrival_stream())
+        assert steady_error(pecj) == pytest.approx(batch.mean_error, abs=0.03)
+
+
+class TestLateHandling:
+    def test_tuples_for_finalized_windows_are_dropped(self):
+        op = StreamingWMJ(10.0, 10.0, horizon_ms=1.0)
+        op.push(StreamTuple(0, 1.0, 5.0, 5.0, Side.R))
+        op.advance(100.0)  # window [0, 10) emitted and finalized
+        op.push(StreamTuple(0, 1.0, 6.0, 100.0, Side.R))
+        assert op.dropped_late == 1
+
+    def test_learning_inference_latency_charged(self):
+        op = StreamingPECJ(10.0, 10.0, backend="aema", learning_inference_ms=90.0)
+        emissions = drive(op, arrival_stream(duration=600.0))
+        warm = [e for e in emissions if e.window_start > 200.0]
+        for e in warm:
+            assert e.emit_time == pytest.approx(e.window_start + 10.0 + 90.0)

@@ -1,0 +1,107 @@
+"""Tests for the incremental window join state."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins.arrays import AggKind
+from repro.streaming.state import WindowJoinState
+from repro.streams.tuples import Side, StreamTuple
+
+
+def tup(key, payload, event, side):
+    return StreamTuple(key, payload, event, event, side)
+
+
+class TestIncrementalJoin:
+    def test_matches_count_symmetric(self):
+        state = WindowJoinState(0.0, 10.0)
+        state.add(tup(1, 2.0, 1.0, Side.R))
+        state.add(tup(1, 5.0, 2.0, Side.S))
+        state.add(tup(1, 3.0, 3.0, Side.R))
+        # 2 R x 1 S under key 1.
+        assert state.matches == 2
+        assert state.sum_r == pytest.approx(2.0 + 3.0)
+
+    def test_order_independence(self):
+        """The final aggregates must not depend on arrival order."""
+        rows = [
+            (1, 2.0, Side.R), (1, 5.0, Side.S), (2, 7.0, Side.R),
+            (1, 3.0, Side.R), (2, 1.0, Side.S), (2, 1.0, Side.S),
+        ]
+        a = WindowJoinState(0.0, 10.0)
+        b = WindowJoinState(0.0, 10.0)
+        for i, (k, v, s) in enumerate(rows):
+            a.add(tup(k, v, float(i % 9), s))
+        for i, (k, v, s) in enumerate(reversed(rows)):
+            b.add(tup(k, v, float(i % 9), s))
+        assert a.matches == b.matches
+        assert a.sum_r == pytest.approx(b.sum_r)
+
+    def test_rejects_out_of_window_events(self):
+        state = WindowJoinState(0.0, 10.0)
+        with pytest.raises(ValueError):
+            state.add(tup(1, 1.0, 10.0, Side.R))
+
+    def test_bucket_assignment(self):
+        state = WindowJoinState(0.0, 10.0, num_buckets=10)
+        state.add(tup(1, 1.0, 0.5, Side.R))
+        state.add(tup(1, 1.0, 9.99, Side.S))
+        assert state.buckets[0] == [1, 0]
+        assert state.buckets[9] == [0, 1]
+
+    def test_value_dispatch(self):
+        state = WindowJoinState(0.0, 10.0)
+        state.add(tup(1, 4.0, 1.0, Side.R))
+        state.add(tup(1, 0.0, 2.0, Side.S))
+        assert state.value(AggKind.COUNT) == 1.0
+        assert state.value(AggKind.SUM) == 4.0
+        assert state.value(AggKind.AVG) == 4.0
+
+    def test_clone_is_independent(self):
+        state = WindowJoinState(0.0, 10.0)
+        state.add(tup(1, 1.0, 1.0, Side.R))
+        copy = state.clone()
+        copy.add(tup(1, 1.0, 2.0, Side.S))
+        assert copy.matches == 1
+        assert state.matches == 0
+
+    def test_rejects_bad_bucket_count(self):
+        with pytest.raises(ValueError):
+            WindowJoinState(0.0, 10.0, num_buckets=0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.floats(min_value=-5, max_value=5),
+            st.floats(min_value=0, max_value=9.99),
+            st.booleans(),
+        ),
+        max_size=60,
+    )
+)
+def test_incremental_equals_batch_aggregate(rows):
+    """The streaming state must agree exactly with the batch layer."""
+    from repro.joins.arrays import BatchArrays
+
+    state = WindowJoinState(0.0, 10.0)
+    for k, v, e, is_r in rows:
+        state.add(tup(k, v, e, Side.R if is_r else Side.S))
+    if rows:
+        event = np.array([e for _, _, e, _ in rows])
+        arrays = BatchArrays(
+            event,
+            event.copy(),
+            np.array([k for k, _, _, _ in rows], dtype=np.int64),
+            np.array([v for _, v, _, _ in rows]),
+            np.array([r for _, _, _, r in rows], dtype=bool),
+        )
+        agg = arrays.aggregate(0.0, 10.0, None)
+        assert state.n_r == agg.n_r
+        assert state.n_s == agg.n_s
+        assert state.matches == agg.matches
+        assert state.sum_r == pytest.approx(agg.sum_r, abs=1e-9)

@@ -1,0 +1,107 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.streams.datasets import (
+    DATASETS,
+    MicroDataset,
+    StockDataset,
+    make_dataset,
+)
+from repro.streams.tuples import Side
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+class TestAllGenerators:
+    def test_generates_both_sides(self, name):
+        rng = np.random.default_rng(0)
+        r, s = make_dataset(name).generate(500.0, 2.0, 3.0, rng)
+        assert all(t.side is Side.R for t in r)
+        assert all(t.side is Side.S for t in s)
+
+    def test_rate_is_respected(self, name):
+        rng = np.random.default_rng(0)
+        r, s = make_dataset(name).generate(2000.0, 5.0, 2.0, rng)
+        assert len(r) == pytest.approx(10000, rel=0.15)
+        assert len(s) == pytest.approx(4000, rel=0.15)
+
+    def test_events_within_duration_and_sorted(self, name):
+        rng = np.random.default_rng(0)
+        r, _ = make_dataset(name).generate(800.0, 2.0, 2.0, rng)
+        events = [t.event_time for t in r]
+        assert all(0.0 <= e < 800.0 for e in events)
+        assert events == sorted(events)
+
+    def test_keys_within_domain(self, name):
+        rng = np.random.default_rng(0)
+        ds = make_dataset(name)
+        r, s = ds.generate(500.0, 2.0, 2.0, rng)
+        for t in list(r) + list(s):
+            assert 0 <= t.key < ds.num_keys
+
+    def test_arrival_equals_event_before_disorder(self, name):
+        rng = np.random.default_rng(0)
+        r, _ = make_dataset(name).generate(200.0, 2.0, 2.0, rng)
+        assert all(t.arrival_time == t.event_time for t in r)
+
+    def test_columnar_path_matches_statistics(self, name):
+        """The fast path must be statistically equivalent to the tuple path."""
+        ds = make_dataset(name)
+        event, key, payload, is_r = ds.generate_columns(
+            2000.0, 5.0, 5.0, np.random.default_rng(1)
+        )
+        r, s = ds.generate(2000.0, 5.0, 5.0, np.random.default_rng(2))
+        n_obj = len(r) + len(s)
+        assert len(event) == pytest.approx(n_obj, rel=0.1)
+        obj_payloads = np.array([t.payload for t in list(r) + list(s)])
+        assert np.mean(payload) == pytest.approx(np.mean(obj_payloads), rel=0.25)
+        assert int(is_r.sum()) == pytest.approx(len(r), rel=0.1)
+
+    def test_deterministic_given_seed(self, name):
+        ds = make_dataset(name)
+        a = ds.generate_columns(300.0, 3.0, 3.0, np.random.default_rng(9))
+        ds2 = make_dataset(name)
+        b = ds2.generate_columns(300.0, 3.0, 3.0, np.random.default_rng(9))
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+
+class TestMicro:
+    def test_payload_range(self):
+        rng = np.random.default_rng(0)
+        ds = MicroDataset(payload_low=2.0, payload_high=5.0)
+        r, _ = ds.generate(500.0, 5.0, 5.0, rng)
+        assert all(2.0 <= t.payload <= 5.0 for t in r)
+
+    def test_key_domain_configurable(self):
+        rng = np.random.default_rng(0)
+        ds = make_dataset("micro", num_keys=3)
+        r, _ = ds.generate(500.0, 5.0, 5.0, rng)
+        assert {t.key for t in r} <= {0, 1, 2}
+
+
+class TestStock:
+    def test_key_skew_concentrates_volume(self):
+        rng = np.random.default_rng(0)
+        ds = StockDataset(num_keys=100, key_skew=1.0)
+        event, key, payload, is_r = ds.generate_columns(3000.0, 5.0, 5.0, rng)
+        counts = np.bincount(key, minlength=100)
+        # Hot keys dominate: top 10 symbols carry well over 10% of volume.
+        assert counts[:10].sum() > 0.3 * counts.sum()
+
+    def test_prices_positive(self):
+        rng = np.random.default_rng(0)
+        ds = StockDataset()
+        _, _, payload, _ = ds.generate_columns(500.0, 5.0, 5.0, rng)
+        assert np.all(payload > 0)
+
+
+def test_make_dataset_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown dataset"):
+        make_dataset("nope")
+
+
+def test_make_dataset_forwards_overrides():
+    ds = make_dataset("micro", num_keys=77)
+    assert ds.num_keys == 77

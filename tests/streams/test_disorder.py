@@ -1,0 +1,150 @@
+"""Tests for the delay models and disorder injection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.disorder import (
+    BimodalDelay,
+    CorrelatedDelay,
+    ExponentialDelay,
+    MultiHopDelay,
+    NoDisorder,
+    ParetoDelay,
+    RegimeSwitchingDelay,
+    UniformDelay,
+    apply_disorder,
+)
+from repro.streams.tuples import Side, StreamBatch, StreamTuple
+
+ALL_MODELS = [
+    NoDisorder(),
+    UniformDelay(5.0),
+    ExponentialDelay(1.5, 5.0),
+    ParetoDelay(1.5, 10.0, 400.0),
+    MultiHopDelay(3, 80.0, 40.0, 1000.0),
+    BimodalDelay(max_delay=800.0),
+    CorrelatedDelay(base_mean=30.0, max_delay=500.0),
+    RegimeSwitchingDelay(max_delay=1000.0),
+]
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+def test_delays_respect_bounds(model):
+    rng = np.random.default_rng(0)
+    events = np.sort(rng.uniform(0, 5000.0, 4000))
+    delays = model.sample(rng, events)
+    assert delays.shape == events.shape
+    assert np.all(delays >= 0.0)
+    assert np.all(delays <= model.max_delay + 1e-9)
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+def test_empty_input_gives_empty_output(model):
+    rng = np.random.default_rng(0)
+    delays = model.sample(rng, np.empty(0))
+    assert delays.shape == (0,)
+
+
+def test_no_disorder_is_exactly_zero():
+    rng = np.random.default_rng(0)
+    events = np.linspace(0, 100, 50)
+    assert np.all(NoDisorder().sample(rng, events) == 0.0)
+
+
+def test_uniform_delay_covers_range():
+    rng = np.random.default_rng(0)
+    delays = UniformDelay(5.0).sample(rng, np.zeros(20000))
+    assert delays.min() < 0.3
+    assert delays.max() > 4.7
+    assert abs(delays.mean() - 2.5) < 0.1
+
+
+def test_exponential_mean_before_truncation():
+    rng = np.random.default_rng(0)
+    delays = ExponentialDelay(mean=1.0, max_delay=50.0).sample(rng, np.zeros(20000))
+    assert abs(delays.mean() - 1.0) < 0.05
+
+
+def test_multi_hop_has_propagation_floor():
+    model = MultiHopDelay(hops=3, hop_mean=10.0, propagation=40.0, max_delay=1000.0)
+    rng = np.random.default_rng(0)
+    delays = model.sample(rng, np.zeros(1000))
+    assert delays.min() >= 3 * 40.0
+
+
+def test_regime_switching_alternates_means():
+    model = RegimeSwitchingDelay(
+        calm_mean=10.0, congested_mean=400.0, regime_length=500.0, max_delay=2000.0
+    )
+    rng = np.random.default_rng(0)
+    calm_events = np.full(5000, 100.0)  # inside first (calm) regime
+    congested_events = np.full(5000, 600.0)  # second regime
+    calm = model.sample(rng, calm_events)
+    congested = model.sample(rng, congested_events)
+    assert calm.mean() < 20.0
+    assert congested.mean() > 200.0
+    assert list(model.regime_of(np.array([100.0, 600.0, 1100.0]))) == [0, 1, 0]
+
+
+def test_correlated_delay_is_temporally_correlated():
+    """Nearby tuples share a delay regime; distant ones do not."""
+    model = CorrelatedDelay(base_mean=30.0, step_ms=50.0, max_delay=10000.0)
+    rng = np.random.default_rng(3)
+    events = np.arange(0.0, 20000.0, 2.0)
+    delays = model.sample(rng, events)
+    # Average delay per 50ms block: adjacent blocks should correlate.
+    blocks = delays[: len(delays) // 25 * 25].reshape(-1, 25).mean(axis=1)
+    corr = np.corrcoef(blocks[:-1], blocks[1:])[0, 1]
+    assert corr > 0.3
+
+
+def test_bimodal_has_two_modes():
+    model = BimodalDelay(fast_mean=5.0, slow_mean=600.0, slow_fraction=0.4, max_delay=2000.0)
+    rng = np.random.default_rng(0)
+    delays = model.sample(rng, np.zeros(20000))
+    fast = (delays < 100).mean()
+    slow = (delays > 250).mean()
+    assert fast > 0.5
+    assert 0.3 < slow < 0.5
+
+
+class TestApplyDisorder:
+    def _batch(self, n=100):
+        return StreamBatch(
+            [StreamTuple(0, 1.0, float(i), float(i), Side.R, i) for i in range(n)]
+        )
+
+    def test_preserves_events_and_count(self):
+        rng = np.random.default_rng(0)
+        out = apply_disorder(self._batch(), UniformDelay(5.0), rng)
+        assert len(out) == 100
+        assert [t.event_time for t in out] == [float(i) for i in range(100)]
+
+    def test_arrivals_never_precede_events(self):
+        rng = np.random.default_rng(0)
+        out = apply_disorder(self._batch(), UniformDelay(5.0), rng)
+        assert all(t.arrival_time >= t.event_time for t in out)
+
+    def test_empty_batch(self):
+        rng = np.random.default_rng(0)
+        assert len(apply_disorder(StreamBatch([]), UniformDelay(5.0), rng)) == 0
+
+    def test_creates_actual_disorder(self):
+        """With nontrivial delays, arrival order must differ from event order."""
+        rng = np.random.default_rng(0)
+        out = apply_disorder(self._batch(), UniformDelay(5.0), rng)
+        arrival_seqs = [t.seq for t in out.in_arrival_order()]
+        assert arrival_seqs != sorted(arrival_seqs)
+
+
+@settings(max_examples=25)
+@given(
+    max_delay=st.floats(min_value=0.1, max_value=100.0),
+    n=st.integers(min_value=1, max_value=200),
+)
+def test_uniform_bound_property(max_delay, n):
+    rng = np.random.default_rng(42)
+    delays = UniformDelay(max_delay).sample(rng, np.zeros(n))
+    assert np.all((delays >= 0) & (delays <= max_delay))

@@ -1,0 +1,135 @@
+"""Cross-module integration tests: whole-stack invariants.
+
+These exercise the full pipeline — generator -> disorder -> operator /
+engine -> metrics — and assert properties that must hold regardless of
+tuning: the oracle is exact, compensation never loses to ignoring the
+problem, and every layer agrees on ground truth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pecj import PECJoin
+from repro.engine.simulator import ParallelJoinEngine
+from repro.joins.arrays import AggKind
+from repro.joins.baselines import ExactJoin, WatermarkJoin
+from repro.joins.runner import run_operator
+from repro.streams.datasets import make_dataset
+from repro.streams.disorder import (
+    BimodalDelay,
+    ExponentialDelay,
+    MultiHopDelay,
+    UniformDelay,
+)
+from repro.streams.sources import make_disordered_arrays
+
+DELAY_MODELS = [
+    UniformDelay(5.0),
+    ExponentialDelay(1.5, 5.0),
+    BimodalDelay(fast_mean=1.0, slow_mean=4.0, slow_fraction=0.3, max_delay=6.0),
+    MultiHopDelay(hops=2, hop_mean=1.0, propagation=0.5, max_delay=6.0),
+]
+
+
+def build(delay, seed=13, dataset="micro", rate=50.0, duration=1500.0):
+    kwargs = {"num_keys": 10} if dataset == "micro" else {}
+    return make_disordered_arrays(
+        make_dataset(dataset, **kwargs), delay, duration, rate, rate, seed=seed
+    )
+
+
+@pytest.mark.parametrize("delay", DELAY_MODELS, ids=lambda d: type(d).__name__)
+class TestAcrossDelayModels:
+    def test_exact_join_is_always_exact(self, delay):
+        res = run_operator(
+            ExactJoin(AggKind.COUNT), build(delay), 10.0, 10.0,
+            t_start=50.0, t_end=1450.0,
+        )
+        assert res.mean_error == 0.0
+
+    def test_pecj_never_loses_to_wmj(self, delay):
+        arrays = build(delay)
+        pecj = run_operator(
+            PECJoin(AggKind.COUNT, backend="aema"), arrays, 10.0, 10.0,
+            t_start=50.0, t_end=1450.0, warmup_windows=30,
+        )
+        wmj = run_operator(
+            WatermarkJoin(AggKind.COUNT), arrays, 10.0, 10.0,
+            t_start=50.0, t_end=1450.0, warmup_windows=30,
+        )
+        assert pecj.mean_error <= wmj.mean_error
+
+    def test_runner_and_engine_agree_on_oracle(self, delay):
+        """The standalone runner and the engine compute the same ground
+        truth for the same windows."""
+        arrays = build(delay)
+        standalone = run_operator(
+            WatermarkJoin(AggKind.COUNT), arrays, 10.0, 10.0,
+            t_start=100.0, t_end=400.0,
+        )
+        engine = ParallelJoinEngine("prj", threads=4, agg=AggKind.COUNT).run(
+            arrays, t_start=100.0, t_end=400.0
+        )
+        lhs = {r.window.start: r.expected for r in standalone.records}
+        rhs = {r.window.start: r.expected for r in engine.records}
+        for start in set(lhs) & set(rhs):
+            assert lhs[start] == pytest.approx(rhs[start])
+
+
+@pytest.mark.parametrize("dataset", ["micro", "stock", "rovio", "logistics", "retail"])
+def test_pecj_works_on_every_dataset(dataset):
+    arrays = build(UniformDelay(5.0), dataset=dataset, rate=50.0)
+    pecj = run_operator(
+        PECJoin(AggKind.SUM, backend="aema"), arrays, 10.0, 10.0,
+        t_start=50.0, t_end=1450.0, warmup_windows=30,
+    )
+    wmj = run_operator(
+        WatermarkJoin(AggKind.SUM), arrays, 10.0, 10.0,
+        t_start=50.0, t_end=1450.0, warmup_windows=30,
+    )
+    assert pecj.mean_error < wmj.mean_error
+
+
+class TestSeedDeterminism:
+    def test_full_pipeline_is_deterministic(self):
+        def once():
+            arrays = build(UniformDelay(5.0), seed=42)
+            res = run_operator(
+                PECJoin(AggKind.COUNT, backend="aema"), arrays, 10.0, 10.0,
+                t_start=50.0, t_end=800.0,
+            )
+            return res.mean_error, res.p95_latency
+
+        assert once() == once()
+
+    def test_different_seeds_differ(self):
+        e1 = run_operator(
+            WatermarkJoin(AggKind.COUNT), build(UniformDelay(5.0), seed=1),
+            10.0, 10.0, t_start=50.0, t_end=800.0,
+        ).mean_error
+        e2 = run_operator(
+            WatermarkJoin(AggKind.COUNT), build(UniformDelay(5.0), seed=2),
+            10.0, 10.0, t_start=50.0, t_end=800.0,
+        ).mean_error
+        assert e1 != e2
+
+
+class TestLatencyAccounting:
+    def test_emission_after_cutoff_for_all_operators(self):
+        arrays = build(UniformDelay(5.0))
+        for op in (WatermarkJoin(AggKind.COUNT), PECJoin(AggKind.COUNT)):
+            res = run_operator(op, arrays, 10.0, 10.0, t_start=50.0, t_end=500.0)
+            for rec in res.records:
+                assert rec.emit_time >= rec.cutoff
+
+    def test_learning_backend_charges_inference_latency(self):
+        arrays = build(UniformDelay(5.0))
+        fast = run_operator(
+            PECJoin(AggKind.COUNT, backend="aema"), arrays, 10.0, 10.0,
+            t_start=50.0, t_end=500.0,
+        )
+        slow = run_operator(
+            PECJoin(AggKind.COUNT, backend="aema", learning_inference_ms=90.0),
+            arrays, 10.0, 10.0, t_start=50.0, t_end=500.0,
+        )
+        assert slow.p95_latency == pytest.approx(fast.p95_latency + 90.0, abs=1.0)

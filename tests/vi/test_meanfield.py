@@ -1,0 +1,85 @@
+"""Tests for the mean-field CAVI solver (paper Section 5.1 model)."""
+
+import numpy as np
+import pytest
+
+from repro.vi.meanfield import DistortionModelPriors, cavi
+
+
+class TestPriors:
+    def test_rejects_nonpositive_strengths(self):
+        with pytest.raises(ValueError):
+            DistortionModelPriors(tau0=0.0)
+        with pytest.raises(ValueError):
+            DistortionModelPriors(phi_shape=-1.0)
+        with pytest.raises(ValueError):
+            DistortionModelPriors(z_precision=0.0)
+
+
+class TestCavi:
+    def test_elbo_is_monotone_nondecreasing(self):
+        """Exact coordinate ascent must never decrease the ELBO."""
+        rng = np.random.default_rng(0)
+        obs = rng.normal(5.0, 1.0, 40)
+        post = cavi(list(obs), DistortionModelPriors(mu0=0.0, tau0=1.0))
+        trace = post.elbo_trace
+        assert len(trace) >= 2
+        assert all(b >= a - 1e-7 for a, b in zip(trace, trace[1:]))
+
+    def test_recovers_mean_of_undistorted_data(self):
+        rng = np.random.default_rng(1)
+        obs = rng.normal(10.0, 0.5, 200)
+        post = cavi(list(obs), DistortionModelPriors(mu0=0.0, tau0=1.0))
+        # tau0=1 pseudo-count of prior at 0 shrinks by n/(n+1)
+        assert post.mu_mean == pytest.approx(10.0 * 200 / 201, rel=0.02)
+
+    def test_distortion_prior_corrects_biased_observations(self):
+        """Observations at half the true level with E[z]=2 should recover mu."""
+        rng = np.random.default_rng(2)
+        true_mu = 8.0
+        obs = rng.normal(true_mu / 2.0, 0.2, 100)
+        post = cavi(
+            list(obs),
+            DistortionModelPriors(mu0=0.0, tau0=1e-3, z_precision=1e6),
+            z_prior_means=[2.0] * 100,
+        )
+        assert post.mu_mean == pytest.approx(true_mu, rel=0.05)
+
+    def test_paper_eq9_posterior_mean_form(self):
+        """With rigid z, mean = (tau0*mu0 + sum(z*x)) / (tau0 + n)."""
+        obs = [4.0, 6.0, 5.0]
+        priors = DistortionModelPriors(mu0=2.0, tau0=3.0, z_precision=1e9)
+        post = cavi(obs, priors)
+        expected = (3.0 * 2.0 + sum(obs)) / (3.0 + 3)
+        assert post.mu_mean == pytest.approx(expected, rel=1e-3)
+
+    def test_credible_interval_narrows_with_data(self):
+        rng = np.random.default_rng(3)
+        small = cavi(list(rng.normal(5, 1, 10)))
+        large = cavi(list(rng.normal(5, 1, 500)))
+        w_small = small.mu_credible_interval()[1] - small.mu_credible_interval()[0]
+        w_large = large.mu_credible_interval()[1] - large.mu_credible_interval()[0]
+        assert w_large < w_small
+
+    def test_no_observations_returns_prior(self):
+        priors = DistortionModelPriors(mu0=7.0, tau0=2.0)
+        post = cavi([], priors)
+        assert post.mu_mean == 7.0
+        assert len(post.elbo_trace) == 1
+
+    def test_mismatched_z_means_rejected(self):
+        with pytest.raises(ValueError):
+            cavi([1.0, 2.0], z_prior_means=[1.0])
+
+    def test_interval_contains_estimate(self):
+        rng = np.random.default_rng(4)
+        post = cavi(list(rng.normal(3, 1, 50)))
+        lo, hi = post.mu_credible_interval()
+        assert lo < post.mu_mean < hi
+
+    def test_posterior_phi_reflects_noise_level(self):
+        """Noisier data => lower posterior precision E[phi]."""
+        rng = np.random.default_rng(5)
+        quiet = cavi(list(rng.normal(5, 0.1, 100)))
+        noisy = cavi(list(rng.normal(5, 2.0, 100)))
+        assert quiet.q_phi.mean > noisy.q_phi.mean

@@ -1,0 +1,48 @@
+"""Tests for the special functions against scipy references."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vi.special import digamma, gammaln
+
+scipy_special = pytest.importorskip("scipy.special")
+
+
+@pytest.mark.parametrize("x", [0.01, 0.1, 0.5, 1.0, 1.4616, 2.0, 5.0, 10.0, 123.4, 1e4])
+def test_digamma_matches_scipy(x):
+    assert digamma(x) == pytest.approx(float(scipy_special.digamma(x)), abs=1e-10)
+
+
+def test_digamma_known_values():
+    euler_gamma = 0.5772156649015329
+    assert digamma(1.0) == pytest.approx(-euler_gamma, abs=1e-12)
+    # psi(2) = 1 - gamma
+    assert digamma(2.0) == pytest.approx(1.0 - euler_gamma, abs=1e-12)
+
+
+def test_digamma_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        digamma(0.0)
+    with pytest.raises(ValueError):
+        digamma(-1.0)
+
+
+@given(st.floats(min_value=0.05, max_value=1e5))
+def test_digamma_recurrence_property(x):
+    """psi(x+1) = psi(x) + 1/x."""
+    assert digamma(x + 1.0) == pytest.approx(digamma(x) + 1.0 / x, rel=1e-9, abs=1e-9)
+
+
+@given(st.floats(min_value=0.05, max_value=1e5))
+def test_digamma_is_derivative_of_gammaln(x):
+    """Central finite difference of lgamma matches psi."""
+    h = max(x * 1e-6, 1e-7)
+    numeric = (gammaln(x + h) - gammaln(x - h)) / (2 * h)
+    assert digamma(x) == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+
+def test_gammaln_matches_math():
+    assert gammaln(5.0) == pytest.approx(math.log(24.0))

@@ -1,0 +1,93 @@
+"""Tests for streaming stochastic VI."""
+
+import numpy as np
+import pytest
+
+from repro.vi.meanfield import DistortionModelPriors
+from repro.vi.svi import StreamingSVI
+
+
+#: Rigid distortion prior: these tests feed undistorted data, so z must
+#: stay pinned at 1 (soft z on unnormalised data absorbs part of the
+#: signal — the scale sensitivity the SVIEstimator wrapper normalises away).
+RIGID = DistortionModelPriors(z_precision=1e7)
+
+
+def feed(svi, rng, mean, batches=60, batch_size=8, sd=0.5):
+    for _ in range(batches):
+        svi.observe_batch(list(rng.normal(mean, sd, batch_size)))
+
+
+class TestStreamingSVI:
+    def test_converges_to_stationary_mean(self):
+        svi = StreamingSVI()
+        feed(svi, np.random.default_rng(0), 5.0)
+        assert svi.estimate() == pytest.approx(5.0, abs=0.3)
+
+    def test_tracks_level_shift(self):
+        """Drift floor keeps the estimator adaptive on regime changes."""
+        svi = StreamingSVI(priors=RIGID, drift_floor=0.05)
+        rng = np.random.default_rng(1)
+        feed(svi, rng, 5.0)
+        feed(svi, rng, 9.0, batches=120)
+        assert svi.estimate() == pytest.approx(9.0, abs=0.5)
+
+    def test_credible_interval_contains_truth(self):
+        svi = StreamingSVI(priors=RIGID)
+        feed(svi, np.random.default_rng(2), 3.0, batches=100)
+        lo, hi = svi.credible_interval()
+        assert lo < 3.0 < hi
+
+    def test_empty_batch_is_noop(self):
+        svi = StreamingSVI()
+        svi.observe_batch([])
+        assert svi.step_count == 0
+
+    def test_rejects_bad_kappa(self):
+        with pytest.raises(ValueError):
+            StreamingSVI(kappa=0.4)
+        with pytest.raises(ValueError):
+            StreamingSVI(kappa=1.5)
+
+    def test_rejects_mismatched_z(self):
+        svi = StreamingSVI()
+        with pytest.raises(ValueError):
+            svi.observe_batch([1.0, 2.0], z_prior_means=[1.0])
+
+    def test_distortion_corrected_convergence(self):
+        """Observations at mu/2 with rigid E[z]=2 recover mu."""
+        priors = DistortionModelPriors(z_precision=1e7)
+        svi = StreamingSVI(priors=priors)
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            svi.observe_batch(list(rng.normal(2.0, 0.1, 8)), [2.0] * 8)
+        assert svi.estimate() == pytest.approx(4.0, abs=0.3)
+
+    def test_carry_over_preserves_estimate(self):
+        svi = StreamingSVI()
+        feed(svi, np.random.default_rng(4), 6.0)
+        before = svi.estimate()
+        svi.carry_over(forget=0.5)
+        assert svi.priors.mu0 == pytest.approx(before)
+
+    def test_carry_over_rejects_bad_forget(self):
+        svi = StreamingSVI()
+        with pytest.raises(ValueError):
+            svi.carry_over(forget=0.0)
+        with pytest.raises(ValueError):
+            svi.carry_over(forget=1.5)
+
+    def test_elbo_higher_for_well_explained_data(self):
+        svi = StreamingSVI()
+        rng = np.random.default_rng(5)
+        feed(svi, rng, 5.0, batches=100)
+        good = svi.elbo(list(rng.normal(5.0, 0.5, 16)))
+        bad = svi.elbo(list(rng.normal(50.0, 0.5, 16)))
+        assert good > bad
+
+    def test_local_step_shrinks_toward_prior_when_rigid(self):
+        priors = DistortionModelPriors(z_precision=1e9)
+        svi = StreamingSVI(priors=priors)
+        q_z = svi.local_step([5.0, 2.0], [1.3, 0.7])
+        assert q_z[0].mean == pytest.approx(1.3, abs=1e-3)
+        assert q_z[1].mean == pytest.approx(0.7, abs=1e-3)
