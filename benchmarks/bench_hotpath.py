@@ -1,0 +1,173 @@
+"""Hot-path microbenchmark: per-window rescan vs incremental aggregation.
+
+Replays exactly the query pattern of one runner sweep — for every
+tumbling window, the exact oracle plus one availability-filtered view —
+through both implementations:
+
+* **rescan**: ``BatchArrays.aggregate``, which rebuilds per-key count
+  tables (O(|window| + num_keys)) for every query; this was the hot path
+  before the incremental engine existed.
+* **incremental**: a fresh :class:`repro.joins.aggregator.WindowAggregator`
+  per pass (so its one-off build cost is inside the measurement), then
+  O(log |window|) prefix lookups.
+
+Both paths run against a batch whose event-sort and availability-order
+caches are already warm — that state belongs to the batch, not to either
+implementation.  Results are asserted identical before timing, timing is
+best-of-N, and a JSON artifact is written for tracking (see DESIGN.md for
+how to read it).
+
+Usage::
+
+    python benchmarks/bench_hotpath.py           # full workloads
+    python benchmarks/bench_hotpath.py --smoke   # seconds-fast CI variant
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.joins.aggregator import WindowAggregator  # noqa: E402
+from repro.streams.datasets import make_dataset  # noqa: E402
+from repro.streams.disorder import UniformDelay  # noqa: E402
+from repro.streams.sources import make_disordered_arrays  # noqa: E402
+
+#: (label, duration_ms, num_keys, window_length_ms).  2x50 tuples/ms, so
+#: 1000 ms ~= 100K tuples.  The last workload is the acceptance headline:
+#: a 100K-tuple batch, 500 windows, and a key domain wide enough that the
+#: rescan's per-query count-table rebuild dominates.
+FULL_WORKLOADS = [
+    ("100k_200w_20k-keys", 1000.0, 20_000, 5.0),
+    ("100k_500w_50k-keys", 1000.0, 50_000, 2.0),
+]
+SMOKE_WORKLOADS = [("smoke_10k_100w", 100.0, 2_000, 1.0)]
+
+
+def build_arrays(duration_ms: float, num_keys: int):
+    return make_disordered_arrays(
+        make_dataset("micro", num_keys=num_keys),
+        UniformDelay(5.0),
+        duration_ms=duration_ms,
+        rate_r=50.0,
+        rate_s=50.0,
+        seed=3,
+    )
+
+
+def window_starts(duration_ms: float, length: float) -> np.ndarray:
+    return np.arange(0.0, duration_ms - length + 1e-9, length)
+
+
+def rescan_pass(arrays, starts, length):
+    out = []
+    for s in starts:
+        out.append(arrays.aggregate(s, s + length, None))
+        out.append(arrays.aggregate(s, s + length, s + length + 2.0))
+    return out
+
+
+def incremental_pass(arrays, starts, length):
+    agg = WindowAggregator(arrays, length)
+    out = []
+    for s in starts:
+        out.append(agg.at(s, s + length, None))
+        out.append(agg.at(s, s + length, s + length + 2.0))
+    return out
+
+
+def best_of(fn, repeats: int) -> float:
+    timings = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - t0)
+    return min(timings)
+
+
+def run_workload(label, duration_ms, num_keys, length, repeats):
+    arrays = build_arrays(duration_ms, num_keys)
+    starts = window_starts(duration_ms, length)
+    n = len(arrays.event)
+    arrays.completion_order()  # warm the shared batch-level cache
+
+    old = rescan_pass(arrays, starts, length)
+    new = incremental_pass(arrays, starts, length)
+    for a, b in zip(old, new):
+        assert a.n_r == b.n_r and a.n_s == b.n_s and a.matches == b.matches, (
+            f"{label}: incremental path diverged from rescan: {a} vs {b}"
+        )
+        assert abs(a.sum_r - b.sum_r) <= 1e-9 * max(1.0, abs(a.sum_r))
+
+    t_rescan = best_of(lambda: rescan_pass(arrays, starts, length), repeats)
+    t_incr = best_of(lambda: incremental_pass(arrays, starts, length), repeats)
+    row = {
+        "workload": label,
+        "tuples": n,
+        "windows": len(starts),
+        "num_keys": num_keys,
+        "window_length_ms": length,
+        "queries": 2 * len(starts),
+        "rescan": {"seconds": t_rescan, "tuples_per_s": n / t_rescan},
+        "incremental": {"seconds": t_incr, "tuples_per_s": n / t_incr},
+        "speedup": t_rescan / t_incr,
+    }
+    print(
+        f"{label}: n={n} windows={len(starts)} num_keys={num_keys} | "
+        f"rescan {t_rescan * 1e3:.2f} ms ({n / t_rescan / 1e6:.2f} Mtuples/s) | "
+        f"incremental {t_incr * 1e3:.2f} ms ({n / t_incr / 1e6:.2f} Mtuples/s) | "
+        f"speedup {row['speedup']:.2f}x"
+    )
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload for CI: checks equivalence, skips the speedup gate",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_hotpath.json"),
+        help="path of the JSON artifact (default: repo root BENCH_hotpath.json)",
+    )
+    parser.add_argument("--repeats", type=int, default=5, help="best-of-N timing")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    workloads = SMOKE_WORKLOADS if args.smoke else FULL_WORKLOADS
+    rows = [run_workload(*w, repeats=args.repeats) for w in workloads]
+
+    artifact = {
+        "benchmark": "hotpath",
+        "mode": "smoke" if args.smoke else "full",
+        "workloads": rows,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(artifact, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {os.path.abspath(args.out)}")
+
+    if not args.smoke:
+        headline = rows[-1]
+        if headline["speedup"] < 3.0:
+            print(
+                f"FAIL: headline speedup {headline['speedup']:.2f}x < 3x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

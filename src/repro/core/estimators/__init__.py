@@ -1,7 +1,7 @@
 """Estimator backends for PECJ's posterior distribution approximation."""
 
 from repro.core.estimators.aema import AEMAEstimator
-from repro.core.estimators.base import PosteriorEstimator
+from repro.core.estimators.base import PosteriorEstimator, check_blend_args
 from repro.core.estimators.svi_backend import SVIEstimator
 
-__all__ = ["PosteriorEstimator", "AEMAEstimator", "SVIEstimator"]
+__all__ = ["PosteriorEstimator", "AEMAEstimator", "SVIEstimator", "check_blend_args"]

@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 from typing import Hashable, Sequence
 
-from repro.core.estimators.base import PosteriorEstimator
+from repro.core.estimators.base import PosteriorEstimator, check_blend_args
 
 __all__ = ["AEMAEstimator"]
 
@@ -99,6 +99,7 @@ class AEMAEstimator(PosteriorEstimator):
         tag: Hashable | None = None,
         weights: Sequence[float] | None = None,
     ) -> float:
+        check_blend_args(xs, z_means, weights)
         if weights is None:
             weights = [1.0] * len(xs)
         corrected = [x * z for x, z in zip(xs, z_means)]

@@ -24,7 +24,30 @@ from __future__ import annotations
 
 from typing import Hashable, Sequence
 
-__all__ = ["PosteriorEstimator"]
+__all__ = ["PosteriorEstimator", "check_blend_args"]
+
+
+def check_blend_args(
+    xs: Sequence[float],
+    z_means: Sequence[float],
+    weights: Sequence[float] | None = None,
+) -> None:
+    """Validate that Eq. 9 blend inputs align.
+
+    Backends iterate the three sequences in lockstep; a silent ``zip``
+    over mismatched lengths would quietly drop observations, so every
+    backend calls this at the top of :meth:`PosteriorEstimator.blend`.
+    """
+    if len(xs) != len(z_means):
+        raise ValueError(
+            f"xs and z_means must align: got {len(xs)} observations but "
+            f"{len(z_means)} distortion means"
+        )
+    if weights is not None and len(weights) != len(xs):
+        raise ValueError(
+            f"weights must align with xs: got {len(weights)} weights for "
+            f"{len(xs)} observations"
+        )
 
 
 class PosteriorEstimator:

@@ -38,7 +38,7 @@ from typing import Hashable, Sequence
 
 import numpy as np
 
-from repro.core.estimators.base import PosteriorEstimator
+from repro.core.estimators.base import PosteriorEstimator, check_blend_args
 from repro.nn.losses import bounded_elbo_loss
 from repro.nn.mlp import MLP
 
@@ -513,6 +513,7 @@ class MLPEstimator(PosteriorEstimator):
         tag: Hashable | None = None,
         weights: Sequence[float] | None = None,
     ) -> float:
+        check_blend_args(xs, z_means, weights)
         if not self.is_warm:
             # Analytical fallback while the stream history is still cold.
             corrected = [x * z for x, z in zip(xs, z_means)]

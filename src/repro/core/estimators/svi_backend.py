@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Hashable, Sequence
 
-from repro.core.estimators.base import PosteriorEstimator
+from repro.core.estimators.base import PosteriorEstimator, check_blend_args
 from repro.vi.meanfield import DistortionModelPriors
 from repro.vi.svi import StreamingSVI
 
@@ -100,6 +100,7 @@ class SVIEstimator(PosteriorEstimator):
         tag: Hashable | None = None,
         weights: Sequence[float] | None = None,
     ) -> float:
+        check_blend_args(xs, z_means, weights)
         if len(xs) == 0:
             return self.estimate()
         if weights is None:

@@ -123,7 +123,7 @@ class GroupedPECJoin:
     # -- shared observation machinery (mirrors the scalar operator) --------
 
     def prepare(self, arrays: BatchArrays) -> None:
-        self._comp_order = np.argsort(arrays.completion, kind="stable")
+        self._comp_order = arrays.completion_order()
         self._comp_sorted = arrays.completion[self._comp_order]
         self._ingest_cursor = 0
         t0 = float(arrays.event.min()) if len(arrays) else 0.0

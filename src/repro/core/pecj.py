@@ -128,8 +128,9 @@ class PECJoin(StreamJoinOperator):
         self.rate_s = self._factory()
         self.sigma = self._factory()
         self.alpha = self._factory()
-        # Delay-ingest cursor over completion-ordered tuples.
-        self._comp_order = np.argsort(arrays.completion, kind="stable")
+        # Delay-ingest cursor over completion-ordered tuples (the order is
+        # cached on the batch per completion version).
+        self._comp_order = arrays.completion_order()
         self._comp_sorted = arrays.completion[self._comp_order]
         self._ingest_cursor = 0
         # Finalization cursors (bucket / window indices on the event axis).
@@ -188,7 +189,7 @@ class PECJoin(StreamJoinOperator):
             w = self._next_window
             start = self.origin + w * self._wlen
             end = start + self._wlen
-            agg = arrays.aggregate(start, end, now)
+            agg = self.window_aggregate(arrays, start, end, now)
             if agg.n_r > 0 and agg.n_s > 0:
                 self.sigma.observe(agg.selectivity, 1.0)
                 self.sigma.feedback(w, agg.selectivity)
@@ -391,7 +392,7 @@ class PECJoin(StreamJoinOperator):
         self._finalize(arrays, now)
         self.profile.decay_step()
 
-        observed = arrays.aggregate(window.start, window.end, now)
+        observed = self.window_aggregate(arrays, window.start, window.end, now)
         extra = self.learning_inference_ms
 
         # Cold start: no compensation knowledge yet — answer like WMJ.
@@ -432,7 +433,7 @@ class PECJoin(StreamJoinOperator):
         est = compensate(self.agg, n_hat_r, n_hat_s, sigma_hat, alpha_hat)
         self.last_interval = self._output_interval(est)
         if self.debug:
-            truth = arrays.aggregate(window.start, window.end, None)
+            truth = self.window_aggregate(arrays, window.start, window.end, None)
             self.debug_records.append(
                 {
                     "window_start": window.start,

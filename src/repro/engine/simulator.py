@@ -226,6 +226,7 @@ class ParallelJoinEngine:
         else:
             visible = self._shj_schedule(arrays)
         arrays.completion[...] = visible
+        arrays.mark_completion_dirty()
 
         pecj: PECJoin | None = None
         if self.pecj_enabled:

@@ -1,5 +1,6 @@
 """Standalone join operators: baselines, oracle, cost pipeline and runner."""
 
+from repro.joins.aggregator import WindowAggregator
 from repro.joins.arrays import AggKind, BatchArrays, WindowAggregate
 from repro.joins.base import RunResult, StreamJoinOperator, WindowRecord
 from repro.joins.baselines import ExactJoin, KSlackJoin, WatermarkJoin
@@ -11,6 +12,7 @@ __all__ = [
     "AggKind",
     "BatchArrays",
     "WindowAggregate",
+    "WindowAggregator",
     "StreamJoinOperator",
     "WindowRecord",
     "RunResult",

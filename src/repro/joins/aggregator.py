@@ -1,0 +1,292 @@
+"""Incremental window aggregation: one sweep, O(1)-per-tuple delta state.
+
+``BatchArrays.aggregate`` answers one (window, availability) query by
+rescanning the window's tuples and rebuilding per-key count tables from
+scratch — O(|window| + num_keys) per query.  The runner asks hundreds of
+such queries per run (the exact oracle for every window, every operator's
+observed view, PECJ's finalization sweeps), which made the rescan the hot
+path of every benchmark.
+
+:class:`WindowAggregator` replaces the rescans with an incremental
+engine.  For one tumbling grid (length, origin) it inserts the tuples of
+each window once, in availability-clock order, maintaining per-key delta
+state — ``c_R[k]``, ``c_S[k]``, ``sum_Rv[k]`` — and rolling the join
+aggregates forward with O(1) work per tuple:
+
+* R-tuple, key ``k``, payload ``v``: ``matches += c_S[k]``;
+  ``sum_r += v * c_S[k]``
+* S-tuple, key ``k``: ``matches += c_R[k]``; ``sum_r += sum_Rv[k]``
+
+The kernel charges each joined pair (r, s) exactly once — when the later
+of the two is inserted — so after any prefix of insertions the rolled
+totals equal the rescan's ``sum_k c_R[k] * c_S[k]`` and
+``sum_k sum_Rv[k] * c_S[k]`` over the inserted set.  The per-tuple deltas
+are computed for the whole batch at once with a grouped (window, key)
+prefix pass — pure numpy, no Python loop — and accumulated into *prefix
+aggregates* per window.
+
+Afterwards any query is a binary search: the available subset of a window
+(``clock_time <= available_by``) is exactly a prefix of its clock-sorted
+tuples, and the stored prefix aggregate at that position is the answer.
+Queries drop from O(|window| + num_keys) to O(log |window|); the whole
+grid — including every window's oracle — costs one O(n log n) sweep.
+``tests/joins/test_aggregator.py`` cross-checks exact agreement with
+``BatchArrays.aggregate`` on randomized disorder batches, and
+``benchmarks/bench_hotpath.py`` tracks the resulting speedup.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.joins.arrays import BatchArrays, WindowAggregate
+
+__all__ = ["WindowAggregator"]
+
+_EMPTY = WindowAggregate(0, 0, 0.0, 0.0)
+
+
+class _GridIndex:
+    """Prefix aggregates of one tumbling grid under one availability clock.
+
+    Window segments are located with the same ``searchsorted(event, ...)``
+    left-boundary semantics as ``BatchArrays.window_slice``, so membership
+    agrees with the reference bit-for-bit even at float window edges.
+
+    Prefix columns are *global* inclusive cumsums over the
+    (window, clock)-sorted tuples; a window's aggregate at position ``j``
+    is ``P[j] - P[segment_start - 1]``.  For the integer columns
+    (matches, n_R, n_S) that difference is exact; for the payload column
+    the cancellation error is ~machine-epsilon of the whole-batch payload
+    mass, negligible against any window's sum.
+    """
+
+    def __init__(
+        self,
+        arrays: BatchArrays,
+        length: float,
+        origin: float,
+        clock_values: np.ndarray,
+        clock_order: np.ndarray | None = None,
+    ):
+        event = arrays.event
+        n = len(event)
+        if n == 0:
+            self.w_lo = 0
+            self.bounds = np.zeros(1, dtype=np.int64)
+            self.clock = np.empty(0)
+            self.p_matches = np.empty(0, dtype=np.int64)
+            self.p_sum = np.empty(0)
+            self.p_nr = np.empty(0, dtype=np.int64)
+            self.p_ns = np.empty(0, dtype=np.int64)
+            return
+        # One window of padding on each side so the grid covers every
+        # tuple even when floor() and searchsorted disagree by one ulp.
+        w_lo = math.floor((float(event[0]) - origin) / length) - 1
+        w_hi = math.floor((float(event[-1]) - origin) / length) + 1
+        edges = origin + np.arange(w_lo, w_hi + 2, dtype=np.float64) * length
+        bounds = np.searchsorted(event, edges, side="left").astype(np.int64)
+        if bounds[0] != 0 or bounds[-1] != n:
+            raise AssertionError("grid padding failed to cover the batch")
+        counts = np.diff(bounds)
+        num_windows = len(counts)
+        widx = np.repeat(np.arange(num_windows, dtype=np.int64), counts)
+
+        # Ranks of the clock values (ties broken by event position, like a
+        # stable sort): lets both sorts below run on packed unique int64
+        # codes, ~5-10x faster than an equivalent np.lexsort.
+        if clock_order is None:
+            clock_order = np.argsort(clock_values, kind="stable")
+        crank = np.empty(n, dtype=np.int64)
+        crank[clock_order] = np.arange(n, dtype=np.int64)
+
+        # Sort by (window, clock).  widx is already nondecreasing, so the
+        # window segments keep the `bounds` boundaries; within each
+        # segment tuples become clock-ascending.
+        if num_windows * n < 2**62:
+            order = np.argsort(widx * n + crank)
+        else:
+            order = np.lexsort((crank, widx))
+        key = arrays.key[order]
+        is_r = arrays.is_r[order]
+        payload = arrays.payload[order]
+        self.clock = clock_values[order]
+
+        # Grouped (window, key) exclusive prefixes -> per-tuple deltas of
+        # the rolled aggregates.  Ties within a group keep clock order
+        # (the position in the window-sorted layout encodes it).
+        num_keys = arrays.num_keys
+        pos = np.arange(n, dtype=np.int64)
+        if num_windows * num_keys * n < 2**62:
+            regroup = np.argsort((widx * num_keys + key) * n + pos)
+        else:
+            regroup = np.lexsort((pos, key, widx))
+        kk = key[regroup]
+        ww = widx[regroup]
+        new_group = np.empty(n, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = (ww[1:] != ww[:-1]) | (kk[1:] != kk[:-1])
+        group_first = np.flatnonzero(new_group)
+        # Index of each element's group-first element (its exclusive-sum
+        # base), as one gather instead of a per-column double gather.
+        base = group_first[np.cumsum(new_group) - 1]
+        rr = is_r[regroup]
+        pp = payload[regroup]
+        rr_int = rr.astype(np.int64)
+        cum_r = np.cumsum(rr_int)
+        excl_r = cum_r - rr_int
+        r_before = excl_r - excl_r[base]
+        # Earlier S-tuples of the group = earlier tuples minus earlier Rs.
+        s_before = (pos - base) - r_before
+        rv = np.where(rr, pp, 0.0)
+        cum_v = np.cumsum(rv)
+        excl_v = cum_v - rv
+        rv_before = excl_v - excl_v[base]
+        d_matches_g = np.where(rr, s_before, r_before)
+        d_sum_g = np.where(rr, pp * s_before, rv_before)
+        d_matches = np.empty(n, dtype=np.int64)
+        d_matches[regroup] = d_matches_g
+        d_sum = np.empty(n)
+        d_sum[regroup] = d_sum_g
+
+        # Global inclusive prefix columns (queries subtract the segment
+        # base, so no per-element base subtraction is needed here).
+        self.p_matches = np.cumsum(d_matches)
+        self.p_sum = np.cumsum(d_sum)
+        self.p_nr = np.cumsum(is_r.astype(np.int64))
+        self.p_ns = np.arange(1, n + 1, dtype=np.int64) - self.p_nr
+        self.w_lo = w_lo
+        self.bounds = bounds
+
+    def query(self, idx: int, available_by: float | None) -> WindowAggregate:
+        """Aggregate of grid window ``idx`` over its available prefix."""
+        i = idx - self.w_lo
+        if i < 0 or i + 1 >= len(self.bounds):
+            return _EMPTY
+        lo = int(self.bounds[i])
+        hi = int(self.bounds[i + 1])
+        if available_by is not None:
+            hi = lo + int(
+                np.searchsorted(self.clock[lo:hi], available_by, side="right")
+            )
+        if hi <= lo:
+            return _EMPTY
+        j = hi - 1
+        if lo > 0:
+            b = lo - 1
+            return WindowAggregate(
+                int(self.p_nr[j] - self.p_nr[b]),
+                int(self.p_ns[j] - self.p_ns[b]),
+                float(self.p_matches[j] - self.p_matches[b]),
+                float(self.p_sum[j] - self.p_sum[b]),
+            )
+        return WindowAggregate(
+            int(self.p_nr[j]),
+            int(self.p_ns[j]),
+            float(self.p_matches[j]),
+            float(self.p_sum[j]),
+        )
+
+
+class WindowAggregator:
+    """Incremental join aggregates for one tumbling grid over a batch.
+
+    Args:
+        arrays: Columnar merged batch.
+        window_length: Grid window length ``|W|`` in ms.
+        origin: Event-time offset of the grid (sliding phases use
+            shifted origins).
+
+    The completion-clock index tracks ``arrays.completion_version`` and is
+    rebuilt lazily after every cost application; the arrival-clock index
+    and the oracle cache are built once (those columns are immutable).
+    """
+
+    def __init__(self, arrays: BatchArrays, window_length: float, origin: float = 0.0):
+        if window_length <= 0:
+            raise ValueError("window_length must be positive")
+        self.arrays = arrays
+        self.window_length = float(window_length)
+        self.origin = float(origin)
+        self._completion_index: _GridIndex | None = None
+        self._completion_version = -1
+        self._arrival_index: _GridIndex | None = None
+        self._oracle_cache: dict[int, WindowAggregate] = {}
+
+    # -- grid geometry -------------------------------------------------------
+
+    def window_index(self, start: float) -> int:
+        """Grid index of the window starting at ``start``."""
+        return int(round((start - self.origin) / self.window_length))
+
+    def covers(self, start: float, end: float) -> bool:
+        """Whether ``[start, end)`` is exactly one window of this grid."""
+        tol = 1e-9 * max(self.window_length, 1.0)
+        idx = self.window_index(start)
+        return (
+            abs(self.origin + idx * self.window_length - start) <= tol
+            and abs((end - start) - self.window_length) <= tol
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def _index_for(self, clock: str) -> _GridIndex:
+        if clock == "completion":
+            version = self.arrays.completion_version
+            if self._completion_index is None or self._completion_version != version:
+                self._completion_index = _GridIndex(
+                    self.arrays, self.window_length, self.origin,
+                    self.arrays.completion, self.arrays.completion_order(),
+                )
+                self._completion_version = version
+            return self._completion_index
+        if clock == "arrival":
+            if self._arrival_index is None:
+                self._arrival_index = _GridIndex(
+                    self.arrays, self.window_length, self.origin,
+                    self.arrays.arrival, self.arrays.arrival_order(),
+                )
+            return self._arrival_index
+        raise ValueError(f"unknown clock {clock!r}")
+
+    def try_at(
+        self,
+        start: float,
+        end: float,
+        available_by: float | None = None,
+        clock: str = "completion",
+    ) -> WindowAggregate | None:
+        """Aggregate of ``[start, end)`` if it lies on this grid, else None.
+
+        Semantics match ``BatchArrays.aggregate(start, end, available_by,
+        clock)`` exactly; ``available_by=None`` is the oracle view (cached
+        — it does not depend on the clock).
+        """
+        if not self.covers(start, end):
+            return None
+        idx = self.window_index(start)
+        if available_by is None:
+            hit = self._oracle_cache.get(idx)
+            if hit is None:
+                hit = self._index_for(clock).query(idx, None)
+                self._oracle_cache[idx] = hit
+            return hit
+        return self._index_for(clock).query(idx, available_by)
+
+    def at(
+        self,
+        start: float,
+        end: float,
+        available_by: float | None = None,
+        clock: str = "completion",
+    ) -> WindowAggregate:
+        """Like :meth:`try_at` but raises for off-grid ranges."""
+        agg = self.try_at(start, end, available_by, clock)
+        if agg is None:
+            raise ValueError(
+                f"[{start}, {end}) is not a window of the grid "
+                f"(length={self.window_length}, origin={self.origin})"
+            )
+        return agg

@@ -13,6 +13,12 @@ key-count joins:
 
 Both follow directly from the intra-window equi-join definition in
 Section 2.1/3.2 of the paper.
+
+:meth:`BatchArrays.aggregate` is the *reference* implementation: it
+rebuilds the per-key count tables from scratch for every query.  The hot
+path uses :class:`repro.joins.aggregator.WindowAggregator`, an
+incremental engine that precomputes prefix aggregates per window and is
+cross-checked against this reference.
 """
 
 from __future__ import annotations
@@ -72,12 +78,15 @@ class BatchArrays:
     Attributes (all aligned, sorted by event time):
         event: Event timestamps (ms).
         arrival: Arrival timestamps (ms).
-        key: Join keys.
+        key: Join keys (non-negative integers).
         payload: Payloads.
         is_r: Boolean mask, True where the tuple belongs to stream R.
         completion: Set by a processing pipeline — virtual time when the
             operator has finished ingesting each tuple.  Defaults to the
-            arrival time (zero-cost processing).
+            arrival time (zero-cost processing).  ``apply_pipeline_costs``
+            owns this column; code that writes it directly must call
+            :meth:`mark_completion_dirty` so completion-derived caches
+            (drain functions, incremental aggregators) are invalidated.
     """
 
     def __init__(
@@ -92,10 +101,22 @@ class BatchArrays:
         self.event = event[order]
         self.arrival = arrival[order]
         self.key = key[order].astype(np.int64)
+        if len(self.key) and int(self.key.min()) < 0:
+            raise ValueError(
+                "join keys must be non-negative integers (got a negative key: "
+                f"{int(self.key.min())}); check the dataset generator"
+            )
         self.payload = payload[order]
         self.is_r = is_r[order]
         self.completion = self.arrival.copy()
         self._num_keys = int(self.key.max()) + 1 if len(self.key) else 1
+        # Completion-derived caches, invalidated by mark_completion_dirty().
+        self._completion_version = 0
+        self._completion_order: np.ndarray | None = None
+        self._arrival_order: np.ndarray | None = None
+        self._drain_cache: tuple[int, object] | None = None
+        self._cost_signature: tuple | None = None
+        self._aggregators: dict[tuple[float, float], object] = {}
 
     @classmethod
     def from_batch(cls, batch: StreamBatch) -> "BatchArrays":
@@ -120,6 +141,55 @@ class BatchArrays:
     @property
     def num_keys(self) -> int:
         return self._num_keys
+
+    # -- completion ownership and derived caches ----------------------------
+
+    @property
+    def completion_version(self) -> int:
+        """Monotone counter bumped whenever ``completion`` is rewritten."""
+        return self._completion_version
+
+    def mark_completion_dirty(self) -> None:
+        """Declare that ``completion`` changed; drop derived caches.
+
+        ``apply_pipeline_costs`` calls this automatically; call it after
+        any direct write to ``completion`` so cached drain functions and
+        :class:`~repro.joins.aggregator.WindowAggregator` indexes rebuild.
+        """
+        self._completion_version += 1
+        self._completion_order = None
+        self._drain_cache = None
+        self._cost_signature = None
+
+    def arrival_order(self) -> np.ndarray:
+        """Stable argsort of arrival times (computed once; arrival is
+        immutable after construction)."""
+        if self._arrival_order is None:
+            self._arrival_order = np.argsort(self.arrival, kind="stable")
+        return self._arrival_order
+
+    def completion_order(self) -> np.ndarray:
+        """Stable argsort of completion times (cached per completion
+        version)."""
+        if self._completion_order is None:
+            self._completion_order = np.argsort(self.completion, kind="stable")
+        return self._completion_order
+
+    def aggregator(self, window_length: float, origin: float = 0.0):
+        """The cached incremental aggregator for one tumbling grid.
+
+        Returns a :class:`repro.joins.aggregator.WindowAggregator` whose
+        completion-clock index follows ``completion_version`` (rebuilt
+        lazily after every cost application).
+        """
+        from repro.joins.aggregator import WindowAggregator
+
+        cache_key = (float(window_length), float(origin))
+        agg = self._aggregators.get(cache_key)
+        if agg is None:
+            agg = WindowAggregator(self, window_length, origin)
+            self._aggregators[cache_key] = agg
+        return agg
 
     def window_slice(self, start: float, end: float) -> slice:
         """Index range (into the event-sorted columns) of one window."""

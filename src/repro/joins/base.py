@@ -30,12 +30,46 @@ class StreamJoinOperator:
     name: str = "base"
     #: Cost profile key understood by ``apply_pipeline_costs``.
     pipeline_method: str = "wmj"
+    #: Incremental grid aggregator bound by the runner (None = rescan).
+    _aggregator = None
 
     def __init__(self, agg: AggKind = AggKind.COUNT):
         self.agg = agg
 
     def prepare(self, arrays: BatchArrays, window_length: float, omega: float) -> None:
         """Hook called once before the window loop (reset state)."""
+
+    def bind_aggregator(self, aggregator) -> None:
+        """Attach the runner's incremental grid aggregator.
+
+        Called by :func:`repro.joins.runner.run_operator` after
+        :meth:`prepare`; operators answer window queries through
+        :meth:`window_aggregate`, which uses the bound engine when the
+        queried range lies on its grid.
+        """
+        self._aggregator = aggregator
+
+    def window_aggregate(
+        self,
+        arrays: BatchArrays,
+        start: float,
+        end: float,
+        available_by: float | None = None,
+        clock: str = "completion",
+    ):
+        """Join aggregate of ``[start, end)`` over an availability view.
+
+        Uses the bound :class:`~repro.joins.aggregator.WindowAggregator`
+        (O(log) per query) when possible, falling back to the reference
+        rescan ``BatchArrays.aggregate`` when no aggregator is bound or
+        the range is off-grid — so operators behave identically when
+        driven outside the runner (e.g. in unit tests).
+        """
+        if self._aggregator is not None:
+            hit = self._aggregator.try_at(start, end, available_by, clock)
+            if hit is not None:
+                return hit
+        return arrays.aggregate(start, end, available_by, clock)
 
     def process_window(
         self, arrays: BatchArrays, window: Window, available_by: float

@@ -33,7 +33,7 @@ class WatermarkJoin(StreamJoinOperator):
     def process_window(
         self, arrays: BatchArrays, window: Window, available_by: float
     ) -> tuple[float, float]:
-        agg = arrays.aggregate(window.start, window.end, available_by)
+        agg = self.window_aggregate(arrays, window.start, window.end, available_by)
         return agg.value(self.agg), 0.0
 
 
@@ -52,7 +52,7 @@ class KSlackJoin(StreamJoinOperator):
     def process_window(
         self, arrays: BatchArrays, window: Window, available_by: float
     ) -> tuple[float, float]:
-        agg = arrays.aggregate(window.start, window.end, available_by)
+        agg = self.window_aggregate(arrays, window.start, window.end, available_by)
         return agg.value(self.agg), 0.0
 
 
@@ -71,7 +71,7 @@ class ExactJoin(StreamJoinOperator):
         self, arrays: BatchArrays, window: Window, available_by: float
     ) -> tuple[float, float]:
         sl = arrays.window_slice(window.start, window.end)
-        agg = arrays.aggregate(window.start, window.end, None)
+        agg = self.window_aggregate(arrays, window.start, window.end, None)
         if sl.stop > sl.start:
             last_arrival = float(np.max(arrays.arrival[sl]))
             extra = max(0.0, last_arrival - available_by)

@@ -106,15 +106,26 @@ def apply_pipeline_costs(
         model: The cost constants.
         slack: KSJ's slack ``K`` in ms (its buffer holds ~``rate * K``
             tuples); ignored by other methods.
+
+    Applications are memoized per batch: re-applying the same
+    ``(method, model, slack)`` is a no-op (the completions would be
+    identical), which lets the sliding adapter's phases and repeated runs
+    share one cost application.  Any direct write to ``completion`` must
+    call ``arrays.mark_completion_dirty()`` to drop the memo.
     """
     n = len(arrays)
     if n == 0:
         return
-    order = np.argsort(arrays.arrival, kind="stable")
+    signature = (method, model, float(slack))
+    if arrays._cost_signature == signature:
+        return
+    order = arrays.arrival_order()
     arrivals = arrays.arrival[order]
 
     if method == "zero":
         arrays.completion[...] = arrays.arrival
+        arrays.mark_completion_dirty()
+        arrays._cost_signature = signature
         return
     if method == "wmj":
         costs = np.full(n, model.base_cost)
@@ -145,3 +156,5 @@ def apply_pipeline_costs(
     completion = np.empty(n)
     completion[order] = done
     arrays.completion[...] = completion
+    arrays.mark_completion_dirty()
+    arrays._cost_signature = signature

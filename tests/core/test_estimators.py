@@ -71,6 +71,19 @@ class TestCommonBehaviour:
         heavy = est.blend([14.0], [1.0], weights=[60.0])
         assert abs(heavy - 14.0) < abs(light - 14.0)
 
+    def test_blend_rejects_mismatched_z_means(self, factory):
+        """A short z_means must raise, not silently drop observations."""
+        est = factory()
+        feed(est, np.random.default_rng(8), 10.0)
+        with pytest.raises(ValueError, match="z_means"):
+            est.blend([1.0, 2.0, 3.0], [1.0, 1.0])
+
+    def test_blend_rejects_mismatched_weights(self, factory):
+        est = factory()
+        feed(est, np.random.default_rng(9), 10.0)
+        with pytest.raises(ValueError, match="weights"):
+            est.blend([1.0, 2.0], [1.0, 1.0], weights=[1.0])
+
 
 class TestAEMASpecifics:
     def test_adaptive_rate_rises_on_level_shift(self):

@@ -92,6 +92,12 @@ class TestContinualLearning:
         est.observe(10.0)
         assert est.blend([12.0], [1.0]) == pytest.approx(11.0, rel=0.2)
 
+    def test_blend_rejects_mismatched_lengths(self, estimator):
+        with pytest.raises(ValueError, match="z_means"):
+            estimator.blend([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError, match="weights"):
+            estimator.blend([1.0, 2.0], [1.0, 1.0], weights=[1.0, 1.0, 1.0])
+
     def test_feedback_reduces_residual_on_biased_stream(self):
         """Delayed ground truth at 1.3x the network's belief must pull the
         estimate upward over repeated deliveries."""

@@ -118,6 +118,15 @@ class TestBatchArrays:
         got = arrays.arrivals_in_window(0.0, 10.0, 5.0)
         assert list(got) == [2.0]
 
+    def test_rejects_negative_keys(self):
+        """Negative keys would silently corrupt the bincount tables."""
+        with pytest.raises(ValueError, match="non-negative"):
+            make_arrays([(1.0, 1.0, -3, 1.0, True), (2.0, 2.0, 0, 1.0, False)])
+
+    def test_accepts_empty_key_column(self):
+        empty = np.array([])
+        BatchArrays(empty, empty, empty.astype(np.int64), empty, empty.astype(bool))
+
 
 @settings(max_examples=40, deadline=None)
 @given(

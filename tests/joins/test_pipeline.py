@@ -125,6 +125,37 @@ class TestApplyPipelineCosts:
         with pytest.raises(ValueError):
             apply_pipeline_costs(make_arrays(), "bogus", CostModel())
 
+    def test_reapplying_same_signature_is_memoized(self):
+        arrays = make_arrays()
+        model = CostModel()
+        apply_pipeline_costs(arrays, "wmj", model, slack=10.0)
+        version = arrays.completion_version
+        done = arrays.completion.copy()
+        apply_pipeline_costs(arrays, "wmj", model, slack=10.0)
+        assert arrays.completion_version == version  # no-op, caches kept
+        assert np.array_equal(arrays.completion, done)
+
+    def test_different_signature_recomputes(self):
+        arrays = make_arrays()
+        model = CostModel()
+        apply_pipeline_costs(arrays, "wmj", model, slack=10.0)
+        version = arrays.completion_version
+        done = arrays.completion.copy()
+        apply_pipeline_costs(arrays, "pecj", model, slack=10.0)
+        assert arrays.completion_version > version
+        assert not np.array_equal(arrays.completion, done)
+
+    def test_mark_completion_dirty_defeats_memo(self):
+        """A direct completion write + dirty-mark must force a recompute."""
+        arrays = make_arrays()
+        model = CostModel()
+        apply_pipeline_costs(arrays, "wmj", model, slack=10.0)
+        done = arrays.completion.copy()
+        arrays.completion[...] = 0.0
+        arrays.mark_completion_dirty()
+        apply_pipeline_costs(arrays, "wmj", model, slack=10.0)
+        assert np.array_equal(arrays.completion, done)
+
     def test_empty_batch_noop(self):
         arrays = BatchArrays(
             np.empty(0), np.empty(0), np.empty(0, dtype=np.int64), np.empty(0), np.empty(0, dtype=bool)

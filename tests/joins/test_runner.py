@@ -1,8 +1,9 @@
 """Tests for the standalone window-loop runner."""
 
+import numpy as np
 import pytest
 
-from repro.joins.arrays import AggKind
+from repro.joins.arrays import AggKind, BatchArrays
 from repro.joins.base import RunResult, WindowRecord
 from repro.joins.baselines import WatermarkJoin
 from repro.joins.pipeline import CostModel
@@ -69,6 +70,53 @@ class TestRunOperator:
             t_end=250.0, cost_model=CostModel(emit_overhead=5.0),
         )
         assert dear.p95_latency == pytest.approx(cheap.p95_latency + 5.0, abs=0.2)
+
+
+class _ConstantOperator(WatermarkJoin):
+    """Always answers the same value — for scoring-path tests."""
+
+    def __init__(self, value):
+        super().__init__(AggKind.COUNT)
+        self._value = value
+
+    def process_window(self, arrays, window, available_by):
+        return self._value, 0.0
+
+
+def _all_s_arrays(duration_ms=100.0):
+    """A batch with no R tuples: every window's join oracle is 0."""
+    event = np.arange(0.5, duration_ms, 1.0)
+    key = np.zeros(len(event), dtype=np.int64)
+    return BatchArrays(event, event.copy(), key, np.ones(len(event)), np.zeros(len(event), dtype=bool))
+
+
+class TestDegenerateWindowScoring:
+    def test_empty_oracle_miss_clamped_to_one(self):
+        """A huge answer on a zero-oracle window scores 1, not |answer|.
+
+        Regression: the degenerate-window branch used the raw absolute
+        miss, so one empty window with a large answer (here 1e6) dominated
+        the mean error of the whole run.
+        """
+        res = run_operator(
+            _ConstantOperator(1e6), _all_s_arrays(), 10.0, 5.0, t_end=100.0
+        )
+        assert res.num_windows == 10
+        assert all(r.expected == 0.0 for r in res.records)
+        assert all(r.error == 1.0 for r in res.records)
+        assert res.mean_error == 1.0
+
+    def test_empty_oracle_small_miss_keeps_magnitude(self):
+        res = run_operator(
+            _ConstantOperator(0.25), _all_s_arrays(), 10.0, 5.0, t_end=100.0
+        )
+        assert all(r.error == 0.25 for r in res.records)
+
+    def test_empty_oracle_zero_answer_is_perfect(self):
+        res = run_operator(
+            _ConstantOperator(0.0), _all_s_arrays(), 10.0, 5.0, t_end=100.0
+        )
+        assert res.mean_error == 0.0
 
 
 class TestRunResult:

@@ -6,6 +6,7 @@ import pytest
 from repro.core.pecj import PECJoin
 from repro.joins.arrays import AggKind
 from repro.joins.baselines import WatermarkJoin
+from repro.joins.runner import run_operator
 from repro.joins.sliding import run_sliding_operator
 from tests.conftest import fresh_micro_arrays
 
@@ -83,6 +84,44 @@ class TestAccuracy:
         )
         assert wmj.mean_error > 0.05  # disorder hurts the baseline
         assert pecj.mean_error < 0.5 * wmj.mean_error
+
+    def test_warmup_excluded_per_grid(self):
+        """warmup=2 on a 4-phase decomposition drops 8 windows total —
+        the 2 leading windows of each grid, i.e. the 8 smallest starts."""
+        res = run_sliding(
+            lambda o: WatermarkJoin(AggKind.COUNT), fresh_micro_arrays(), warmup=2
+        )
+        assert len(res.warmup_records) == 8
+        warm_starts = sorted(r.window.start for r in res.warmup_records)
+        assert warm_starts == [100.0 + 5.0 * i for i in range(8)]
+        assert min(r.window.start for r in res.records) == 140.0
+
+    def test_phases_agree_with_standalone_tumbling_grids(self):
+        """The merged result is exactly the union of 4 standalone
+        tumbling runs at phase-shifted origins."""
+        arrays = fresh_micro_arrays()
+        merged = run_sliding(
+            lambda o: WatermarkJoin(AggKind.COUNT), arrays, warmup=0
+        )
+        standalone = {}
+        for origin in (0.0, 5.0, 10.0, 15.0):
+            res = run_operator(
+                WatermarkJoin(AggKind.COUNT),
+                arrays,
+                20.0,
+                20.0,
+                t_start=100.0,
+                t_end=1100.0,
+                origin=origin,
+            )
+            standalone.update({r.window.start: r for r in res.records})
+        assert {r.window.start for r in merged.records} == set(standalone)
+        for r in merged.records:
+            ref = standalone[r.window.start]
+            assert r.value == ref.value
+            assert r.expected == ref.expected
+            assert r.error == ref.error
+            assert r.emit_time == ref.emit_time
 
     def test_oracle_values_match_overlapping_windows(self):
         """Adjacent sliding windows share 3/4 of their tuples; their
