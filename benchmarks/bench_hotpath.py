@@ -35,7 +35,11 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import numpy as np  # noqa: E402
 
+from repro import obs  # noqa: E402
 from repro.joins.aggregator import WindowAggregator  # noqa: E402
+from repro.joins.arrays import AggKind  # noqa: E402
+from repro.joins.baselines import WatermarkJoin  # noqa: E402
+from repro.joins.runner import run_operator  # noqa: E402
 from repro.streams.datasets import make_dataset  # noqa: E402
 from repro.streams.disorder import UniformDelay  # noqa: E402
 from repro.streams.sources import make_disordered_arrays  # noqa: E402
@@ -128,6 +132,37 @@ def run_workload(label, duration_ms, num_keys, length, repeats):
     return row
 
 
+def observability_sweep(duration_ms, num_keys, length):
+    """Drive one real runner sweep under :mod:`repro.obs` and summarize.
+
+    Every query the runner issues is aligned to the tumbling grid, so any
+    ``fallback_*`` count here means the incremental fast path silently
+    degraded to a rescan — a performance regression the timing numbers
+    alone can hide.  Runs on a fresh batch, *after* the timing passes, so
+    the instrumented sweep cannot perturb the measurements.
+    """
+    arrays = build_arrays(duration_ms, num_keys)
+    with obs.scoped() as reg:
+        run_operator(
+            WatermarkJoin(AggKind.COUNT),
+            arrays,
+            length,
+            length + 2.0,
+            t_start=length,
+            t_end=duration_ms - length,
+        )
+        # A second identical sweep: the pipeline cost memo must hit.
+        run_operator(
+            WatermarkJoin(AggKind.COUNT),
+            arrays,
+            length,
+            length + 2.0,
+            t_start=length,
+            t_end=duration_ms - length,
+        )
+    return obs.summarize_run(reg.snapshot())
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -148,15 +183,36 @@ def main(argv=None) -> int:
     workloads = SMOKE_WORKLOADS if args.smoke else FULL_WORKLOADS
     rows = [run_workload(*w, repeats=args.repeats) for w in workloads]
 
+    _, duration_ms, num_keys, length = workloads[0]
+    health = observability_sweep(duration_ms, num_keys, length)
+    agg = health["aggregator"]
+    memo = health["cost_memo"]
+    print(
+        f"observability: grid_hits={agg['grid_hits']} "
+        f"fallbacks={agg['fallback_unbound'] + agg['fallback_off_grid']} "
+        f"memo_hit_rate={memo['hit_rate']:.2f} "
+        f"degenerate_windows={health['degenerate_windows']}"
+    )
+
     artifact = {
         "benchmark": "hotpath",
         "mode": "smoke" if args.smoke else "full",
         "workloads": rows,
+        "observability": health,
     }
     with open(args.out, "w") as fh:
         json.dump(artifact, fh, indent=2)
         fh.write("\n")
     print(f"wrote {os.path.abspath(args.out)}")
+
+    fallbacks = agg["fallback_unbound"] + agg["fallback_off_grid"]
+    if fallbacks:
+        print(
+            f"FAIL: {fallbacks} rescan fallback(s) on grid-aligned queries "
+            "(incremental fast path silently degraded)",
+            file=sys.stderr,
+        )
+        return 1
 
     if not args.smoke:
         headline = rows[-1]

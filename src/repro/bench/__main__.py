@@ -4,17 +4,25 @@ Usage::
 
     python -m repro.bench fig6 [--scale 0.3]
     python -m repro.bench fig9 --scale full
+    python -m repro.bench fig6 --trace report.json
     python -m repro.bench all
 
-Prints the same rows/series the corresponding paper figure plots.
+Prints the same rows/series the corresponding paper figure plots.  With
+``--trace PATH`` each figure additionally runs inside a
+:mod:`repro.obs` scope and a structured JSON run report is written:
+per-figure rows (workload parameters included), the raw metrics
+snapshot, and the derived health summary (fast-path fallback rates,
+cost-memo hit rate, degenerate-window counts, per-phase engine time).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from repro import obs
 from repro.bench.experiments import (
     fig6_end_to_end,
     fig7_q3_end_to_end,
@@ -48,17 +56,43 @@ def main(argv: list[str] | None = None) -> int:
         default="0.3",
         help="measured stream fraction: a float, or 'full' (default 0.3)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a structured JSON run report (rows + metrics snapshot "
+        "+ derived health summary) to PATH",
+    )
     args = parser.parse_args(argv)
     scale = 1.0 if args.scale == "full" else float(args.scale)
 
     names = sorted(_FIGURES) if args.figure == "all" else [args.figure]
+    report: dict = {
+        "report": "repro.bench trace",
+        "scale": scale,
+        "figures": {},
+    }
     for name in names:
         fn, columns = _FIGURES[name]
         t0 = time.time()
-        rows = fn(scale)
+        with obs.scoped() as reg:
+            rows = fn(scale)
         elapsed = time.time() - t0
         print(format_table(rows, columns, title=f"{name} (scale={scale:g}, {elapsed:.0f}s)"))
         print()
+        snapshot = reg.snapshot()
+        report["figures"][name] = {
+            "elapsed_s": elapsed,
+            "rows": rows,
+            "metrics": snapshot,
+            "summary": obs.summarize_run(snapshot),
+        }
+
+    if args.trace is not None:
+        with open(args.trace, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote trace report to {args.trace}")
     return 0
 
 

@@ -26,6 +26,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.core.compensation import compensate, product_interval
 from repro.core.delay_profile import DelayProfile
 from repro.core.estimators.base import PosteriorEstimator
@@ -268,8 +269,13 @@ class PECJoin(StreamJoinOperator):
         only estimates what is actually missing, unlike the Eq. 9 blend
         which re-estimates the whole window.
         """
-        mu_r = max(self.rate_r.blend([], [], tag=widx), 0.0)
-        mu_s = max(self.rate_s.blend([], [], tag=widx), 0.0)
+        raw_mu_r = self.rate_r.blend([], [], tag=widx)
+        raw_mu_s = self.rate_s.blend([], [], tag=widx)
+        obs.counter(f"pecj.{self.backend}.blend_calls").inc(2)
+        if raw_mu_r < 0.0 or raw_mu_s < 0.0:
+            obs.counter(f"pecj.{self.backend}.clamp.negative_rate").inc()
+        mu_r = max(raw_mu_r, 0.0)
+        mu_s = max(raw_mu_s, 0.0)
         m_r = self.rate_r.completeness_factor() or 1.0
         m_s = self.rate_s.completeness_factor() or 1.0
         m_hat = 0.5 * (m_r + m_s)
@@ -306,18 +312,18 @@ class PECJoin(StreamJoinOperator):
         # but lagging a full delay horizon behind the stream.  Both
         # variances are tracked online from delayed ground truth.
         n_hat = []
-        for obs, mu, est in ((obs_r, mu_r, self.rate_r), (obs_s, mu_s, self.rate_s)):
+        for n_obs, mu, est in ((obs_r, mu_r, self.rate_r), (obs_s, mu_s, self.rate_s)):
             fill = mu
             if c_hat_bar >= 0.05:
-                est1 = obs / (c_hat_bar * window.length)
-                rel_var1 = (1.0 - c_hat_bar) / (c_hat_bar * max(obs, 1.0))
+                est1 = n_obs / (c_hat_bar * window.length)
+                rel_var1 = (1.0 - c_hat_bar) / (c_hat_bar * max(n_obs, 1.0))
                 rel_var1 += self._m_rel_var
                 sd2 = getattr(est, "residual_std", lambda: 0.0)()
                 rel_var2 = (sd2 / mu) ** 2 if mu > 0 else 1.0
                 rel_var2 = min(max(rel_var2, 1e-4), 1.0)
                 w1 = rel_var2 / (rel_var1 + rel_var2)
                 fill = w1 * est1 + (1.0 - w1) * mu
-            n_hat.append(obs + fill * missing_time)
+            n_hat.append(n_obs + fill * missing_time)
 
         self._last_m_hat = m_hat
         self._last_c_bar = c_bar
@@ -354,6 +360,12 @@ class PECJoin(StreamJoinOperator):
         widx = int(round((window.start - self.origin) / self._wlen))
         mu_r = self.rate_r.blend(xs_r, zs, tag=widx)
         mu_s = self.rate_s.blend(xs_s, zs, tag=widx)
+        obs.counter(f"pecj.{self.backend}.blend_calls").inc(2)
+        if float(obs_r) > mu_r * window.length or float(obs_s) > mu_s * window.length:
+            # The posterior rate undershoots what was already observed;
+            # the observation floor wins (a sign the prior lags the
+            # stream, worth watching per backend).
+            obs.counter(f"pecj.{self.backend}.clamp.rate_floor").inc()
         n_hat_r = max(mu_r * window.length, float(obs_r))
         n_hat_s = max(mu_s * window.length, float(obs_s))
         return n_hat_r, n_hat_s, obs_r, obs_s
@@ -398,7 +410,9 @@ class PECJoin(StreamJoinOperator):
         # Cold start: no compensation knowledge yet — answer like WMJ.
         if not (self.profile.is_warm and self.rate_r.is_warm and self.rate_s.is_warm):
             self.last_interval = None
+            obs.counter(f"pecj.{self.backend}.cold_windows").inc()
             return observed.value(self.agg), extra
+        obs.counter(f"pecj.{self.backend}.compensated_windows").inc()
 
         context = self._delay_context(arrays, window, now)
         for est in (self.rate_r, self.rate_s, self.sigma, self.alpha):
@@ -417,6 +431,7 @@ class PECJoin(StreamJoinOperator):
             sigma_hat = self.sigma.blend(
                 [observed.selectivity], [1.0], tag=widx, weights=[max(w_sigma, 0.2)]
             )
+            obs.counter(f"pecj.{self.backend}.blend_calls").inc()
         else:
             sigma_hat = self.sigma.estimate()
 
@@ -427,11 +442,18 @@ class PECJoin(StreamJoinOperator):
                 alpha_hat = self.alpha.blend(
                     [observed.alpha_r], [1.0], tag=widx, weights=[w_alpha]
                 )
+                obs.counter(f"pecj.{self.backend}.blend_calls").inc()
             else:
                 alpha_hat = self.alpha.estimate()
 
         est = compensate(self.agg, n_hat_r, n_hat_s, sigma_hat, alpha_hat)
         self.last_interval = self._output_interval(est)
+        lo, hi = self.last_interval
+        # Posterior health: relative width of the output credible interval
+        # (wide = the estimators are uncertain about this regime).
+        obs.gauge(f"pecj.{self.backend}.interval_rel_width").set(
+            (hi - lo) / max(abs(est.value), 1e-9)
+        )
         if self.debug:
             truth = self.window_aggregate(arrays, window.start, window.end, None)
             self.debug_records.append(

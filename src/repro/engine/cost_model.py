@@ -80,6 +80,26 @@ class EngineCostModel:
         work = n_tuples * per_tuple * _NS_TO_MS / effective_threads
         return work + self.prj_sync_ms * (1.0 + 0.04 * threads)
 
+    def prj_phase_breakdown(
+        self, n_tuples: int, threads: int
+    ) -> dict[str, float]:
+        """Metric-only decomposition of :meth:`prj_batch_ms` by phase.
+
+        Returns ``{"partition": ms, "build_probe": ms, "sync": ms}`` using
+        the same formulas; the sum can differ from ``prj_batch_ms`` by
+        float rounding, so the simulation keeps using the lumped form and
+        only the observability layer reads this.
+        """
+        if n_tuples <= 0:
+            return {"partition": 0.0, "build_probe": 0.0, "sync": 0.0}
+        effective_threads = threads**self.speedup_efficiency
+        scale = n_tuples * _NS_TO_MS / effective_threads
+        return {
+            "partition": self.prj_partition_ns * self.prj_passes * scale,
+            "build_probe": 0.5 * (self.prj_build_ns + self.prj_probe_ns) * scale,
+            "sync": self.prj_sync_ms * (1.0 + 0.04 * threads),
+        }
+
     def shj_tuple_ms(self, threads: int, with_pecj: bool) -> float:
         """Virtual time one eager worker spends per tuple."""
         thrash = 1.0 + self.shj_thrash_per_thread * max(threads - 1, 0)

@@ -41,6 +41,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.joins.arrays import BatchArrays, WindowAggregate
 
 __all__ = ["WindowAggregator"]
@@ -160,6 +161,18 @@ class _GridIndex:
         self.w_lo = w_lo
         self.bounds = bounds
 
+    @property
+    def nbytes(self) -> int:
+        """Memory held by the prefix columns (the index's working set)."""
+        return int(
+            self.bounds.nbytes
+            + self.clock.nbytes
+            + self.p_matches.nbytes
+            + self.p_sum.nbytes
+            + self.p_nr.nbytes
+            + self.p_ns.nbytes
+        )
+
     def query(self, idx: int, available_by: float | None) -> WindowAggregate:
         """Aggregate of grid window ``idx`` over its available prefix."""
         i = idx - self.w_lo
@@ -236,18 +249,26 @@ class WindowAggregator:
         if clock == "completion":
             version = self.arrays.completion_version
             if self._completion_index is None or self._completion_version != version:
-                self._completion_index = _GridIndex(
-                    self.arrays, self.window_length, self.origin,
-                    self.arrays.completion, self.arrays.completion_order(),
-                )
+                with obs.timer("aggregator.build_ms"):
+                    self._completion_index = _GridIndex(
+                        self.arrays, self.window_length, self.origin,
+                        self.arrays.completion, self.arrays.completion_order(),
+                    )
                 self._completion_version = version
+                obs.counter("aggregator.builds.completion").inc()
+                obs.gauge("aggregator.index_bytes").add(
+                    self._completion_index.nbytes
+                )
             return self._completion_index
         if clock == "arrival":
             if self._arrival_index is None:
-                self._arrival_index = _GridIndex(
-                    self.arrays, self.window_length, self.origin,
-                    self.arrays.arrival, self.arrays.arrival_order(),
-                )
+                with obs.timer("aggregator.build_ms"):
+                    self._arrival_index = _GridIndex(
+                        self.arrays, self.window_length, self.origin,
+                        self.arrays.arrival, self.arrays.arrival_order(),
+                    )
+                obs.counter("aggregator.builds.arrival").inc()
+                obs.gauge("aggregator.index_bytes").add(self._arrival_index.nbytes)
             return self._arrival_index
         raise ValueError(f"unknown clock {clock!r}")
 

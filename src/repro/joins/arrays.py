@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.streams.tuples import Side, StreamBatch
 
 __all__ = ["AggKind", "BatchArrays", "WindowAggregate"]
@@ -160,6 +161,7 @@ class BatchArrays:
         self._completion_order = None
         self._drain_cache = None
         self._cost_signature = None
+        obs.counter("arrays.completion_version_bumps").inc()
 
     def arrival_order(self) -> np.ndarray:
         """Stable argsort of arrival times (computed once; arrival is

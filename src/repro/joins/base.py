@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.joins.arrays import AggKind, BatchArrays
 from repro.metrics.latency import LatencyTracker
 from repro.streams.windows import Window
@@ -63,12 +64,20 @@ class StreamJoinOperator:
         (O(log) per query) when possible, falling back to the reference
         rescan ``BatchArrays.aggregate`` when no aggregator is bound or
         the range is off-grid — so operators behave identically when
-        driven outside the runner (e.g. in unit tests).
+        driven outside the runner (e.g. in unit tests).  Every query is
+        counted (``aggregator.query.grid_hit`` vs
+        ``aggregator.query.fallback.*`` per reason) so a run that
+        silently drops to the rescan path shows up in its metrics
+        snapshot instead of only as a slowdown.
         """
         if self._aggregator is not None:
             hit = self._aggregator.try_at(start, end, available_by, clock)
             if hit is not None:
+                obs.counter("aggregator.query.grid_hit").inc()
                 return hit
+            obs.counter("aggregator.query.fallback.off_grid").inc()
+        else:
+            obs.counter("aggregator.query.fallback.unbound").inc()
         return arrays.aggregate(start, end, available_by, clock)
 
     def process_window(
@@ -117,6 +126,9 @@ class RunResult:
     latency: LatencyTracker = field(default_factory=LatencyTracker)
     #: Records excluded from error aggregation (estimator warm-up).
     warmup_records: list[WindowRecord] = field(default_factory=list)
+    #: Run-scoped :mod:`repro.obs` snapshot (fast-path hit/fallback
+    #: counters, cost-memo hits, degenerate-window counts, wall time).
+    metrics: dict = field(default_factory=dict)
 
     @property
     def mean_error(self) -> float:

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.joins.arrays import BatchArrays
 
 __all__ = ["CostModel", "apply_pipeline_costs", "completion_times"]
@@ -118,7 +119,9 @@ def apply_pipeline_costs(
         return
     signature = (method, model, float(slack))
     if arrays._cost_signature == signature:
+        obs.counter("pipeline.cost_memo.hit").inc()
         return
+    obs.counter("pipeline.cost_memo.miss").inc()
     order = arrays.arrival_order()
     arrivals = arrays.arrival[order]
 
@@ -150,6 +153,10 @@ def apply_pipeline_costs(
         dropped = np.zeros(n, dtype=bool)
     else:
         raise ValueError(f"unknown pipeline method {method!r}")
+
+    # Virtual busy time of the modeled single-server pipeline — the
+    # runner-side counterpart of the engine simulator's per-phase times.
+    obs.gauge(f"engine.{method}.time_ms.pipeline").add(float(costs.sum()))
 
     done = completion_times(arrivals, costs)
     done = np.where(dropped, np.inf, done)

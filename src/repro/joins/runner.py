@@ -14,14 +14,13 @@ virtual time advance monotonically, matching a real deployment.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
+from repro import obs
 from repro.joins.arrays import BatchArrays
 from repro.joins.base import RunResult, StreamJoinOperator, WindowRecord
 from repro.joins.pipeline import CostModel, apply_pipeline_costs
-from repro.metrics.error import relative_error
+from repro.metrics.error import bounded_window_error
 from repro.streams.windows import TumblingWindows, Window
 
 __all__ = ["run_operator"]
@@ -87,58 +86,59 @@ def run_operator(
     if omega <= 0:
         raise ValueError("omega must be positive")
     cost_model = cost_model or CostModel()
-    apply_pipeline_costs(arrays, operator.pipeline_method, cost_model, slack=omega)
-    drain = _drain_function(arrays)
-    aggregator = arrays.aggregator(window_length, origin)
+    with obs.scoped() as reg, reg.timer("runner.wall_ms"):
+        apply_pipeline_costs(arrays, operator.pipeline_method, cost_model, slack=omega)
+        drain = _drain_function(arrays)
+        aggregator = arrays.aggregator(window_length, origin)
 
-    if t_end is None:
-        t_end = float(arrays.event.max()) if len(arrays) else t_start
-    windows = TumblingWindows(window_length, origin=origin)
-    first_idx = windows.window_index(t_start)
-    if windows.window_at(first_idx).start < t_start:
-        first_idx += 1
+        if t_end is None:
+            t_end = float(arrays.event.max()) if len(arrays) else t_start
+        windows = TumblingWindows(window_length, origin=origin)
+        first_idx = windows.window_index(t_start)
+        if windows.window_at(first_idx).start < t_start:
+            first_idx += 1
 
-    operator.prepare(arrays, window_length, omega)
-    operator.bind_aggregator(aggregator)
-    result = RunResult(operator=operator.name, omega=omega)
+        operator.prepare(arrays, window_length, omega)
+        operator.bind_aggregator(aggregator)
+        result = RunResult(operator=operator.name, omega=omega)
 
-    idx = first_idx
-    grace = cost_model.grace_fraction * omega
-    while True:
-        window = windows.window_at(idx)
-        if window.end > t_end:
-            break
-        cutoff = window.start + omega
-        # The answer is fixed by the cutoff: only tuples the operator has
-        # *processed* by then contribute.  Emission may additionally lag
-        # behind while the operator drains its queue (bounded by the
-        # overload grace) — that lag is pure latency, not extra data.
-        value, extra_emit = operator.process_window(arrays, window, cutoff)
-        emit_at = max(cutoff, min(drain(cutoff), cutoff + grace))
-        emit_time = emit_at + cost_model.emit_overhead + extra_emit
+        idx = first_idx
+        grace = cost_model.grace_fraction * omega
+        while True:
+            window = windows.window_at(idx)
+            if window.end > t_end:
+                break
+            cutoff = window.start + omega
+            # The answer is fixed by the cutoff: only tuples the operator has
+            # *processed* by then contribute.  Emission may additionally lag
+            # behind while the operator drains its queue (bounded by the
+            # overload grace) — that lag is pure latency, not extra data.
+            value, extra_emit = operator.process_window(arrays, window, cutoff)
+            emit_at = max(cutoff, min(drain(cutoff), cutoff + grace))
+            emit_time = emit_at + cost_model.emit_overhead + extra_emit
 
-        expected = aggregator.at(window.start, window.end, None).value(operator.agg)
-        err = relative_error(value, expected)
-        if math.isinf(err):
-            # Degenerate window (oracle 0, answer nonzero): score the miss
-            # against 1 so a single empty window cannot dominate the mean.
-            err = min(1.0, abs(value - expected))
-        arrivals = arrays.arrivals_in_window(window.start, window.end, cutoff)
-        record = WindowRecord(
-            window=window,
-            value=value,
-            expected=expected,
-            error=err,
-            cutoff=cutoff,
-            emit_time=emit_time,
-            contributing=len(arrivals),
-        )
-        if idx - first_idx < warmup_windows:
-            result.warmup_records.append(record)
-        else:
-            result.records.append(record)
-            if len(arrivals):
-                result.latency.extend(emit_time - arrivals)
-        idx += 1
+            expected = aggregator.at(window.start, window.end, None).value(operator.agg)
+            err = bounded_window_error(value, expected)
+            arrivals = arrays.arrivals_in_window(window.start, window.end, cutoff)
+            record = WindowRecord(
+                window=window,
+                value=value,
+                expected=expected,
+                error=err,
+                cutoff=cutoff,
+                emit_time=emit_time,
+                contributing=len(arrivals),
+            )
+            if idx - first_idx < warmup_windows:
+                result.warmup_records.append(record)
+                obs.counter("runner.warmup_windows").inc()
+            else:
+                result.records.append(record)
+                obs.counter("runner.windows").inc()
+                obs.counter("runner.contributing_tuples").inc(len(arrivals))
+                if len(arrivals):
+                    result.latency.extend(emit_time - arrivals)
+            idx += 1
 
+    result.metrics = reg.snapshot()
     return result

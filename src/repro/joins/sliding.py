@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro import obs
 from repro.joins.arrays import BatchArrays
 from repro.joins.base import RunResult, StreamJoinOperator
 from repro.joins.pipeline import CostModel
@@ -78,22 +79,27 @@ def run_sliding_operator(
         operator=f"{operators[0].name} (sliding {slide:g}/{window_length:g})",
         omega=omega,
     )
-    for phase, operator in enumerate(operators):
-        result = run_operator(
-            operator,
-            arrays,
-            window_length,
-            omega,
-            t_start=t_start,
-            t_end=t_end,
-            cost_model=cost_model,
-            warmup_windows=warmup_windows,
-            origin=phase * slide,
-        )
-        merged.records.extend(result.records)
-        merged.warmup_records.extend(result.warmup_records)
-        merged.latency.extend(result.latency.samples)
+    # The sweep's own metrics scope: each phase's run_operator scope merges
+    # into it on exit, so merged.metrics carries grid totals across phases.
+    with obs.scoped() as reg:
+        obs.counter("sliding.phases").inc(phases)
+        for phase, operator in enumerate(operators):
+            result = run_operator(
+                operator,
+                arrays,
+                window_length,
+                omega,
+                t_start=t_start,
+                t_end=t_end,
+                cost_model=cost_model,
+                warmup_windows=warmup_windows,
+                origin=phase * slide,
+            )
+            merged.records.extend(result.records)
+            merged.warmup_records.extend(result.warmup_records)
+            merged.latency.extend(result.latency.samples)
 
     merged.records.sort(key=lambda r: r.window.start)
     merged.warmup_records.sort(key=lambda r: r.window.start)
+    merged.metrics = reg.snapshot()
     return merged

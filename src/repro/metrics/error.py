@@ -9,7 +9,14 @@ from __future__ import annotations
 import math
 from typing import Iterable, Sequence
 
-__all__ = ["relative_error", "mean_relative_error", "summarize_errors"]
+from repro import obs
+
+__all__ = [
+    "relative_error",
+    "bounded_window_error",
+    "mean_relative_error",
+    "summarize_errors",
+]
 
 
 def relative_error(observed: float, expected: float) -> float:
@@ -22,6 +29,26 @@ def relative_error(observed: float, expected: float) -> float:
     if expected == 0.0:
         return 0.0 if observed == 0.0 else math.inf
     return abs(observed - expected) / abs(expected)
+
+
+def bounded_window_error(value: float, expected: float) -> float:
+    """Per-window score: relative error with a bounded degenerate case.
+
+    A window whose oracle is zero but whose answer is nonzero has an
+    unbounded relative error; scoring it raw lets a single empty window
+    dominate a run's mean.  Such degenerate windows are scored
+    ``min(1.0, |value - expected|)`` instead — a full miss counts like a
+    100% relative error, never more.  Every per-window scoring site
+    (batch runner, engine simulator, streaming operators) routes through
+    this helper so the semantics cannot drift between them; each
+    degenerate window is counted in the ``error.degenerate_windows``
+    metric.
+    """
+    err = relative_error(value, expected)
+    if math.isinf(err):
+        obs.counter("error.degenerate_windows").inc()
+        return min(1.0, abs(value - expected))
+    return err
 
 
 def mean_relative_error(pairs: Iterable[tuple[float, float]]) -> float:

@@ -11,6 +11,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, Sequence
 
+from repro import obs
+
 __all__ = ["percentile", "p95", "LatencyTracker"]
 
 
@@ -38,14 +40,31 @@ class LatencyTracker:
     Join operators record, for every tuple that contributed to an emitted
     output, ``emit_time - arrival_time``.  The tracker aggregates those
     samples over a whole experiment run.
+
+    A negative sample means a tuple was emitted before it arrived — a
+    clock-skew or scheduling bug upstream.  Percentiles still clamp such
+    samples to zero (so one bad clock cannot produce nonsense latency
+    summaries), but each occurrence is counted in
+    :attr:`negative_samples` and in the ``latency.negative_samples``
+    metric so the bug is detectable instead of silently hidden.
     """
 
     def __init__(self):
         self._samples: list[float] = []
+        #: Count of emit-before-arrival samples seen (clamped to 0 in the
+        #: percentile data but never silently ignored).
+        self.negative_samples = 0
+
+    def _clamp(self, latency: float) -> float:
+        if latency < 0.0:
+            self.negative_samples += 1
+            obs.counter("latency.negative_samples").inc()
+            return 0.0
+        return latency
 
     def record(self, emit_time: float, arrival_time: float) -> None:
-        """Record one tuple's latency (clamped at zero)."""
-        self._samples.append(max(0.0, emit_time - arrival_time))
+        """Record one tuple's latency (clamped at zero, see above)."""
+        self._samples.append(self._clamp(emit_time - arrival_time))
 
     def record_many(self, emit_time: float, arrival_times: Iterable[float]) -> None:
         """Record latencies for every arrival against one emit time."""
@@ -55,7 +74,7 @@ class LatencyTracker:
     def extend(self, samples: Iterable[float]) -> None:
         """Merge raw latency samples (e.g. from another tracker)."""
         for s in samples:
-            self._samples.append(max(0.0, float(s)))
+            self._samples.append(self._clamp(float(s)))
 
     @property
     def samples(self) -> Sequence[float]:

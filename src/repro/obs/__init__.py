@@ -1,0 +1,59 @@
+"""``repro.obs`` — zero-dependency run-level observability.
+
+Usage at an instrumented site::
+
+    from repro import obs
+
+    obs.counter("aggregator.query.grid_hit").inc()
+    with obs.timer("aggregator.build_ms"):
+        index = build()
+
+Usage around a run::
+
+    with obs.scoped() as reg:
+        result = run_operator(...)
+    result.metrics = reg.snapshot()
+
+See :mod:`repro.obs.registry` for the instrument semantics and
+:mod:`repro.obs.report` for the derived run-report schema.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    StreamingHistogram,
+    counter,
+    default_registry,
+    disable,
+    enable,
+    gauge,
+    get_registry,
+    histogram,
+    is_enabled,
+    observe,
+    scoped,
+    span,
+    timer,
+)
+from repro.obs.report import summarize_run
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "StreamingHistogram",
+    "counter",
+    "default_registry",
+    "disable",
+    "enable",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "is_enabled",
+    "observe",
+    "scoped",
+    "span",
+    "timer",
+    "summarize_run",
+]

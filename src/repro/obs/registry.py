@@ -1,0 +1,381 @@
+"""Run-level metrics: counters, gauges and streaming histograms.
+
+The reproduction's hot paths (incremental window aggregation, memoized
+cost application, PECJ estimation, the engine simulation) are fast but
+opaque: nothing reported how often an operator silently fell off the
+fast path, how often the cost memo hit, or where an engine run's virtual
+time went.  This module is the substrate for that self-measurement —
+production stream-join systems treat run-time quality/performance
+metrics as first-class inputs (quality-driven disorder handling,
+autoscaling from operator performance models), and every layer here now
+feeds the same registry.
+
+Design constraints:
+
+* **zero dependencies** — pure stdlib, importable from anywhere in the
+  package without cycles;
+* **no-op cheap when disabled** — a disabled registry hands out shared
+  null instruments whose methods do nothing;
+* **bounded memory** — histograms keep log-spaced bucket counts
+  (~4% relative quantile error), never the samples themselves, so they
+  can be merged and snapshotted at any scale;
+* **scoped measurement** — ``scoped()`` pushes a child registry that
+  receives all writes for the duration of a run and merges back into its
+  parent on exit, so per-run snapshots (``RunResult.metrics``) and
+  process totals (the bench trace report) come from the same counters.
+
+Instruments are addressed by dotted name (``aggregator.query.grid_hit``)
+and created on first use; reading code never has to pre-register
+anything.  The registry is not thread-safe — the whole reproduction is a
+single-threaded virtual-time simulation.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "StreamingHistogram",
+    "MetricsRegistry",
+    "get_registry",
+    "default_registry",
+    "scoped",
+    "enable",
+    "disable",
+    "is_enabled",
+    "counter",
+    "gauge",
+    "histogram",
+    "observe",
+    "timer",
+    "span",
+]
+
+
+class Counter:
+    """Monotone event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-written (or accumulated) float measurement."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+    def add(self, v: float) -> None:
+        """Accumulate; used for virtual-time totals and byte tallies."""
+        self.value += float(v)
+
+
+class StreamingHistogram:
+    """Quantile sketch over log-spaced buckets — no samples stored.
+
+    Positive values land in buckets with boundaries ``BASE**i``
+    (``BASE = 1.08`` bounds the relative quantile error at ~4%);
+    non-positive values share one underflow bucket.  Exact ``count``,
+    ``total``, ``min`` and ``max`` are tracked alongside, and quantile
+    answers are clamped into ``[min, max]``.  Two sketches merge by
+    adding bucket counts, which is what lets a scoped child registry
+    fold back into its parent losslessly.
+    """
+
+    __slots__ = ("count", "total", "_min", "_max", "_under", "_buckets")
+
+    _BASE = 1.08
+    _LOG_BASE = math.log(1.08)
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._under = 0
+        self._buckets: dict[int, int] = {}
+
+    def observe(self, x: float) -> None:
+        x = float(x)
+        self.count += 1
+        self.total += x
+        if x < self._min:
+            self._min = x
+        if x > self._max:
+            self._max = x
+        if x <= 0.0:
+            self._under += 1
+        else:
+            idx = int(math.floor(math.log(x) / self._LOG_BASE))
+            self._buckets[idx] = self._buckets.get(idx, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (``q`` in [0, 1])."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be within [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = self._under
+        if self._under and seen >= rank:
+            return max(self._min, min(0.0, self._max))
+        for idx in sorted(self._buckets):
+            seen += self._buckets[idx]
+            if seen >= rank:
+                mid = self._BASE ** (idx + 0.5)
+                return max(self._min, min(mid, self._max))
+        return self._max
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        self._under += other._under
+        for idx, n in other._buckets.items():
+            self._buckets[idx] = self._buckets.get(idx, 0) + n
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+        }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, v: float) -> None:
+        pass
+
+    def add(self, v: float) -> None:
+        pass
+
+
+class _NullHistogram(StreamingHistogram):
+    __slots__ = ()
+
+    def observe(self, x: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    Args:
+        enabled: When False, every accessor returns a shared null
+            instrument and recording is a no-op.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, StreamingHistogram] = {}
+
+    # -- instruments ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> StreamingHistogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = StreamingHistogram()
+        return h
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- scopes --------------------------------------------------------------
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Record the wall-clock duration of a block, in milliseconds."""
+        if not self.enabled:
+            yield
+            return
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.histogram(name).observe((time.perf_counter() - t0) * 1e3)
+
+    @contextmanager
+    def span(self, name: str, clock: Callable[[], float]) -> Iterator[None]:
+        """Record a block's duration on an arbitrary (virtual) clock.
+
+        ``clock`` is any zero-argument callable returning the current
+        reading; the difference between exit and entry is observed in the
+        clock's own units.  Use :meth:`timer` for wall time.
+        """
+        if not self.enabled:
+            yield
+            return
+        t0 = clock()
+        try:
+            yield
+        finally:
+            self.histogram(name).observe(clock() - t0)
+
+    # -- aggregation ---------------------------------------------------------
+
+    def merge_into(self, other: "MetricsRegistry") -> None:
+        """Fold this registry's contents into ``other`` (scope exit)."""
+        if not self.enabled or not other.enabled:
+            return
+        for name, c in self.counters.items():
+            other.counter(name).inc(c.value)
+        for name, g in self.gauges.items():
+            other.gauge(name).set(g.value)
+        for name, h in self.histograms.items():
+            other.histogram(name).merge(h)
+
+    def snapshot(self) -> dict:
+        """JSON-ready view: counters, gauges and histogram summaries."""
+        return {
+            "counters": {k: v.value for k, v in sorted(self.counters.items())},
+            "gauges": {k: v.value for k, v in sorted(self.gauges.items())},
+            "histograms": {
+                k: v.summary() for k, v in sorted(self.histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+#: Process-global default registry; the bottom of the scope stack.
+_DEFAULT = MetricsRegistry(enabled=True)
+_STACK: list[MetricsRegistry] = [_DEFAULT]
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry (bottom of the scope stack)."""
+    return _DEFAULT
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry currently receiving writes (top of the scope stack)."""
+    return _STACK[-1]
+
+
+@contextmanager
+def scoped(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Route all recording to a child registry for the duration of a block.
+
+    On exit the child merges into its parent, so outer scopes (and the
+    process totals) still see everything; the child remains readable for
+    a per-run snapshot.  The child inherits the parent's enabled state,
+    so :func:`disable` silences scoped runs too.
+    """
+    reg = registry if registry is not None else MetricsRegistry(
+        enabled=_STACK[-1].enabled
+    )
+    _STACK.append(reg)
+    try:
+        yield reg
+    finally:
+        _STACK.pop()
+        reg.merge_into(_STACK[-1])
+
+
+def enable() -> None:
+    """Turn the default registry (and future scopes) back on."""
+    _DEFAULT.enabled = True
+
+
+def disable() -> None:
+    """Make all default-registry instrumentation no-op cheap."""
+    _DEFAULT.enabled = False
+
+
+def is_enabled() -> bool:
+    return get_registry().enabled
+
+
+# -- module-level shortcuts (write to the current scope) ----------------------
+
+
+def counter(name: str) -> Counter:
+    return _STACK[-1].counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _STACK[-1].gauge(name)
+
+
+def histogram(name: str) -> StreamingHistogram:
+    return _STACK[-1].histogram(name)
+
+
+def observe(name: str, value: float) -> None:
+    _STACK[-1].observe(name, value)
+
+
+def timer(name: str):
+    return _STACK[-1].timer(name)
+
+
+def span(name: str, clock: Callable[[], float]):
+    return _STACK[-1].span(name, clock)

@@ -1,0 +1,76 @@
+"""Structured run reports from registry snapshots.
+
+A raw :meth:`~repro.obs.registry.MetricsRegistry.snapshot` is a flat
+instrument dump; benchmark artifacts and CI gates want the derived
+health indicators — fast-path fallback rates, cost-memo hit rates,
+degenerate-window counts, per-phase engine time.  This module computes
+them in one place so ``python -m repro.bench --trace``,
+``benchmarks/bench_hotpath.py`` and the tests all read the same schema.
+"""
+
+from __future__ import annotations
+
+__all__ = ["summarize_run"]
+
+
+def _rate(part: float, whole: float) -> float:
+    return part / whole if whole else 0.0
+
+
+def summarize_run(snapshot: dict) -> dict:
+    """Derive the headline health indicators from a registry snapshot.
+
+    Returns a dict with (always-present) keys:
+
+    * ``aggregator`` — incremental-grid hits, rescan fallbacks split by
+      reason (``unbound`` / ``off_grid``), and the overall fallback rate;
+    * ``cost_memo`` — ``apply_pipeline_costs`` memo hits/misses/hit rate;
+    * ``degenerate_windows`` — zero-oracle windows scored through
+      :func:`repro.metrics.error.bounded_window_error`;
+    * ``latency_negative_samples`` — emit-before-arrival samples seen by
+      any :class:`~repro.metrics.latency.LatencyTracker`;
+    * ``engine_time_ms`` — per-algorithm, per-phase virtual-time totals
+      from the engine simulator (empty for standalone-only runs);
+    * ``pecj`` — per-backend estimator health counters (blend calls and
+      clamp events), empty when no PECJ ran.
+    """
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+
+    hits = counters.get("aggregator.query.grid_hit", 0)
+    unbound = counters.get("aggregator.query.fallback.unbound", 0)
+    off_grid = counters.get("aggregator.query.fallback.off_grid", 0)
+    queries = hits + unbound + off_grid
+
+    memo_hits = counters.get("pipeline.cost_memo.hit", 0)
+    memo_misses = counters.get("pipeline.cost_memo.miss", 0)
+
+    engine_time = {
+        name[len("engine."):]: value
+        for name, value in gauges.items()
+        if name.startswith("engine.") and ".time_ms." in name
+    }
+    pecj = {
+        name[len("pecj."):]: value
+        for name, value in counters.items()
+        if name.startswith("pecj.")
+    }
+
+    return {
+        "aggregator": {
+            "grid_hits": hits,
+            "fallback_unbound": unbound,
+            "fallback_off_grid": off_grid,
+            "queries": queries,
+            "fallback_rate": _rate(unbound + off_grid, queries),
+        },
+        "cost_memo": {
+            "hits": memo_hits,
+            "misses": memo_misses,
+            "hit_rate": _rate(memo_hits, memo_hits + memo_misses),
+        },
+        "degenerate_windows": counters.get("error.degenerate_windows", 0),
+        "latency_negative_samples": counters.get("latency.negative_samples", 0),
+        "engine_time_ms": engine_time,
+        "pecj": pecj,
+    }

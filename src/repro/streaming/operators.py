@@ -36,7 +36,7 @@ from repro.core.compensation import compensate
 from repro.core.delay_profile import DelayProfile
 from repro.core.pecj import make_estimator
 from repro.joins.arrays import AggKind
-from repro.metrics.error import relative_error
+from repro.metrics.error import bounded_window_error
 from repro.streaming.kslack import KSlackBuffer
 from repro.streaming.state import WindowJoinState
 from repro.streams.tuples import StreamTuple
@@ -244,9 +244,9 @@ class _StreamingBase:
                         start, start + self.window_length, self.num_buckets
                     )
                 truth = state.value(self.agg)
-                err = relative_error(emission.value, truth)
-                if math.isinf(err):
-                    err = abs(emission.value - truth)
+                # Shared degenerate-window semantics: a zero-truth window
+                # with a nonzero (compensated) answer scores at most 1.
+                err = bounded_window_error(emission.value, truth)
                 self.scored.append(
                     ScoredWindow(state.start, emission.value, truth, err)
                 )
@@ -489,21 +489,21 @@ class StreamingPECJ(_StreamingBase):
             self._emit_obs[widx] = (state.n_r, state.n_s, c_bar, m_hat)
             c_hat_bar = 1.0 - missing / state.length
             out = []
-            for obs, mu, est in (
+            for n_obs, mu, est in (
                 (state.n_r, mu_r, self.rate_r),
                 (state.n_s, mu_s, self.rate_s),
             ):
                 fill = mu
                 if c_hat_bar >= 0.05:
-                    est1 = obs / (c_hat_bar * state.length)
-                    rel_var1 = (1.0 - c_hat_bar) / (c_hat_bar * max(obs, 1.0))
+                    est1 = n_obs / (c_hat_bar * state.length)
+                    rel_var1 = (1.0 - c_hat_bar) / (c_hat_bar * max(n_obs, 1.0))
                     rel_var1 += self._m_rel_var
                     sd2 = getattr(est, "residual_std", lambda: 0.0)()
                     rel_var2 = (sd2 / mu) ** 2 if mu > 0 else 1.0
                     rel_var2 = min(max(rel_var2, 1e-4), 1.0)
                     w1 = rel_var2 / (rel_var1 + rel_var2)
                     fill = w1 * est1 + (1.0 - w1) * mu
-                out.append(obs + fill * missing)
+                out.append(n_obs + fill * missing)
             return out[0], out[1]
 
         # Analytical path: Eq. 9 blend over bucket observations.

@@ -118,6 +118,12 @@ class AdaptiveWatermark(WatermarkGenerator):
     delays, so it relaxes after congestion clears instead of staying
     pinned at the historical maximum.  ``safety`` scales the quantile to
     trade lateness against waiting.
+
+    While fewer than 8 delay samples have arrived the quantile is too
+    noisy to use; the generator warms up on the maximum delay observed so
+    far (the :class:`HeuristicWatermark` rule), so the watermark never
+    sits at ``max_event_seen`` during cold start flagging ordinary
+    disordered tuples as late.
     """
 
     def __init__(
@@ -134,15 +140,20 @@ class AdaptiveWatermark(WatermarkGenerator):
         self.quantile = quantile
         self.safety = safety
         self._delays: collections.deque[float] = collections.deque(maxlen=sample_size)
+        self._max_delay = 0.0
 
     def observe(self, t: StreamTuple) -> None:
         super().observe(t)
-        self._delays.append(max(t.delay, 0.0))
+        delay = max(t.delay, 0.0)
+        self._delays.append(delay)
+        self._max_delay = max(self._max_delay, delay)
 
     @property
     def lag(self) -> float:
         if len(self._delays) < 8:
-            return 0.0
+            # Cold start: fall back to the max-delay heuristic until the
+            # quantile sample is usable.
+            return self._max_delay * self.safety
         return float(np.quantile(np.asarray(self._delays), self.quantile)) * self.safety
 
 

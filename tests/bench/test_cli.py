@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro.bench`` entry point."""
 
+import json
+
 import pytest
 
 from repro.bench.__main__ import _FIGURES, main
@@ -27,3 +29,28 @@ class TestCli:
     def test_scale_must_be_float(self):
         with pytest.raises(ValueError):
             main(["fig6", "--scale", "tiny"])
+
+    def test_trace_writes_run_report(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        rc = main(["fig6", "--scale", "0.05", "--trace", str(path)])
+        assert rc == 0
+        assert "wrote trace report" in capsys.readouterr().out
+        report = json.loads(path.read_text())
+        fig = report["figures"]["fig6"]
+        assert fig["rows"]  # the same rows the table printed
+        summary = fig["summary"]
+        # The acceptance trio: fallback counts, memo hit rate, engine time.
+        agg = summary["aggregator"]
+        assert agg["grid_hits"] > 0
+        assert agg["fallback_unbound"] == 0
+        assert agg["fallback_off_grid"] == 0
+        assert 0.0 <= summary["cost_memo"]["hit_rate"] <= 1.0
+        assert summary["cost_memo"]["misses"] > 0
+        assert any(k.endswith(".pipeline") for k in summary["engine_time_ms"])
+        # Raw snapshot rides along for ad-hoc digging.
+        assert "aggregator.query.grid_hit" in fig["metrics"]["counters"]
+
+    def test_no_trace_writes_nothing(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        main(["fig6", "--scale", "0.05"])
+        assert list(tmp_path.iterdir()) == []

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.engine.simulator import EngineResult, ParallelJoinEngine
-from repro.joins.arrays import AggKind
+from repro.joins.arrays import AggKind, BatchArrays
 from repro.streams.datasets import make_dataset
 from repro.streams.disorder import UniformDelay
 from repro.streams.sources import make_disordered_arrays
@@ -126,6 +126,57 @@ class TestEngineResult:
             "throughput_ktps",
             "windows",
         }
+
+
+def gap_arrays(gap_start=200.0, gap_end=210.0, duration=300.0, delay=15.0):
+    """Deterministic single-key stream with one empty event-time window.
+
+    One R tuple per ms and one S tuple per ms (offset 0.25), all on one
+    key, all delayed by a constant 15 ms — except no events at all inside
+    ``[gap_start, gap_end)``.  With ``omega = 10 < delay`` nothing has
+    arrived by any window's cutoff, so a PECJ engine answers every window
+    from its learned prior; for the gap window the oracle is 0 while the
+    compensated answer stays at the prior's ~100 matches.
+    """
+    events = []
+    sides = []
+    for t in range(int(duration)):
+        for offset, is_r in ((0.0, True), (0.25, False)):
+            e = t + offset
+            if gap_start <= e < gap_end:
+                continue
+            events.append(e)
+            sides.append(is_r)
+    event = np.asarray(events)
+    is_r = np.asarray(sides, dtype=bool)
+    return BatchArrays(
+        event=event,
+        arrival=event + delay,
+        key=np.zeros(len(event), dtype=np.int64),
+        payload=np.ones(len(event)),
+        is_r=is_r,
+    )
+
+
+class TestDegenerateWindows:
+    """Regression: a zero-oracle window with a large compensated answer
+    used to contribute its raw absolute miss (here ~100) to the mean
+    error, drowning every real measurement in Fig. 10/11-style runs."""
+
+    def test_empty_window_cannot_dominate_mean_error(self):
+        arrays = gap_arrays()
+        engine = ParallelJoinEngine(
+            "shj", threads=4, agg=AggKind.COUNT, pecj=True, omega=10.0
+        )
+        res = engine.run(arrays, t_start=100.0, t_end=290.0)
+
+        gap = next(r for r in res.records if r.window.start == 200.0)
+        assert gap.expected == 0.0
+        # The estimator really did compensate from its prior...
+        assert gap.value > 1.0
+        # ...yet the window scores at most one wrong-window's worth.
+        assert gap.error <= 1.0
+        assert res.mean_error < 1.0
 
 
 class TestEagerVariants:

@@ -118,6 +118,14 @@ class TestDegenerateWindowScoring:
         )
         assert res.mean_error == 0.0
 
+    def test_degenerate_windows_surface_in_metrics(self):
+        """The shared helper also *counts*: a run whose mean was shaped
+        by the degenerate clamp says so in its metrics snapshot."""
+        res = run_operator(
+            _ConstantOperator(1e6), _all_s_arrays(), 10.0, 5.0, t_end=100.0
+        )
+        assert res.metrics["counters"]["error.degenerate_windows"] == res.num_windows
+
 
 class TestRunResult:
     def _record(self, error):

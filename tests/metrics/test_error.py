@@ -6,7 +6,13 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.metrics.error import mean_relative_error, relative_error, summarize_errors
+from repro import obs
+from repro.metrics.error import (
+    bounded_window_error,
+    mean_relative_error,
+    relative_error,
+    summarize_errors,
+)
 
 
 class TestRelativeError:
@@ -40,6 +46,31 @@ class TestRelativeError:
         e1 = relative_error(0.8 * expected, expected)
         e2 = relative_error(0.8 * expected * 7, expected * 7)
         assert e1 == pytest.approx(e2)
+
+
+class TestBoundedWindowError:
+    def test_matches_relative_error_when_defined(self):
+        assert bounded_window_error(8.0, 10.0) == pytest.approx(0.2)
+        assert bounded_window_error(0.0, 0.0) == 0.0
+
+    def test_degenerate_large_value_clamps_to_one(self):
+        """A zero-oracle window with any sizeable answer scores exactly
+        one wrong-window's worth of error — it can no longer dominate a
+        run mean (let alone make it infinite)."""
+        assert bounded_window_error(1000.0, 0.0) == 1.0
+        assert not math.isinf(bounded_window_error(1e12, 0.0))
+
+    def test_degenerate_small_value_keeps_magnitude(self):
+        """Below one unit of absolute miss, the miss itself is the score:
+        a near-zero spurious answer on an empty window stays near zero."""
+        assert bounded_window_error(0.4, 0.0) == pytest.approx(0.4)
+
+    def test_degenerate_windows_are_counted(self):
+        with obs.scoped() as reg:
+            bounded_window_error(5.0, 10.0)  # ordinary: not counted
+            bounded_window_error(7.0, 0.0)
+            bounded_window_error(0.2, 0.0)
+        assert reg.counter("error.degenerate_windows").value == 2
 
 
 class TestMeanRelativeError:

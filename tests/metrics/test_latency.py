@@ -68,3 +68,18 @@ class TestLatencyTracker:
         assert t.p95() == 0.0
         assert t.mean() == 0.0
         assert t.max() == 0.0
+
+    def test_negative_samples_are_counted_not_hidden(self):
+        """Regression: an emit-before-arrival sample means a clock-skew
+        or scheduling bug upstream.  The clamp keeps percentiles sane,
+        but the occurrence must be observable."""
+        from repro import obs
+
+        t = LatencyTracker()
+        with obs.scoped() as reg:
+            t.record(emit_time=5.0, arrival_time=10.0)
+            t.extend([1.0, -2.0, -3.0])
+            t.record(emit_time=10.0, arrival_time=5.0)  # fine
+        assert t.negative_samples == 3
+        assert reg.counter("latency.negative_samples").value == 3
+        assert min(t.samples) == 0.0  # percentile data still clamped

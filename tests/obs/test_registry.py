@@ -1,0 +1,204 @@
+"""Tests for the metrics registry primitives."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import MetricsRegistry, StreamingHistogram, summarize_run
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc(3)
+        assert reg.counter("a").value == 4
+
+    def test_counter_identity_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.counter("x") is not reg.counter("y")
+
+    def test_gauge_set_and_add(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(2.5)
+        reg.gauge("g").add(1.5)
+        assert reg.gauge("g").value == pytest.approx(4.0)
+
+
+class TestStreamingHistogram:
+    def test_exact_stats(self):
+        h = StreamingHistogram()
+        for x in (1.0, 2.0, 3.0, 10.0):
+            h.observe(x)
+        assert h.count == 4
+        assert h.mean == pytest.approx(4.0)
+        assert h.min == 1.0
+        assert h.max == 10.0
+
+    def test_quantiles_within_relative_error(self):
+        h = StreamingHistogram()
+        rng = np.random.default_rng(0)
+        samples = rng.lognormal(mean=1.0, sigma=1.0, size=5000)
+        for x in samples:
+            h.observe(float(x))
+        for q in (0.5, 0.95):
+            exact = float(np.quantile(samples, q))
+            assert h.quantile(q) == pytest.approx(exact, rel=0.08)
+
+    def test_quantiles_clamped_to_range(self):
+        h = StreamingHistogram()
+        h.observe(7.0)
+        assert h.quantile(0.0) == 7.0
+        assert h.quantile(1.0) == 7.0
+
+    def test_nonpositive_underflow_bucket(self):
+        h = StreamingHistogram()
+        h.observe(-5.0)
+        h.observe(0.0)
+        h.observe(100.0)
+        assert h.min == -5.0
+        assert h.quantile(0.3) <= 0.0
+
+    def test_empty(self):
+        h = StreamingHistogram()
+        assert h.quantile(0.5) == 0.0
+        assert h.summary()["count"] == 0.0
+
+    def test_merge_equals_union(self):
+        a, b, u = StreamingHistogram(), StreamingHistogram(), StreamingHistogram()
+        rng = np.random.default_rng(1)
+        for x in rng.exponential(3.0, size=400):
+            a.observe(float(x))
+            u.observe(float(x))
+        for x in rng.exponential(30.0, size=400):
+            b.observe(float(x))
+            u.observe(float(x))
+        a.merge(b)
+        assert a.count == u.count
+        assert a.total == pytest.approx(u.total)
+        assert a.quantile(0.95) == pytest.approx(u.quantile(0.95))
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram().quantile(1.5)
+
+    def test_bounded_memory(self):
+        """Buckets grow with dynamic range, not with sample count."""
+        h = StreamingHistogram()
+        for i in range(100_000):
+            h.observe(1.0 + (i % 100) / 100.0)
+        assert len(h._buckets) < 20
+
+
+class TestRegistry:
+    def test_snapshot_schema(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.0)
+        reg.observe("h", 2.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 1}
+        assert snap["gauges"] == {"g": 1.0}
+        assert snap["histograms"]["h"]["count"] == 1.0
+
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.0)
+        reg.observe("h", 2.0)
+        with reg.timer("t"):
+            pass
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_timer_records_milliseconds(self):
+        reg = MetricsRegistry()
+        with reg.timer("t"):
+            pass
+        h = reg.histograms["t"]
+        assert h.count == 1
+        assert 0.0 <= h.max < 1000.0
+
+    def test_span_uses_supplied_clock(self):
+        reg = MetricsRegistry()
+        clock = iter([10.0, 17.5])
+        with reg.span("virtual", lambda: next(clock)):
+            pass
+        assert reg.histograms["virtual"].max == pytest.approx(7.5)
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot()["counters"] == {}
+
+
+class TestScoping:
+    def test_scoped_merges_into_parent(self):
+        with obs.scoped() as outer:
+            with obs.scoped() as inner:
+                obs.counter("n").inc(2)
+                obs.gauge("g").set(3.0)
+                obs.observe("h", 1.0)
+            assert inner.counter("n").value == 2
+            assert outer.counter("n").value == 2
+            assert outer.gauge("g").value == 3.0
+            assert outer.histograms["h"].count == 1
+
+    def test_module_shortcuts_write_to_current_scope(self):
+        before = obs.default_registry().counters.get("scoped.only")
+        with obs.scoped() as reg:
+            obs.counter("scoped.only").inc()
+            assert reg.counter("scoped.only").value == 1
+        after = obs.default_registry().counter("scoped.only").value
+        # Merged up into the default registry exactly once.
+        assert after == (before.value if before else 0) + 1
+
+    def test_disable_silences_scoped_runs(self):
+        obs.disable()
+        try:
+            with obs.scoped() as reg:
+                obs.counter("quiet").inc()
+            assert reg.snapshot()["counters"] == {}
+        finally:
+            obs.enable()
+
+    def test_scope_pops_on_exception(self):
+        top = obs.get_registry()
+        with pytest.raises(RuntimeError):
+            with obs.scoped():
+                raise RuntimeError("boom")
+        assert obs.get_registry() is top
+
+
+class TestSummarizeRun:
+    def test_empty_snapshot(self):
+        s = summarize_run({"counters": {}, "gauges": {}, "histograms": {}})
+        assert s["aggregator"]["queries"] == 0
+        assert s["aggregator"]["fallback_rate"] == 0.0
+        assert s["cost_memo"]["hit_rate"] == 0.0
+        assert s["degenerate_windows"] == 0
+        assert s["engine_time_ms"] == {}
+        assert s["pecj"] == {}
+
+    def test_derived_rates(self):
+        snap = {
+            "counters": {
+                "aggregator.query.grid_hit": 90,
+                "aggregator.query.fallback.unbound": 6,
+                "aggregator.query.fallback.off_grid": 4,
+                "pipeline.cost_memo.hit": 3,
+                "pipeline.cost_memo.miss": 1,
+                "error.degenerate_windows": 2,
+                "pecj.aema.blend_calls": 7,
+            },
+            "gauges": {"engine.prj.time_ms.partition": 12.5},
+            "histograms": {},
+        }
+        s = summarize_run(snap)
+        assert s["aggregator"]["fallback_rate"] == pytest.approx(0.1)
+        assert s["cost_memo"]["hit_rate"] == pytest.approx(0.75)
+        assert s["degenerate_windows"] == 2
+        assert s["engine_time_ms"] == {"prj.time_ms.partition": 12.5}
+        assert s["pecj"] == {"aema.blend_calls": 7}

@@ -53,6 +53,74 @@ class TestKSlackBuffer:
         with pytest.raises(ValueError):
             KSlackBuffer(-1.0)
 
+    def test_tie_at_release_boundary(self):
+        """Exact-boundary semantics: a buffered tuple whose event time
+        equals ``watermark - slack`` is released by the drain (<= bound),
+        while an *arriving* tuple at exactly that boundary is
+        asynchronous — it would have been drained already."""
+        buf = KSlackBuffer(slack=5.0)
+        buf.push(tup(3.0))
+        released = buf.push(tup(8.0))  # bound = 8 - 5 = 3: drains 3.0
+        assert [t.event_time for t in released] == [3.0]
+        assert buf.asynchronous_releases == 0
+        at_boundary = tup(3.0)  # arrives at the bound it was drained at
+        assert buf.push(at_boundary) == [at_boundary]
+        assert buf.asynchronous_releases == 1
+        just_inside = tup(3.0 + 1e-9)
+        assert buf.push(just_inside) == []  # buffered, not asynchronous
+        assert buf.asynchronous_releases == 1
+
+    def test_equal_event_times_release_in_arrival_order(self):
+        buf = KSlackBuffer(slack=5.0)
+        first, second = tup(2.0, seq=1), tup(2.0, seq=2)
+        buf.push(first)
+        buf.push(second)
+        released = buf.push(tup(10.0))
+        assert [t.seq for t in released] == [1, 2]
+
+    def test_reuse_after_flush_keeps_watermark(self):
+        """``flush()`` empties the heap but not the progress: the buffer
+        must keep rejecting tuples older than ``watermark - slack`` and
+        keep ordering fresh ones."""
+        buf = KSlackBuffer(slack=5.0)
+        for e in (4.0, 1.0, 12.0):
+            buf.push(tup(e))
+        buf.flush()
+        assert len(buf) == 0
+        # Progress survives the flush: 12 - 5 = 7 is still the bound.
+        old = tup(6.0)
+        assert buf.push(old) == [old]
+        assert buf.asynchronous_releases == 1
+        # Fresh tuples buffer and release in order as before.
+        out = []
+        for e in (9.0, 8.0, 20.0):
+            out.extend(buf.push(tup(e)))
+        out.extend(buf.flush())
+        assert [t.event_time for t in out] == [8.0, 9.0, 20.0]
+
+    def test_asynchronous_accounting_under_long_tail_delays(self):
+        """Pareto stragglers arrive behind the release bound; each must
+        be counted exactly once, with conservation of tuples."""
+        from repro.streams.disorder import ParetoDelay
+
+        rng = np.random.default_rng(7)
+        events = np.sort(rng.uniform(0.0, 500.0, size=400))
+        delays = ParetoDelay(shape=1.2, scale=5.0, max_delay=400.0).sample(rng, events)
+        arrivals = events + delays
+        order = np.argsort(arrivals, kind="stable")
+
+        buf = KSlackBuffer(slack=10.0)
+        out = []
+        expected_async = 0
+        for i in order:
+            if events[i] <= buf.watermark - buf.slack:
+                expected_async += 1
+            out.extend(buf.push(tup(float(events[i]), float(arrivals[i]), seq=int(i))))
+        out.extend(buf.flush())
+        assert expected_async > 0  # the tail actually bit
+        assert buf.asynchronous_releases == expected_async
+        assert sorted(t.seq for t in out) == list(range(len(events)))
+
     def test_peek_range_nondestructive(self):
         buf = KSlackBuffer(slack=100.0)
         for e in (5.0, 12.0, 25.0):

@@ -141,3 +141,34 @@ class TestLateHandling:
         warm = [e for e in emissions if e.window_start > 200.0]
         for e in warm:
             assert e.emit_time == pytest.approx(e.window_start + 10.0 + 90.0)
+
+
+class TestDegenerateWindows:
+    """Regression: a zero-truth window with a compensated answer used to
+    score its raw absolute miss, letting one empty window dominate
+    ``mean_error``."""
+
+    def gap_stream(self, gap_start=200.0, gap_end=210.0, duration=300.0, delay=15.0):
+        """Single-key 1-tuple/ms-per-side stream, constant 15 ms delay,
+        no events inside ``[gap_start, gap_end)``.  With ``omega = 10 <
+        delay`` nothing has arrived by any cutoff, so a warm PECJ answers
+        every window from its prior — including the truly empty one."""
+        tuples = []
+        for t in range(int(duration)):
+            for offset, side in ((0.0, Side.R), (0.25, Side.S)):
+                e = t + offset
+                if gap_start <= e < gap_end:
+                    continue
+                tuples.append(StreamTuple(0, 1.0, e, e + delay, side))
+        return sorted(tuples, key=lambda t: t.arrival_time)
+
+    def test_empty_window_cannot_dominate_mean_error(self):
+        op = StreamingPECJ(10.0, 10.0, backend="aema")
+        drive(op, self.gap_stream())
+        gap = next(s for s in op.scored if s.window_start == 200.0)
+        assert gap.truth == 0.0
+        # Compensation really fired (the prior predicts ~100 matches)...
+        assert gap.value > 1.0
+        # ...but the empty window scores at most 1.
+        assert gap.error <= 1.0
+        assert op.mean_error < 1.0

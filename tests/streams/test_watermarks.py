@@ -79,10 +79,28 @@ class TestAdaptive:
         self._feed(wm, rng, mean=2.0, n=600, t0=1000.0)
         assert wm.lag < 0.3 * congested
 
-    def test_cold_start_no_lag(self):
-        wm = AdaptiveWatermark()
+    def test_cold_start_warms_on_max_delay(self):
+        """Regression: before the quantile sample is usable (8 delays)
+        the lag must fall back to the max delay seen, not 0 — a zero lag
+        parks the watermark at ``max_event_seen`` and flags every
+        ordinarily disordered tuple as late during cold start."""
+        wm = AdaptiveWatermark(safety=1.1)
         wm.observe(tup(1.0, 5.0))
-        assert wm.lag == 0.0
+        assert wm.lag == pytest.approx(5.0 * 1.1)
+        # An ordinary disordered tuple (delay within what has been seen)
+        # must not be flagged late while warming up.
+        wm.observe(tup(10.0, 0.0))
+        assert not wm.is_late(tup(6.0, 4.0))
+
+    def test_cold_start_heuristic_hands_over_to_quantile(self):
+        wm = AdaptiveWatermark(quantile=0.5, safety=1.0)
+        for i in range(7):
+            wm.observe(tup(float(i), 10.0))
+        assert wm.lag == pytest.approx(10.0)  # heuristic fallback
+        for i in range(20):
+            wm.observe(tup(10.0 + i, 2.0))
+        # Quantile path active: median of recent delays, not the max.
+        assert wm.lag < 10.0
 
     def test_validation(self):
         with pytest.raises(ValueError):
