@@ -1,21 +1,24 @@
-"""Hot-path microbenchmark: per-window rescan vs incremental aggregation.
+"""Hot-path microbenchmark: aggregation, ingest and executor paths.
 
-Replays exactly the query pattern of one runner sweep — for every
-tumbling window, the exact oracle plus one availability-filtered view —
-through both implementations:
+Three sections, each pairing a slow reference path with its optimised
+replacement and asserting equivalence before timing:
 
-* **rescan**: ``BatchArrays.aggregate``, which rebuilds per-key count
-  tables (O(|window| + num_keys)) for every query; this was the hot path
-  before the incremental engine existed.
-* **incremental**: a fresh :class:`repro.joins.aggregator.WindowAggregator`
-  per pass (so its one-off build cost is inside the measurement), then
-  O(log |window|) prefix lookups.
+* **hotpath** — per-window rescan (``BatchArrays.aggregate``, which
+  rebuilds per-key count tables for every query) vs the incremental
+  :class:`repro.joins.aggregator.WindowAggregator` (O(log |window|)
+  prefix lookups), replaying exactly the query pattern of one runner
+  sweep.
+* **ingest** — object-path stream generation (per-tuple ``StreamTuple``
+  allocation through ``make_disordered_pair`` + ``from_batch``) vs the
+  zero-object columnar ``make_disordered_arrays``; columns are asserted
+  identical first.
+* **executor** — a serial fig6 smoke sweep vs the same sweep sharded
+  across worker processes; row tables are asserted byte-identical.
+  Wall-clock speedup is only gated when the machine actually has >= 4
+  CPUs (recorded in the artifact metadata).
 
-Both paths run against a batch whose event-sort and availability-order
-caches are already warm — that state belongs to the batch, not to either
-implementation.  Results are asserted identical before timing, timing is
-best-of-N, and a JSON artifact is written for tracking (see DESIGN.md for
-how to read it).
+Timing is best-of-N and a JSON artifact is written for tracking (see
+DESIGN.md for how to read it).
 
 Usage::
 
@@ -28,6 +31,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import platform
 import sys
 import time
 
@@ -36,13 +40,17 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 import numpy as np  # noqa: E402
 
 from repro import obs  # noqa: E402
+from repro.bench.experiments import fig6_end_to_end  # noqa: E402
 from repro.joins.aggregator import WindowAggregator  # noqa: E402
-from repro.joins.arrays import AggKind  # noqa: E402
+from repro.joins.arrays import AggKind, BatchArrays  # noqa: E402
 from repro.joins.baselines import WatermarkJoin  # noqa: E402
 from repro.joins.runner import run_operator  # noqa: E402
 from repro.streams.datasets import make_dataset  # noqa: E402
 from repro.streams.disorder import UniformDelay  # noqa: E402
-from repro.streams.sources import make_disordered_arrays  # noqa: E402
+from repro.streams.sources import (  # noqa: E402
+    make_disordered_arrays,
+    make_disordered_pair,
+)
 
 #: (label, duration_ms, num_keys, window_length_ms).  2x50 tuples/ms, so
 #: 1000 ms ~= 100K tuples.  The last workload is the acceptance headline:
@@ -132,6 +140,76 @@ def run_workload(label, duration_ms, num_keys, length, repeats):
     return row
 
 
+def ingest_workload(label, duration_ms, num_keys, repeats):
+    """Object-path vs columnar stream generation, same seed and columns."""
+
+    def object_path():
+        merged, _, _ = make_disordered_pair(
+            make_dataset("micro", num_keys=num_keys),
+            UniformDelay(5.0),
+            duration_ms,
+            50.0,
+            50.0,
+            seed=3,
+        )
+        return BatchArrays.from_batch(merged)
+
+    def columnar_path():
+        return build_arrays(duration_ms, num_keys)
+
+    a = object_path()
+    b = columnar_path()
+    for col in ("event", "arrival", "key", "payload", "is_r"):
+        assert np.array_equal(getattr(a, col), getattr(b, col)), (
+            f"{label}: columnar ingest diverged from object path on '{col}'"
+        )
+
+    n = len(a.event)
+    t_obj = best_of(object_path, repeats)
+    t_col = best_of(columnar_path, repeats)
+    row = {
+        "workload": label,
+        "tuples": n,
+        "num_keys": num_keys,
+        "object": {"seconds": t_obj, "tuples_per_s": n / t_obj},
+        "columnar": {"seconds": t_col, "tuples_per_s": n / t_col},
+        "speedup": t_obj / t_col,
+    }
+    print(
+        f"ingest/{label}: n={n} | object {t_obj * 1e3:.2f} ms "
+        f"({n / t_obj / 1e6:.2f} Mtuples/s) | columnar {t_col * 1e3:.2f} ms "
+        f"({n / t_col / 1e6:.2f} Mtuples/s) | speedup {row['speedup']:.2f}x"
+    )
+    return row
+
+
+def executor_workload(scale, workers, repeats):
+    """Serial vs sharded fig6 sweep; rows must be byte-identical."""
+    serial_rows = fig6_end_to_end(scale=scale)
+    parallel_rows = fig6_end_to_end(scale=scale, workers=workers)
+    assert json.dumps(serial_rows) == json.dumps(parallel_rows), (
+        "executor: parallel fig6 rows diverged from serial"
+    )
+
+    t_serial = best_of(lambda: fig6_end_to_end(scale=scale), repeats)
+    t_par = best_of(lambda: fig6_end_to_end(scale=scale, workers=workers), repeats)
+    row = {
+        "figure": "fig6",
+        "scale": scale,
+        "workers": workers,
+        "cells": len(serial_rows),
+        "rows_identical": True,
+        "serial": {"seconds": t_serial},
+        "parallel": {"seconds": t_par},
+        "speedup": t_serial / t_par,
+    }
+    print(
+        f"executor/fig6 scale={scale}: serial {t_serial:.2f} s | "
+        f"{workers} workers {t_par:.2f} s | speedup {row['speedup']:.2f}x"
+    )
+    return row
+
+
 def observability_sweep(duration_ms, num_keys, length):
     """Drive one real runner sweep under :mod:`repro.obs` and summarize.
 
@@ -176,12 +254,36 @@ def main(argv=None) -> int:
         help="path of the JSON artifact (default: repo root BENCH_hotpath.json)",
     )
     parser.add_argument("--repeats", type=int, default=5, help="best-of-N timing")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker count for the executor section (default 4)",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
+    if args.workers < 2:
+        parser.error("--workers must be >= 2")
+
+    try:
+        cpu_count = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpu_count = os.cpu_count() or 1
 
     workloads = SMOKE_WORKLOADS if args.smoke else FULL_WORKLOADS
     rows = [run_workload(*w, repeats=args.repeats) for w in workloads]
+
+    ingest_rows = [
+        ingest_workload(label, duration_ms, num_keys, repeats=args.repeats)
+        for (label, duration_ms, num_keys, _) in workloads
+    ]
+
+    executor_row = executor_workload(
+        scale=0.02 if args.smoke else 0.1,
+        workers=args.workers,
+        repeats=1 if args.smoke else min(args.repeats, 3),
+    )
 
     _, duration_ms, num_keys, length = workloads[0]
     health = observability_sweep(duration_ms, num_keys, length)
@@ -197,7 +299,15 @@ def main(argv=None) -> int:
     artifact = {
         "benchmark": "hotpath",
         "mode": "smoke" if args.smoke else "full",
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": cpu_count,
+        },
         "workloads": rows,
+        "ingest": ingest_rows,
+        "executor": executor_row,
         "observability": health,
     }
     with open(args.out, "w") as fh:
@@ -222,6 +332,27 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 1
+        ingest_headline = ingest_rows[-1]
+        if ingest_headline["speedup"] < 5.0:
+            print(
+                f"FAIL: ingest speedup {ingest_headline['speedup']:.2f}x < 5x",
+                file=sys.stderr,
+            )
+            return 1
+        # The executor gate needs real parallel hardware; on narrow
+        # machines the section still checks determinism but only
+        # records the (meaningless) wall-clock ratio.
+        if cpu_count >= 4 and executor_row["speedup"] < 1.8:
+            print(
+                f"FAIL: executor speedup {executor_row['speedup']:.2f}x < 1.8x "
+                f"at {args.workers} workers ({cpu_count} CPUs)",
+                file=sys.stderr,
+            )
+            return 1
+        if cpu_count < 4:
+            print(
+                f"note: executor speedup gate skipped ({cpu_count} CPU(s) available)"
+            )
     return 0
 
 

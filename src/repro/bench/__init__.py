@@ -1,5 +1,6 @@
 """Benchmark harness: workload specs, per-figure experiments, reporting."""
 
+from repro.bench.executor import Cell, execute_cells
 from repro.bench.experiments import (
     fig6_end_to_end,
     fig7_q3_end_to_end,
@@ -13,6 +14,8 @@ from repro.bench.reporting import format_table, pivot
 from repro.bench.workloads import WorkloadSpec, micro_spec, q1_spec, q2_spec, q3_spec
 
 __all__ = [
+    "Cell",
+    "execute_cells",
     "WorkloadSpec",
     "q1_spec",
     "q2_spec",

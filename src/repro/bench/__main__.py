@@ -5,14 +5,21 @@ Usage::
     python -m repro.bench fig6 [--scale 0.3]
     python -m repro.bench fig9 --scale full
     python -m repro.bench fig6 --trace report.json
+    python -m repro.bench fig6 --workers 4
     python -m repro.bench all
 
 Prints the same rows/series the corresponding paper figure plots.  With
+``--workers N`` the figure's independent cells are sharded across ``N``
+worker processes (see :mod:`repro.bench.executor`); the row table is
+byte-identical to the default serial run — ``--rows PATH`` writes the
+rows as JSON so the determinism gate can diff them.  With
 ``--trace PATH`` each figure additionally runs inside a
 :mod:`repro.obs` scope and a structured JSON run report is written:
 per-figure rows (workload parameters included), the raw metrics
 snapshot, and the derived health summary (fast-path fallback rates,
 cost-memo hit rate, degenerate-window counts, per-phase engine time).
+Worker-scoped metrics merge back into the tracing scope, so counter
+totals in a parallel trace match the serial ones.
 """
 
 from __future__ import annotations
@@ -63,21 +70,41 @@ def main(argv: list[str] | None = None) -> int:
         help="write a structured JSON run report (rows + metrics snapshot "
         "+ derived health summary) to PATH",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard independent figure cells across N worker processes "
+        "(default: serial; the row table is byte-identical either way)",
+    )
+    parser.add_argument(
+        "--rows",
+        metavar="PATH",
+        default=None,
+        help="write the raw row tables as JSON to PATH (used by the "
+        "serial-vs-parallel determinism gate)",
+    )
     args = parser.parse_args(argv)
     scale = 1.0 if args.scale == "full" else float(args.scale)
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be >= 1")
 
     names = sorted(_FIGURES) if args.figure == "all" else [args.figure]
     report: dict = {
         "report": "repro.bench trace",
         "scale": scale,
+        "workers": args.workers,
         "figures": {},
     }
+    all_rows: dict[str, list] = {}
     for name in names:
         fn, columns = _FIGURES[name]
         t0 = time.time()
         with obs.scoped() as reg:
-            rows = fn(scale)
+            rows = fn(scale, workers=args.workers)
         elapsed = time.time() - t0
+        all_rows[name] = rows
         print(format_table(rows, columns, title=f"{name} (scale={scale:g}, {elapsed:.0f}s)"))
         print()
         snapshot = reg.snapshot()
@@ -88,6 +115,11 @@ def main(argv: list[str] | None = None) -> int:
             "summary": obs.summarize_run(snapshot),
         }
 
+    if args.rows is not None:
+        with open(args.rows, "w") as fh:
+            json.dump(all_rows, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote row tables to {args.rows}")
     if args.trace is not None:
         with open(args.trace, "w") as fh:
             json.dump(report, fh, indent=2)

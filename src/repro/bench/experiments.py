@@ -1,7 +1,9 @@
 """Experiment definitions: one function per paper figure.
 
-Every function regenerates the series behind a figure of the paper's
-evaluation (Section 6) and returns a list of row dictionaries ready for
+Every function declares the cells behind a figure of the paper's
+evaluation (Section 6) — one cell per (workload x method x parameter)
+measurement — and hands them to :func:`repro.bench.executor.execute_cells`,
+returning a list of row dictionaries ready for
 :func:`repro.bench.reporting.format_table`.  Absolute numbers differ from
 the paper (its testbed is a 24-core C++ system; ours is a virtual-time
 simulation — see DESIGN.md Section 5), but the comparative shapes are the
@@ -9,13 +11,15 @@ reproduction target and are asserted by the benchmark suite.
 
 ``scale`` trims the measured stream segment: 1.0 reproduces the full
 configuration, smaller values run proportionally less stream time (useful
-for CI-speed smoke runs).
+for CI-speed smoke runs).  ``workers`` shards cells across a process
+pool (``None`` = serial); the row table is byte-identical either way.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro.bench.executor import Cell, execute_cells, standalone_row
 from repro.bench.workloads import (
     WorkloadSpec,
     correlated_delay_for,
@@ -24,13 +28,7 @@ from repro.bench.workloads import (
     q2_spec,
     q3_spec,
 )
-from repro.core.pecj import PECJoin
-from repro.engine.simulator import ParallelJoinEngine
 from repro.joins.arrays import AggKind, BatchArrays
-from repro.joins.base import StreamJoinOperator
-from repro.joins.baselines import KSlackJoin, WatermarkJoin
-from repro.joins.runner import run_operator
-from repro.streams.datasets import make_dataset
 
 __all__ = [
     "run_standalone",
@@ -41,16 +39,6 @@ __all__ = [
     "fig10_integrated",
     "fig11_scaling",
 ]
-
-
-def _make_operator(method: str, agg: AggKind, seed: int = 0) -> StreamJoinOperator:
-    if method == "wmj":
-        return WatermarkJoin(agg)
-    if method == "ksj":
-        return KSlackJoin(agg)
-    if method.startswith("pecj-"):
-        return PECJoin(agg, backend=method.split("-", 1)[1], seed=seed)
-    raise ValueError(f"unknown method {method!r}")
 
 
 def run_standalone(
@@ -68,67 +56,33 @@ def run_standalone(
         omega: Emission cutoff; defaults to the spec's.
         arrays: Pre-built batch to reuse across methods (rebuilt if None).
     """
-    omega = spec.omega_ms if omega is None else omega
     if arrays is None:
         arrays = spec.build()
-    operator = _make_operator(method, spec.agg, seed=spec.seed)
-    result = run_operator(
-        operator,
-        arrays,
-        spec.window_ms,
-        omega,
-        t_start=spec.t_start,
-        t_end=spec.t_end,
-        warmup_windows=spec.warmup_windows,
-    )
-    return {
-        "workload": spec.name,
-        "method": operator.name,
-        "omega_ms": omega,
-        "error": result.mean_error,
-        "p95_latency_ms": result.p95_latency,
-        "windows": result.num_windows,
-    }
-
-
-def _analytical_best(
-    spec: WorkloadSpec, omega: float, arrays: BatchArrays
-) -> dict[str, float | str]:
-    """PECJ-analytical as the paper defines it for Section 6.5: the
-    better of the AEMA- and SVI-based instantiations."""
-    rows = [
-        run_standalone(spec, "pecj-aema", omega, arrays),
-        run_standalone(spec, "pecj-svi", omega, arrays),
-    ]
-    best = min(rows, key=lambda r: r["error"])
-    best = dict(best)
-    best["method"] = "PECJ-analytical"
-    return best
+    return standalone_row(spec, method, omega, arrays)
 
 
 # -- Fig. 6: end-to-end comparison (Q1, Q2) ----------------------------------
 
 
-def fig6_end_to_end(scale: float = 1.0) -> list[dict]:
+def fig6_end_to_end(scale: float = 1.0, workers: int | None = None) -> list[dict]:
     """Fig. 6(a,b): Q1 latency & error vs omega; Fig. 6(c): Q2 error.
 
     Expected shape: all methods share latency at equal omega; WMJ and KSJ
     errors align and fall with omega; PECJ's error is several times lower
     throughout.
     """
-    rows: list[dict] = []
+    cells: list[Cell] = []
     for spec in (q1_spec().scaled(scale), q2_spec().scaled(scale)):
-        arrays = spec.build()
         for omega in (7.0, 10.0, 12.0):
             for method in ("wmj", "ksj", "pecj-aema"):
-                rows.append(run_standalone(spec, method, omega, arrays))
-    return rows
+                cells.append(Cell("standalone", spec, method=method, omega=omega))
+    return execute_cells(cells, workers)
 
 
 # -- Fig. 7: Q3 end-to-end ----------------------------------------------------
 
 
-def fig7_q3_end_to_end(scale: float = 1.0) -> list[dict]:
+def fig7_q3_end_to_end(scale: float = 1.0, workers: int | None = None) -> list[dict]:
     """Fig. 7: Q3 latency & error at omega in {200, 300, 600} ms.
 
     Expected shape: WMJ/KSJ stay above ~50% error even at the lenient
@@ -137,22 +91,28 @@ def fig7_q3_end_to_end(scale: float = 1.0) -> list[dict]:
     to cancel the inference latency.
     """
     spec = q3_spec().scaled(scale)
-    arrays = spec.build()
-    rows: list[dict] = []
+    cells: list[Cell] = []
     for omega in (200.0, 300.0, 600.0):
         for method in ("wmj", "ksj", "pecj-mlp"):
-            rows.append(run_standalone(spec, method, omega, arrays))
-        shifted = run_standalone(spec, "pecj-mlp", omega - 100.0, arrays)
-        shifted["method"] = "PECJ (w-100)"
-        shifted["omega_ms"] = omega
-        rows.append(shifted)
-    return rows
+            cells.append(Cell("standalone", spec, method=method, omega=omega))
+        cells.append(
+            Cell(
+                "standalone",
+                spec,
+                method="pecj-mlp",
+                omega=omega - 100.0,
+                overrides={"method": "PECJ (w-100)", "omega_ms": omega},
+            )
+        )
+    return execute_cells(cells, workers)
 
 
 # -- Fig. 8: workload sensitivity ---------------------------------------------
 
 
-def fig8_workload_sensitivity(scale: float = 1.0) -> list[dict]:
+def fig8_workload_sensitivity(
+    scale: float = 1.0, workers: int | None = None
+) -> list[dict]:
     """Fig. 8(a): error vs join-key count; Fig. 8(b,c): latency & error
     vs event rate.
 
@@ -161,30 +121,40 @@ def fig8_workload_sensitivity(scale: float = 1.0) -> list[dict]:
     up first as the rate rises (k-slack overhead), PECJ overloads slightly
     before WMJ at the highest rate.
     """
-    rows: list[dict] = []
+    cells: list[Cell] = []
     for num_keys in (10, 100, 1000, 5000):
         spec = micro_spec(num_keys=num_keys).scaled(scale)
-        arrays = spec.build()
         for method in ("wmj", "ksj", "pecj-aema"):
-            row = run_standalone(spec, method, 10.0, arrays)
-            row["sweep"] = "keys"
-            row["num_keys"] = num_keys
-            rows.append(row)
+            cells.append(
+                Cell(
+                    "standalone",
+                    spec,
+                    method=method,
+                    omega=10.0,
+                    extras={"sweep": "keys", "num_keys": num_keys},
+                )
+            )
     for rate in (10.0, 50.0, 100.0, 200.0, 400.0):
         spec = micro_spec(num_keys=10, rate=rate).scaled(scale)
-        arrays = spec.build()
         for method in ("wmj", "ksj", "pecj-aema"):
-            row = run_standalone(spec, method, 10.0, arrays)
-            row["sweep"] = "rate"
-            row["rate_ktps"] = rate
-            rows.append(row)
-    return rows
+            cells.append(
+                Cell(
+                    "standalone",
+                    spec,
+                    method=method,
+                    omega=10.0,
+                    extras={"sweep": "rate", "rate_ktps": rate},
+                )
+            )
+    return execute_cells(cells, workers)
 
 
 # -- Fig. 9: algorithm sensitivity ---------------------------------------------
 
 
-def fig9_algorithm_sensitivity(scale: float = 1.0) -> list[dict]:
+def fig9_algorithm_sensitivity(
+    scale: float = 1.0, workers: int | None = None
+) -> list[dict]:
     """Fig. 9: analytical vs learning instantiations.
 
     (a) Q1, omega 5..12ms — both PECJ variants beat the baselines;
@@ -195,35 +165,25 @@ def fig9_algorithm_sensitivity(scale: float = 1.0) -> list[dict]:
     (c) SUM, omega fixed at 100ms, Delta 90..500ms of correlated
         congestion — analytical's error escalates with Delta.
     """
-    rows: list[dict] = []
+    cells: list[Cell] = []
+
+    def panel(spec: WorkloadSpec, omega: float, extras: dict) -> None:
+        for method in ("wmj", "ksj"):
+            cells.append(
+                Cell("standalone", spec, method=method, omega=omega, extras=extras)
+            )
+        cells.append(Cell("analytical_best", spec, omega=omega, extras=extras))
+        cells.append(
+            Cell("standalone", spec, method="pecj-mlp", omega=omega, extras=extras)
+        )
 
     spec_a = q1_spec().scaled(scale)
-    arrays_a = spec_a.build()
     for omega in (5.0, 7.0, 9.0, 10.0, 12.0):
-        for method in ("wmj", "ksj"):
-            row = run_standalone(spec_a, method, omega, arrays_a)
-            row["panel"] = "a"
-            rows.append(row)
-        row = _analytical_best(spec_a, omega, arrays_a)
-        row["panel"] = "a"
-        rows.append(row)
-        row = run_standalone(spec_a, "pecj-mlp", omega, arrays_a)
-        row["panel"] = "a"
-        rows.append(row)
+        panel(spec_a, omega, {"panel": "a"})
 
     spec_b = q3_spec().scaled(scale)
-    arrays_b = spec_b.build()
     for omega in (50.0, 100.0, 200.0, 300.0, 500.0, 700.0):
-        for method in ("wmj", "ksj"):
-            row = run_standalone(spec_b, method, omega, arrays_b)
-            row["panel"] = "b"
-            rows.append(row)
-        row = _analytical_best(spec_b, omega, arrays_b)
-        row["panel"] = "b"
-        rows.append(row)
-        row = run_standalone(spec_b, "pecj-mlp", omega, arrays_b)
-        row["panel"] = "b"
-        rows.append(row)
+        panel(spec_b, omega, {"panel": "b"})
 
     for delta in (90.0, 150.0, 250.0, 400.0, 500.0):
         spec_c = micro_spec(
@@ -234,64 +194,43 @@ def fig9_algorithm_sensitivity(scale: float = 1.0) -> list[dict]:
             warmup_ms=2000.0,
             omega_ms=100.0,
         ).scaled(scale)
-        arrays_c = spec_c.build()
-        for method in ("wmj", "ksj"):
-            row = run_standalone(spec_c, method, 100.0, arrays_c)
-            row["panel"] = "c"
-            row["delta_ms"] = delta
-            rows.append(row)
-        row = _analytical_best(spec_c, 100.0, arrays_c)
-        row["panel"] = "c"
-        row["delta_ms"] = delta
-        rows.append(row)
-        row = run_standalone(spec_c, "pecj-mlp", 100.0, arrays_c)
-        row["panel"] = "c"
-        row["delta_ms"] = delta
-        rows.append(row)
-    return rows
+        panel(spec_c, 100.0, {"panel": "c", "delta_ms": delta})
+    return execute_cells(cells, workers)
 
 
 # -- Fig. 10: integrated implementation ----------------------------------------
 
 
-def fig10_integrated(scale: float = 1.0, threads: int = 8) -> list[dict]:
+def fig10_integrated(
+    scale: float = 1.0, threads: int = 8, workers: int | None = None
+) -> list[dict]:
     """Fig. 10: Q1 across four datasets on the simulated engine.
 
     Expected shape: PRJ and SHJ suffer large errors under disorder;
     PECJ-PRJ and PECJ-SHJ slash the error at near-identical latency;
     PECJ-SHJ beats PECJ-PRJ thanks to per-tuple observations.
     """
-    rows: list[dict] = []
+    from repro.streams.datasets import make_dataset
+
+    cells: list[Cell] = []
     for dataset in ("stock", "rovio", "logistics", "retail"):
         spec = q1_spec(dataset=make_dataset(dataset), name=f"Q1-{dataset}").scaled(scale)
-        arrays = spec.build()
         for algorithm in ("prj", "shj"):
             for pecj in (False, True):
-                engine = ParallelJoinEngine(
-                    algorithm,
-                    threads=threads,
-                    agg=spec.agg,
-                    pecj=pecj,
-                    omega=10.0,
-                    window_length=spec.window_ms,
-                    seed=spec.seed,
+                cells.append(
+                    Cell(
+                        "engine",
+                        spec,
+                        engine={
+                            "algorithm": algorithm,
+                            "threads": threads,
+                            "pecj": pecj,
+                            "omega": 10.0,
+                        },
+                        front={"dataset": dataset},
+                    )
                 )
-                result = engine.run(
-                    arrays,
-                    t_start=spec.t_start,
-                    t_end=spec.t_end,
-                    warmup_windows=spec.warmup_windows,
-                )
-                rows.append(
-                    {
-                        "dataset": dataset,
-                        "method": engine.name,
-                        "error": result.mean_error,
-                        "p95_latency_ms": result.p95_latency,
-                        "throughput_ktps": result.throughput_ktps,
-                    }
-                )
-    return rows
+    return execute_cells(cells, workers)
 
 
 # -- Fig. 11: scaling up --------------------------------------------------------
@@ -300,6 +239,7 @@ def fig10_integrated(scale: float = 1.0, threads: int = 8) -> list[dict]:
 def fig11_scaling(
     scale: float = 1.0,
     thread_counts: Sequence[int] = (1, 2, 4, 8, 12, 16, 20, 24),
+    workers: int | None = None,
 ) -> list[dict]:
     """Fig. 11: 95% latency, error and throughput vs thread count at
     1600 Ktuples/s per stream (Stock).
@@ -316,33 +256,21 @@ def fig11_scaling(
         warmup_ms=400.0,
         name="Q1-hi-rate",
     ).scaled(scale)
-    arrays = spec.build()
-    rows: list[dict] = []
+    cells: list[Cell] = []
     for threads in thread_counts:
         for algorithm in ("prj", "shj"):
             for pecj in (False, True):
-                engine = ParallelJoinEngine(
-                    algorithm,
-                    threads=threads,
-                    agg=spec.agg,
-                    pecj=pecj,
-                    omega=10.0,
-                    window_length=spec.window_ms,
-                    seed=spec.seed,
+                cells.append(
+                    Cell(
+                        "engine",
+                        spec,
+                        engine={
+                            "algorithm": algorithm,
+                            "threads": threads,
+                            "pecj": pecj,
+                            "omega": 10.0,
+                        },
+                        front={"threads": threads},
+                    )
                 )
-                result = engine.run(
-                    arrays,
-                    t_start=spec.t_start,
-                    t_end=spec.t_end,
-                    warmup_windows=spec.warmup_windows,
-                )
-                rows.append(
-                    {
-                        "threads": threads,
-                        "method": engine.name,
-                        "error": result.mean_error,
-                        "p95_latency_ms": result.p95_latency,
-                        "throughput_ktps": result.throughput_ktps,
-                    }
-                )
-    return rows
+    return execute_cells(cells, workers)

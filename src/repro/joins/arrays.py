@@ -24,7 +24,9 @@ cross-checked against this reference.
 from __future__ import annotations
 
 import enum
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -117,7 +119,7 @@ class BatchArrays:
         self._arrival_order: np.ndarray | None = None
         self._drain_cache: tuple[int, object] | None = None
         self._cost_signature: tuple | None = None
-        self._aggregators: dict[tuple[float, float], object] = {}
+        self._aggregators: OrderedDict[tuple[float, float], object] = OrderedDict()
 
     @classmethod
     def from_batch(cls, batch: StreamBatch) -> "BatchArrays":
@@ -177,12 +179,19 @@ class BatchArrays:
             self._completion_order = np.argsort(self.completion, kind="stable")
         return self._completion_order
 
+    #: Cap on cached WindowAggregator grids per batch.  Sliding adapters
+    #: run one phase-shifted grid per (length, origin) pair and would grow
+    #: the cache without bound; beyond the cap the least recently used
+    #: grid is evicted (and counted via ``arrays.aggregator_evictions``).
+    AGGREGATOR_CACHE_CAP = 8
+
     def aggregator(self, window_length: float, origin: float = 0.0):
         """The cached incremental aggregator for one tumbling grid.
 
         Returns a :class:`repro.joins.aggregator.WindowAggregator` whose
         completion-clock index follows ``completion_version`` (rebuilt
-        lazily after every cost application).
+        lazily after every cost application).  At most
+        :attr:`AGGREGATOR_CACHE_CAP` grids are kept, LRU-evicted.
         """
         from repro.joins.aggregator import WindowAggregator
 
@@ -191,7 +200,39 @@ class BatchArrays:
         if agg is None:
             agg = WindowAggregator(self, window_length, origin)
             self._aggregators[cache_key] = agg
+            while len(self._aggregators) > self.AGGREGATOR_CACHE_CAP:
+                self._aggregators.popitem(last=False)
+                obs.counter("arrays.aggregator_evictions").inc()
+        else:
+            self._aggregators.move_to_end(cache_key)
         return agg
+
+    def drain_function(self) -> Callable[[float], float]:
+        """``drain(T)``: when the server finishes everything arrived by T.
+
+        Built from the arrival order and the (monotonised) completion
+        column; cached per :attr:`completion_version`, so repeated runs
+        and the sliding adapter's phases share one build.
+        ``mark_completion_dirty`` invalidates the cache.
+        """
+        cached = self._drain_cache
+        if cached is not None and cached[0] == self._completion_version:
+            return cached[1]
+        order = self.arrival_order()
+        arrivals = self.arrival[order]
+        completions = self.completion[order]
+        # Single-server completions are monotone in arrival order already,
+        # but guard against cost profiles that break ties oddly.
+        completions = np.maximum.accumulate(completions)
+
+        def drain(t: float) -> float:
+            idx = int(np.searchsorted(arrivals, t, side="right"))
+            if idx == 0:
+                return t
+            return float(completions[idx - 1])
+
+        self._drain_cache = (self._completion_version, drain)
+        return drain
 
     def window_slice(self, start: float, end: float) -> slice:
         """Index range (into the event-sorted columns) of one window."""

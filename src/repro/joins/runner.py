@@ -14,8 +14,6 @@ virtual time advance monotonically, matching a real deployment.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import obs
 from repro.joins.arrays import BatchArrays
 from repro.joins.base import RunResult, StreamJoinOperator, WindowRecord
@@ -24,32 +22,6 @@ from repro.metrics.error import bounded_window_error
 from repro.streams.windows import TumblingWindows, Window
 
 __all__ = ["run_operator"]
-
-
-def _drain_function(arrays: BatchArrays):
-    """Returns drain(T): when the server finishes everything arrived by T.
-
-    Cached on the batch per completion version, so repeated runs (and the
-    sliding adapter's phases) share one build instead of re-sorting.
-    """
-    cached = arrays._drain_cache
-    if cached is not None and cached[0] == arrays.completion_version:
-        return cached[1]
-    order = arrays.arrival_order()
-    arrivals = arrays.arrival[order]
-    completions = arrays.completion[order]
-    # Single-server completions are monotone in arrival order already, but
-    # guard against cost profiles that break ties oddly.
-    completions = np.maximum.accumulate(completions)
-
-    def drain(t: float) -> float:
-        idx = int(np.searchsorted(arrivals, t, side="right"))
-        if idx == 0:
-            return t
-        return float(completions[idx - 1])
-
-    arrays._drain_cache = (arrays.completion_version, drain)
-    return drain
 
 
 def run_operator(
@@ -88,7 +60,7 @@ def run_operator(
     cost_model = cost_model or CostModel()
     with obs.scoped() as reg, reg.timer("runner.wall_ms"):
         apply_pipeline_costs(arrays, operator.pipeline_method, cost_model, slack=omega)
-        drain = _drain_function(arrays)
+        drain = arrays.drain_function()
         aggregator = arrays.aggregator(window_length, origin)
 
         if t_end is None:

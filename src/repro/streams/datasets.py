@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.streams.tuples import Side, StreamBatch, StreamTuple
+from repro.streams.tuples import Side, StreamBatch
 
 __all__ = [
     "StreamGenerator",
@@ -144,6 +144,42 @@ class StreamGenerator:
 
     # -- assembly -------------------------------------------------------------
 
+    def _one_side_columns(
+        self, side: Side, duration_ms: float, rate: float, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One side's ``(event_times, keys, payloads)`` columns.
+
+        This is the single source of truth for stream content: both the
+        object path (:meth:`generate`) and the columnar fast path
+        (:meth:`generate_columns`) consume it, in the same per-side
+        order, so the two are tuple-for-tuple identical under a fixed
+        RNG by construction.
+        """
+        times = self._event_times(side, duration_ms, rate, rng)
+        keys = self._keys(side, times, rng)
+        payloads = self._payloads(side, times, keys, rng)
+        return times, keys, payloads
+
+    def generate_column_sides(
+        self,
+        duration_ms: float,
+        rate_r: float,
+        rate_s: float,
+        rng: np.random.Generator,
+    ) -> tuple[
+        tuple[np.ndarray, np.ndarray, np.ndarray],
+        tuple[np.ndarray, np.ndarray, np.ndarray],
+    ]:
+        """Per-side columns ``((t_r, k_r, v_r), (t_s, k_s, v_s))``.
+
+        Disorder injection needs the side boundary so it can draw delays
+        in the same per-side RNG order as :func:`~repro.streams.disorder.
+        apply_disorder` does on the object path.
+        """
+        r = self._one_side_columns(Side.R, duration_ms, rate_r, rng)
+        s = self._one_side_columns(Side.S, duration_ms, rate_s, rng)
+        return r, s
+
     def generate_columns(
         self,
         duration_ms: float,
@@ -157,43 +193,23 @@ class StreamGenerator:
         materialisation — required at the paper's higher event rates
         (hundreds of Ktuples/s over multi-second segments).
         """
-        events = []
-        keys = []
-        payloads = []
-        flags = []
-        for side, rate in ((Side.R, rate_r), (Side.S, rate_s)):
-            t = self._event_times(side, duration_ms, rate, rng)
-            k = self._keys(side, t, rng)
-            v = self._payloads(side, t, k, rng)
-            events.append(t)
-            keys.append(k)
-            payloads.append(v)
-            flags.append(np.full(len(t), side is Side.R))
+        (t_r, k_r, v_r), (t_s, k_s, v_s) = self.generate_column_sides(
+            duration_ms, rate_r, rate_s, rng
+        )
         return (
-            np.concatenate(events),
-            np.concatenate(keys),
-            np.concatenate(payloads),
-            np.concatenate(flags),
+            np.concatenate([t_r, t_s]),
+            np.concatenate([k_r, k_s]),
+            np.concatenate([v_r, v_s]),
+            np.concatenate(
+                [np.full(len(t_r), True), np.full(len(t_s), False)]
+            ),
         )
 
     def _one_side(
         self, side: Side, duration_ms: float, rate: float, rng: np.random.Generator
     ) -> StreamBatch:
-        times = self._event_times(side, duration_ms, rate, rng)
-        keys = self._keys(side, times, rng)
-        payloads = self._payloads(side, times, keys, rng)
-        tuples = [
-            StreamTuple(
-                key=int(k),
-                payload=float(v),
-                event_time=float(t),
-                arrival_time=float(t),
-                side=side,
-                seq=i,
-            )
-            for i, (t, k, v) in enumerate(zip(times, keys, payloads))
-        ]
-        return StreamBatch(tuples)
+        times, keys, payloads = self._one_side_columns(side, duration_ms, rate, rng)
+        return StreamBatch.from_columns(times, times, keys, payloads, side)
 
 
 @dataclass

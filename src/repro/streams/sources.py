@@ -77,19 +77,31 @@ class ReplaySource:
 def make_disordered_arrays(dataset, delay_model, duration_ms, rate_r, rate_s, seed):
     """Columnar fast path: generate, disorder and pack into BatchArrays.
 
-    Equivalent to :func:`make_disordered_pair` + ``BatchArrays.from_batch``
-    but never materialises tuple objects; use for high event rates.
+    Produces exactly the columns of :func:`make_disordered_pair` +
+    ``BatchArrays.from_batch`` — same seed, same tuples — but never
+    materialises tuple objects.  To keep the RNG streams aligned with the
+    object path, content is generated side by side (R fully, then S) and
+    delays are drawn per side in the same order ``apply_disorder`` would
+    consume them.
     """
     import numpy as np
 
     from repro.joins.arrays import BatchArrays
 
     rng = np.random.default_rng(seed)
-    event, key, payload, is_r = dataset.generate_columns(
+    (t_r, k_r, v_r), (t_s, k_s, v_s) = dataset.generate_column_sides(
         duration_ms, rate_r, rate_s, rng
     )
-    delays = delay_model.sample(rng, event)
-    arrival = event + np.maximum(delays, 0.0)
+    # Delay models may carry temporal structure (OU walks, regimes), so
+    # each side must be sampled as one call, R before S, mirroring the
+    # per-batch apply_disorder calls of the object path.
+    delay_r = delay_model.sample(rng, t_r) if len(t_r) else np.zeros(0)
+    delay_s = delay_model.sample(rng, t_s) if len(t_s) else np.zeros(0)
+    event = np.concatenate([t_r, t_s])
+    arrival = np.concatenate([t_r + delay_r, t_s + delay_s])
+    key = np.concatenate([k_r, k_s])
+    payload = np.concatenate([v_r, v_s])
+    is_r = np.concatenate([np.full(len(t_r), True), np.full(len(t_s), False)])
     return BatchArrays(event, arrival, key, payload, is_r)
 
 

@@ -15,7 +15,14 @@ import enum
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
-__all__ = ["Side", "StreamTuple", "StreamBatch", "by_arrival", "by_event"]
+__all__ = [
+    "Side",
+    "StreamTuple",
+    "StreamBatch",
+    "ColumnarStreamBatch",
+    "by_arrival",
+    "by_event",
+]
 
 
 class Side(enum.IntEnum):
@@ -85,6 +92,19 @@ class StreamBatch:
     def __init__(self, tuples: Iterable[StreamTuple]):
         self._tuples: list[StreamTuple] = list(tuples)
 
+    @classmethod
+    def from_columns(
+        cls, event, arrival, key, payload, side, seq=None
+    ) -> "ColumnarStreamBatch":
+        """A batch backed by numpy columns, materialised only on access.
+
+        The columnar ingest path generates streams as arrays; this view
+        keeps the tuple-object API available to tests and examples
+        without paying the per-tuple allocation up front.  ``side`` may
+        be a single :class:`Side` or a boolean array (True = R).
+        """
+        return ColumnarStreamBatch(event, arrival, key, payload, side, seq)
+
     def __len__(self) -> int:
         return len(self._tuples)
 
@@ -127,6 +147,60 @@ class StreamBatch:
     def merged_with(self, other: "StreamBatch") -> "StreamBatch":
         """A new batch holding the union of both batches' tuples."""
         return StreamBatch(list(self._tuples) + list(other._tuples))
+
+
+class ColumnarStreamBatch(StreamBatch):
+    """A :class:`StreamBatch` view over numpy columns.
+
+    Tuple objects are materialised lazily, once, on first access through
+    any of the base-class methods; until then the batch costs five array
+    references.  This is how the zero-object ingest path keeps the
+    object API alive for tests and examples.
+    """
+
+    def __init__(self, event, arrival, key, payload, side, seq=None):
+        n = len(event)
+        if not (len(arrival) == len(key) == len(payload) == n):
+            raise ValueError("columns must be aligned")
+        self._event = event
+        self._arrival = arrival
+        self._key = key
+        self._payload = payload
+        self._side = side
+        self._seq = seq
+        self._materialised: list[StreamTuple] | None = None
+
+    @property
+    def materialised(self) -> bool:
+        """Whether tuple objects have been built yet."""
+        return self._materialised is not None
+
+    def __len__(self) -> int:
+        return len(self._event)
+
+    @property
+    def _tuples(self) -> list[StreamTuple]:
+        if self._materialised is None:
+            n = len(self._event)
+            if isinstance(self._side, Side):
+                sides = [self._side] * n
+            else:
+                sides = [Side.R if flag else Side.S for flag in self._side]
+            seqs = range(n) if self._seq is None else self._seq
+            self._materialised = [
+                StreamTuple(
+                    key=int(k),
+                    payload=float(v),
+                    event_time=float(t),
+                    arrival_time=float(a),
+                    side=side,
+                    seq=int(i),
+                )
+                for t, a, k, v, side, i in zip(
+                    self._event, self._arrival, self._key, self._payload, sides, seqs
+                )
+            ]
+        return self._materialised
 
 
 def by_arrival(t: StreamTuple) -> tuple[float, int, int]:

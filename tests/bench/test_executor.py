@@ -1,0 +1,135 @@
+"""Tests for the parallel experiment executor.
+
+The acceptance bar is determinism: sharding cells across worker
+processes must produce row tables byte-identical to the serial run, and
+worker-scoped metrics must merge back so counter totals match.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.bench.executor import Cell, execute_cells, run_cell, spec_key
+from repro.bench.workloads import micro_spec
+
+
+def tiny_spec(**overrides):
+    defaults = dict(duration_ms=400.0, warmup_ms=100.0, rate_r=3.0, rate_s=3.0)
+    defaults.update(overrides)
+    return micro_spec(**defaults)
+
+
+def tiny_cells():
+    spec_a = tiny_spec(seed=1)
+    spec_b = tiny_spec(seed=2)
+    cells = []
+    for spec in (spec_a, spec_b):
+        for method in ("wmj", "ksj"):
+            cells.append(
+                Cell("standalone", spec, method=method, omega=10.0, extras={"tag": "t"})
+            )
+    cells.append(
+        Cell(
+            "engine",
+            spec_a,
+            engine={"algorithm": "shj", "threads": 2, "pecj": False, "omega": 10.0},
+            front={"threads": 2},
+        )
+    )
+    return cells
+
+
+class TestSerialExecution:
+    def test_rows_in_declaration_order(self):
+        rows = execute_cells(tiny_cells())
+        assert len(rows) == 5
+        assert [r["method"] for r in rows[:4]] == ["WMJ", "KSJ", "WMJ", "KSJ"]
+        assert rows[4]["method"] == "SHJ"
+
+    def test_front_overrides_extras_shape_the_row(self):
+        spec = tiny_spec(seed=3)
+        cell = Cell(
+            "standalone",
+            spec,
+            method="wmj",
+            omega=10.0,
+            front={"lead": 1},
+            overrides={"method": "renamed"},
+            extras={"tail": 2},
+        )
+        row = execute_cells([cell])[0]
+        keys = list(row)
+        assert keys[0] == "lead"
+        assert keys[-1] == "tail"
+        assert row["method"] == "renamed"
+
+    def test_arrays_cache_shared_across_cells(self):
+        cells = tiny_cells()
+        with obs.scoped() as reg:
+            execute_cells(cells)
+        built = reg.counter("executor.arrays_built").value
+        hits = reg.counter("executor.arrays_cache_hits").value
+        assert built == 2  # two distinct specs
+        assert built + hits == len(cells)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            run_cell(Cell("mystery", tiny_spec()), {})
+
+    def test_engine_cell_requires_params(self):
+        with pytest.raises(ValueError, match="engine"):
+            run_cell(Cell("engine", tiny_spec()), {})
+
+    def test_empty_cells(self):
+        assert execute_cells([]) == []
+        assert execute_cells([], workers=4) == []
+
+    def test_spec_key_distinguishes_parameters(self):
+        assert spec_key(tiny_spec(seed=1)) != spec_key(tiny_spec(seed=2))
+        assert spec_key(tiny_spec(seed=1)) == spec_key(tiny_spec(seed=1))
+
+
+class TestParallelDeterminism:
+    def test_rows_byte_identical_to_serial(self):
+        serial = execute_cells(tiny_cells())
+        parallel = execute_cells(tiny_cells(), workers=2)
+        assert json.dumps(serial) == json.dumps(parallel)
+
+    def test_workers_capped_at_cell_count(self):
+        rows = execute_cells(tiny_cells()[:2], workers=8)
+        assert len(rows) == 2
+
+    def test_workload_counter_totals_match_serial(self):
+        """Workload-invariant counters (windows processed, grid hits)
+        must be identical however the cells are sharded."""
+        with obs.scoped() as reg_s:
+            execute_cells(tiny_cells())
+        with obs.scoped() as reg_p:
+            execute_cells(tiny_cells(), workers=3)
+        serial = reg_s.snapshot()["counters"]
+        parallel = reg_p.snapshot()["counters"]
+        executor_private = {
+            "executor.arrays_built",
+            "executor.arrays_cache_hits",
+            "executor.shards",
+        }
+        for name in set(serial) | set(parallel):
+            if name in executor_private:
+                continue
+            assert parallel.get(name, 0) == serial.get(name, 0), name
+
+    def test_histograms_merge_back_from_workers(self):
+        with obs.scoped() as reg:
+            execute_cells(tiny_cells(), workers=2)
+        snap = reg.snapshot()
+        wall = snap["histograms"].get("runner.wall_ms")
+        assert wall is not None and wall["count"] == 4.0
+
+    def test_analytical_best_cell_matches_serial(self):
+        spec = tiny_spec(seed=4)
+        cells = [Cell("analytical_best", spec, omega=10.0)]
+        serial = execute_cells(cells)
+        parallel = execute_cells(cells, workers=2)
+        assert serial == parallel
+        assert serial[0]["method"] == "PECJ-analytical"

@@ -31,6 +31,72 @@ def make_arrays(rows):
     return BatchArrays(event, arrival, key.astype(np.int64), payload, is_r.astype(bool))
 
 
+class TestDrainFunction:
+    def _arrays(self):
+        return make_arrays(
+            [
+                (0.0, 1.0, 0, 1.0, True),
+                (2.0, 2.5, 0, 1.0, False),
+                (4.0, 6.0, 1, 1.0, True),
+            ]
+        )
+
+    def test_drain_before_any_arrival_is_identity(self):
+        assert self._arrays().drain_function()(0.5) == 0.5
+
+    def test_drain_tracks_last_completion(self):
+        arrays = self._arrays()
+        # Default completion == arrival: everything arrived by T is done
+        # by the latest arrival <= T.
+        drain = arrays.drain_function()
+        assert drain(3.0) == 2.5
+        assert drain(10.0) == 6.0
+
+    def test_cached_per_completion_version(self):
+        arrays = self._arrays()
+        drain = arrays.drain_function()
+        assert arrays.drain_function() is drain
+        arrays.completion[...] = arrays.arrival + 1.0
+        arrays.mark_completion_dirty()
+        drain2 = arrays.drain_function()
+        assert drain2 is not drain
+        assert drain2(10.0) == 7.0
+
+    def test_monotonises_unordered_completions(self):
+        arrays = self._arrays()
+        arrays.completion[...] = np.array([9.0, 3.0, 4.0])
+        arrays.mark_completion_dirty()
+        # Arrival order is (1.0, 2.5, 6.0); the 9.0 completion of the
+        # first arrival dominates later drains.
+        assert arrays.drain_function()(10.0) == 9.0
+
+
+class TestAggregatorCacheBound:
+    def test_lru_eviction_beyond_cap(self):
+        from repro import obs
+
+        arrays = make_arrays([(float(i), float(i), 0, 1.0, i % 2 == 0) for i in range(8)])
+        cap = BatchArrays.AGGREGATOR_CACHE_CAP
+        with obs.scoped() as reg:
+            aggs = [arrays.aggregator(1.0, origin=float(p)) for p in range(cap + 3)]
+            assert len(arrays._aggregators) == cap
+            assert reg.counter("arrays.aggregator_evictions").value == 3
+        # The oldest grids were evicted; a re-request builds a new engine.
+        assert arrays.aggregator(1.0, origin=0.0) is not aggs[0]
+        assert len(arrays._aggregators) == cap
+
+    def test_recent_use_protects_from_eviction(self):
+        arrays = make_arrays([(float(i), float(i), 0, 1.0, True) for i in range(4)])
+        cap = BatchArrays.AGGREGATOR_CACHE_CAP
+        first = arrays.aggregator(1.0, origin=0.0)
+        for p in range(1, cap):
+            arrays.aggregator(1.0, origin=float(p))
+        first_again = arrays.aggregator(1.0, origin=0.0)  # refresh LRU position
+        arrays.aggregator(1.0, origin=float(cap))  # evicts origin=1.0, not 0.0
+        assert first_again is first
+        assert arrays.aggregator(1.0, origin=0.0) is first
+
+
 class TestWindowAggregate:
     def test_selectivity_definition(self):
         agg = WindowAggregate(n_r=10, n_s=5, matches=2.0, sum_r=6.0)

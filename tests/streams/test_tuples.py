@@ -85,10 +85,84 @@ class TestStreamBatch:
         batch = StreamBatch([make_tuple(event=2.0), make_tuple(event=9.0)])
         assert batch.time_span() == (2.0, 9.0)
 
+    def test_time_span_empty_is_defined(self):
+        """An empty batch has a defined degenerate span, not a ValueError."""
+        assert StreamBatch([]).time_span() == (0.0, 0.0)
+
+    def test_empty_batch_orderings_and_sides(self):
+        empty = StreamBatch([])
+        assert empty.in_event_order() == []
+        assert empty.in_arrival_order() == []
+        assert empty.side(Side.R) == []
+
     def test_merged_with_unions_tuples(self):
         a = StreamBatch([make_tuple(seq=0)])
         b = StreamBatch([make_tuple(seq=1)])
         assert len(a.merged_with(b)) == 2
+
+
+class TestColumnarStreamBatch:
+    def _columns(self):
+        import numpy as np
+
+        event = np.array([1.0, 3.0, 2.0])
+        arrival = np.array([1.5, 3.25, 4.0])
+        key = np.array([4, 5, 6])
+        payload = np.array([0.5, 1.5, 2.5])
+        return event, arrival, key, payload
+
+    def test_lazy_until_accessed(self):
+        event, arrival, key, payload = self._columns()
+        batch = StreamBatch.from_columns(event, arrival, key, payload, Side.R)
+        assert not batch.materialised
+        assert len(batch) == 3  # len() reads the column, still no tuples
+        assert not batch.materialised
+        _ = batch[0]
+        assert batch.materialised
+
+    def test_matches_eager_batch(self):
+        event, arrival, key, payload = self._columns()
+        lazy = StreamBatch.from_columns(event, arrival, key, payload, Side.S)
+        eager = StreamBatch(
+            [
+                StreamTuple(int(k), float(v), float(t), float(a), Side.S, i)
+                for i, (t, a, k, v) in enumerate(zip(event, arrival, key, payload))
+            ]
+        )
+        assert list(lazy) == list(eager)
+        assert lazy.in_event_order() == eager.in_event_order()
+        assert lazy.max_delay() == eager.max_delay()
+
+    def test_side_flags_array(self):
+        import numpy as np
+
+        event, arrival, key, payload = self._columns()
+        is_r = np.array([True, False, True])
+        batch = StreamBatch.from_columns(event, arrival, key, payload, is_r)
+        assert [t.side for t in batch] == [Side.R, Side.S, Side.R]
+
+    def test_misaligned_columns_rejected(self):
+        import numpy as np
+
+        with pytest.raises(ValueError, match="aligned"):
+            StreamBatch.from_columns(
+                np.array([1.0, 2.0]),
+                np.array([1.0]),
+                np.array([0, 0]),
+                np.array([1.0, 1.0]),
+                Side.R,
+            )
+
+    def test_empty_columns(self):
+        import numpy as np
+
+        empty = np.array([])
+        batch = StreamBatch.from_columns(
+            empty, empty, empty.astype(int), empty, Side.R
+        )
+        assert len(batch) == 0
+        assert batch.time_span() == (0.0, 0.0)
+        assert batch.max_delay() == 0.0
 
 
 @given(
