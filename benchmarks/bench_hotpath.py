@@ -260,6 +260,13 @@ def main(argv=None) -> int:
         default=4,
         help="worker count for the executor section (default 4)",
     )
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        default=None,
+        help="after the run, diff the deterministic parts of the artifact "
+        "against a previous BENCH_hotpath.json; exit 1 beyond tolerance",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -293,7 +300,8 @@ def main(argv=None) -> int:
         f"observability: grid_hits={agg['grid_hits']} "
         f"fallbacks={agg['fallback_unbound'] + agg['fallback_off_grid']} "
         f"memo_hit_rate={memo['hit_rate']:.2f} "
-        f"degenerate_windows={health['degenerate_windows']}"
+        f"degenerate_windows={health['degenerate_windows']} "
+        f"negative_latency_samples={health['latency_negative_samples']}"
     )
 
     artifact = {
@@ -353,7 +361,77 @@ def main(argv=None) -> int:
             print(
                 f"note: executor speedup gate skipped ({cpu_count} CPU(s) available)"
             )
+
+    if args.compare is not None:
+        rc = compare_artifacts(args.compare, artifact)
+        if rc:
+            return rc
     return 0
+
+
+#: Artifact keys that are wall-clock measurements (or describe the
+#: machine), pruned before the --compare diff.  ``speedup`` survives:
+#: its tolerance rule is wide (50%, lower-worse) precisely because it is
+#: a ratio of wall times.
+_WALL_KEYS = frozenset({"seconds", "tuples_per_s", "environment", "speedup"})
+
+
+def _prune_wall(node):
+    if isinstance(node, dict):
+        return {
+            k: _prune_wall(v) for k, v in node.items() if k not in _WALL_KEYS
+        }
+    if isinstance(node, list):
+        return [_prune_wall(v) for v in node]
+    return node
+
+
+def compare_artifacts(baseline_path: str, current: dict) -> int:
+    """Regression-gate the deterministic artifact sections.
+
+    Counters, row shapes and health indicators must match the baseline
+    (near-)exactly; wall-clock timings and the speedup ratios derived
+    from them are pruned (the wall-clock gates in main() still bound
+    them on each run).  Returns 0 when within tolerance, 1 otherwise,
+    2 on unreadable input.
+    """
+    from repro.bench.compare import compare_trees
+    from repro.bench.reporting import format_table
+
+    try:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"compare: {exc}", file=sys.stderr)
+        return 2
+    if baseline.get("mode") != current.get("mode"):
+        print(
+            f"compare: mode mismatch ({baseline.get('mode')} vs "
+            f"{current.get('mode')}); run the same --smoke setting",
+            file=sys.stderr,
+        )
+        return 2
+    findings: list[dict] = []
+    for section in ("workloads", "ingest", "executor", "observability"):
+        findings.extend(
+            compare_trees(
+                section,
+                _prune_wall(baseline.get(section)),
+                _prune_wall(current.get(section)),
+            )
+        )
+    if not findings:
+        print(f"compare: OK — within tolerance of {baseline_path}")
+        return 0
+    print(
+        format_table(
+            findings,
+            ["figure", "path", "baseline", "current", "status"],
+            title=f"compare: {len(findings)} finding(s) vs {baseline_path}",
+        ),
+        file=sys.stderr,
+    )
+    return 1
 
 
 if __name__ == "__main__":

@@ -5,8 +5,10 @@ Usage::
     python -m repro.bench fig6 [--scale 0.3]
     python -m repro.bench fig9 --scale full
     python -m repro.bench fig6 --trace report.json
+    python -m repro.bench fig6 --trace-events fig6_trace.json
     python -m repro.bench fig6 --workers 4
     python -m repro.bench all
+    python -m repro.bench compare baseline.json current.json
 
 Prints the same rows/series the corresponding paper figure plots.  With
 ``--workers N`` the figure's independent cells are sharded across ``N``
@@ -20,6 +22,17 @@ snapshot, and the derived health summary (fast-path fallback rates,
 cost-memo hit rate, degenerate-window counts, per-phase engine time).
 Worker-scoped metrics merge back into the tracing scope, so counter
 totals in a parallel trace match the serial ones.
+
+``--trace-events PATH`` records every instrumented virtual-time event
+(window lifecycle spans, engine phase spans, PECJ estimator samples,
+reorder-buffer releases) and writes a Chrome/Perfetto ``trace_event``
+JSON — open it at https://ui.perfetto.dev.  ``--trace-jsonl PATH``
+writes the same events as sorted JSONL for programmatic consumption.
+Both exports are byte-identical between serial and ``--workers N`` runs.
+
+``compare`` is the metrics regression gate: it diffs two ``--trace``
+reports under per-metric tolerances and exits nonzero on regression
+(see :mod:`repro.bench.compare`).
 """
 
 from __future__ import annotations
@@ -30,6 +43,7 @@ import sys
 import time
 
 from repro import obs
+from repro.obs import trace as obs_trace
 from repro.bench.experiments import (
     fig6_end_to_end,
     fig7_q3_end_to_end,
@@ -37,10 +51,12 @@ from repro.bench.experiments import (
     fig9_algorithm_sensitivity,
     fig10_integrated,
     fig11_scaling,
+    smoke_observability,
 )
 from repro.bench.reporting import format_table
 
 _FIGURES = {
+    "smoke": (smoke_observability, ["workload", "method", "error", "p95_latency_ms"]),
     "fig6": (fig6_end_to_end, ["workload", "omega_ms", "method", "error", "p95_latency_ms"]),
     "fig7": (fig7_q3_end_to_end, ["omega_ms", "method", "error", "p95_latency_ms"]),
     "fig8": (fig8_workload_sensitivity, None),
@@ -51,9 +67,17 @@ _FIGURES = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "compare":
+        from repro.bench.compare import main as compare_main
+
+        return compare_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Regenerate the tables behind the PECJ paper's figures.",
+        description="Regenerate the tables behind the PECJ paper's figures "
+        "(or 'compare' two trace reports as a regression gate).",
     )
     parser.add_argument(
         "figure", choices=sorted(_FIGURES) + ["all"], help="which figure to regenerate"
@@ -69,6 +93,19 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write a structured JSON run report (rows + metrics snapshot "
         "+ derived health summary) to PATH",
+    )
+    parser.add_argument(
+        "--trace-events",
+        metavar="PATH",
+        default=None,
+        help="record virtual-time events and write a Chrome/Perfetto "
+        "trace_event JSON to PATH (open at https://ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--trace-jsonl",
+        metavar="PATH",
+        default=None,
+        help="record virtual-time events and write them as sorted JSONL",
     )
     parser.add_argument(
         "--workers",
@@ -90,30 +127,36 @@ def main(argv: list[str] | None = None) -> int:
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be >= 1")
 
+    trace_on = args.trace_events is not None or args.trace_jsonl is not None
     names = sorted(_FIGURES) if args.figure == "all" else [args.figure]
     report: dict = {
         "report": "repro.bench trace",
+        "schema_version": obs.SNAPSHOT_SCHEMA_VERSION,
         "scale": scale,
         "workers": args.workers,
         "figures": {},
     }
     all_rows: dict[str, list] = {}
-    for name in names:
-        fn, columns = _FIGURES[name]
-        t0 = time.time()
-        with obs.scoped() as reg:
-            rows = fn(scale, workers=args.workers)
-        elapsed = time.time() - t0
-        all_rows[name] = rows
-        print(format_table(rows, columns, title=f"{name} (scale={scale:g}, {elapsed:.0f}s)"))
-        print()
-        snapshot = reg.snapshot()
-        report["figures"][name] = {
-            "elapsed_s": elapsed,
-            "rows": rows,
-            "metrics": snapshot,
-            "summary": obs.summarize_run(snapshot),
-        }
+    with obs_trace.tracing(obs_trace.TraceRecorder(enabled=trace_on)) as rec:
+        for name in names:
+            fn, columns = _FIGURES[name]
+            rec.set_group(name)
+            t0 = time.time()
+            with obs.scoped() as reg:
+                rows = fn(scale, workers=args.workers)
+            elapsed = time.time() - t0
+            all_rows[name] = rows
+            print(format_table(rows, columns, title=f"{name} (scale={scale:g}, {elapsed:.0f}s)"))
+            print()
+            snapshot = reg.snapshot()
+            report["figures"][name] = {
+                "elapsed_s": elapsed,
+                "rows": rows,
+                "metrics": snapshot,
+                "summary": obs.summarize_run(snapshot),
+            }
+    if trace_on:
+        report["trace_summary"] = obs.summarize_trace(rec.sorted_events())
 
     if args.rows is not None:
         with open(args.rows, "w") as fh:
@@ -125,6 +168,15 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(report, fh, indent=2)
             fh.write("\n")
         print(f"wrote trace report to {args.trace}")
+    if args.trace_events is not None:
+        rec.export_chrome(args.trace_events)
+        print(
+            f"wrote {len(rec.events)} trace events to {args.trace_events} "
+            "(open at https://ui.perfetto.dev)"
+        )
+    if args.trace_jsonl is not None:
+        rec.export_jsonl(args.trace_jsonl)
+        print(f"wrote {len(rec.events)} trace events to {args.trace_jsonl}")
     return 0
 
 

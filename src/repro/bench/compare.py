@@ -1,0 +1,277 @@
+"""Metrics regression gate: diff two ``--trace`` run reports.
+
+``python -m repro.bench compare baseline.json current.json`` loads two
+reports written by ``python -m repro.bench <fig> --trace PATH`` and
+compares, per figure, the **row tables** and the **derived summary** —
+the parts of a report that are pure functions of the virtual-time
+simulation and therefore byte-stable across machines.  Wall-clock
+fields (``elapsed_s``, ``*wall_ms*``) and the raw ``metrics`` snapshot
+(which embeds wall-time histograms) are never compared.
+
+Each numeric leaf is checked under a tolerance keyed by its field name
+(see ``TOLERANCES``); a deviation beyond tolerance is a **regression**
+when it moves in the metric's bad direction and a **drift** otherwise —
+both fail the gate, because on a deterministic virtual-time harness an
+unexplained improvement is as suspicious as a slowdown.  Structural
+changes (figures, rows or fields appearing/disappearing) also fail.
+
+Exit codes: ``0`` within tolerance, ``1`` regression or drift,
+``2`` unreadable input or unknown report schema version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+from dataclasses import dataclass
+
+from repro.bench.reporting import format_table
+from repro.obs import SNAPSHOT_SCHEMA_VERSION
+
+__all__ = [
+    "Tolerance",
+    "TOLERANCES",
+    "KNOWN_SCHEMA_VERSIONS",
+    "SchemaVersionError",
+    "compare_reports",
+    "compare_trees",
+    "main",
+]
+
+#: Report schema versions this gate knows how to compare.  Version 1 is
+#: the pre-versioned report shape (no ``schema_version`` field).
+KNOWN_SCHEMA_VERSIONS = frozenset({1, SNAPSHOT_SCHEMA_VERSION})
+
+#: Keys whose values are wall-clock noise, never compared.
+_IGNORED_KEYS = frozenset({"elapsed_s", "schema_version", "workers"})
+
+
+class SchemaVersionError(ValueError):
+    """A report declares a schema version this gate does not understand."""
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Allowed deviation for one metric family.
+
+    A current value ``c`` against baseline ``b`` is in tolerance when
+    ``|c - b| <= atol + rtol * |b|``.  ``direction`` names which side is
+    a *regression*: ``higher_worse``, ``lower_worse`` or ``both`` (any
+    out-of-tolerance deviation regresses the gate).
+    """
+
+    atol: float = 1e-9
+    rtol: float = 0.0
+    direction: str = "both"
+
+    def within(self, baseline: float, current: float) -> bool:
+        return abs(current - baseline) <= self.atol + self.rtol * abs(baseline)
+
+    def classify(self, baseline: float, current: float) -> str:
+        """``ok``, ``regression`` or ``drift`` for one value pair."""
+        if self.within(baseline, current):
+            return "ok"
+        if self.direction == "higher_worse":
+            return "regression" if current > baseline else "drift"
+        if self.direction == "lower_worse":
+            return "regression" if current < baseline else "drift"
+        return "regression"
+
+
+#: Per-field tolerance rules, matched on the leaf key name.  Error and
+#: latency carry real slack: estimator updates legitimately move them a
+#: little, and the gate should catch step changes, not noise-level
+#: refactors.  Everything else on the virtual axis is deterministic and
+#: compared (near-)exactly.
+TOLERANCES: dict[str, Tolerance] = {
+    "error": Tolerance(atol=0.02, rtol=0.10, direction="higher_worse"),
+    "mean_error": Tolerance(atol=0.02, rtol=0.10, direction="higher_worse"),
+    "p95_latency_ms": Tolerance(atol=0.5, rtol=0.10, direction="higher_worse"),
+    "mean_latency_ms": Tolerance(atol=0.5, rtol=0.10, direction="higher_worse"),
+    "throughput_ktps": Tolerance(atol=1e-6, rtol=0.10, direction="lower_worse"),
+    "speedup": Tolerance(atol=0.0, rtol=0.5, direction="lower_worse"),
+    "fallback_rate": Tolerance(atol=1e-3, direction="higher_worse"),
+    "hit_rate": Tolerance(atol=1e-3, direction="lower_worse"),
+}
+
+#: Fallback for unlisted numeric fields: near-exact, with a hair of
+#: relative slack for float-summation order differences (the parallel
+#: executor folds sum-merged gauges in shard order, so virtual-time
+#: totals can differ from serial by ~1 ulp per addend).
+_DEFAULT = Tolerance(atol=1e-9, rtol=1e-6)
+
+
+def _tolerance_for(key: str) -> Tolerance:
+    return TOLERANCES.get(key, _DEFAULT)
+
+
+def _is_number(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def _schema_version(report: dict) -> int:
+    version = report.get("schema_version", 1)
+    if not isinstance(version, int) or version not in KNOWN_SCHEMA_VERSIONS:
+        raise SchemaVersionError(
+            f"unknown report schema version {version!r}; "
+            f"this gate understands {sorted(KNOWN_SCHEMA_VERSIONS)}"
+        )
+    return version
+
+
+def _finding(figure: str, path: str, baseline, current, status: str) -> dict:
+    return {
+        "figure": figure,
+        "path": path,
+        "baseline": baseline,
+        "current": current,
+        "status": status,
+    }
+
+
+def _compare_value(figure: str, path: str, key: str, b, c, findings: list[dict]) -> None:
+    if _is_number(b) and _is_number(c):
+        if math.isnan(b) or math.isnan(c):
+            if not (math.isnan(b) and math.isnan(c)):
+                findings.append(_finding(figure, path, b, c, "drift"))
+            return
+        status = _tolerance_for(key).classify(float(b), float(c))
+        if status != "ok":
+            findings.append(_finding(figure, path, b, c, status))
+    elif b != c:
+        findings.append(_finding(figure, path, b, c, "drift"))
+
+
+def _compare_tree(figure: str, path: str, base, cur, findings: list[dict]) -> None:
+    if isinstance(base, dict) and isinstance(cur, dict):
+        for key in sorted(set(base) | set(cur)):
+            if key in _IGNORED_KEYS or "wall_ms" in key:
+                continue
+            sub = f"{path}.{key}" if path else key
+            if key not in base:
+                findings.append(_finding(figure, sub, None, cur[key], "added"))
+            elif key not in cur:
+                findings.append(_finding(figure, sub, base[key], None, "removed"))
+            else:
+                _compare_tree(figure, sub, base[key], cur[key], findings)
+    elif isinstance(base, list) and isinstance(cur, list):
+        if len(base) != len(cur):
+            findings.append(
+                _finding(figure, f"{path}(len)", len(base), len(cur), "drift")
+            )
+        for i, (b, c) in enumerate(zip(base, cur)):
+            _compare_tree(figure, f"{path}[{i}]", b, c, findings)
+    else:
+        key = path.rsplit(".", 1)[-1].split("[", 1)[0]
+        _compare_value(figure, path, key, base, cur, findings)
+
+
+def compare_trees(label: str, baseline, current) -> list[dict]:
+    """Diff two JSON trees under the per-metric tolerances.
+
+    The building block behind :func:`compare_reports`, exposed for other
+    gates (``benchmarks/bench_hotpath.py --compare``) that carry their
+    own artifact shape.  Wall-clock keys must be pruned by the caller.
+    """
+    findings: list[dict] = []
+    _compare_tree(label, "", baseline, current, findings)
+    return findings
+
+
+def compare_reports(baseline: dict, current: dict) -> list[dict]:
+    """Diff two trace reports; return the out-of-tolerance findings.
+
+    Raises:
+        SchemaVersionError: Either report declares an unknown
+            ``schema_version``.
+    """
+    _schema_version(baseline)
+    _schema_version(current)
+    findings: list[dict] = []
+    if baseline.get("scale") != current.get("scale"):
+        findings.append(
+            _finding(
+                "*", "scale", baseline.get("scale"), current.get("scale"), "drift"
+            )
+        )
+    base_figs = baseline.get("figures", {})
+    cur_figs = current.get("figures", {})
+    for name in sorted(set(base_figs) | set(cur_figs)):
+        if name not in base_figs:
+            findings.append(_finding(name, "", None, "(present)", "added"))
+            continue
+        if name not in cur_figs:
+            findings.append(_finding(name, "", "(present)", None, "removed"))
+            continue
+        for section in ("rows", "summary"):
+            _compare_tree(
+                name,
+                section,
+                base_figs[name].get(section),
+                cur_figs[name].get(section),
+                findings,
+            )
+    return findings
+
+
+def _load(path: str) -> dict:
+    with open(path) as fh:
+        report = json.load(fh)
+    if not isinstance(report, dict):
+        raise ValueError(f"{path}: not a trace report object")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench compare",
+        description="Diff two --trace run reports under per-metric "
+        "tolerances; exit 1 on regression or drift.",
+    )
+    parser.add_argument("baseline", help="baseline trace report JSON")
+    parser.add_argument("current", help="current trace report JSON")
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the findings as JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+    try:
+        baseline = _load(args.baseline)
+        current = _load(args.current)
+        findings = compare_reports(baseline, current)
+    except (OSError, ValueError) as exc:  # includes SchemaVersionError
+        print(f"compare: {exc}")
+        return 2
+    if args.json is not None:
+        with open(args.json, "w") as fh:
+            json.dump({"findings": findings}, fh, indent=2)
+            fh.write("\n")
+    if not findings:
+        print(
+            f"compare: OK — {args.current} within tolerance of {args.baseline}"
+        )
+        return 0
+    print(
+        format_table(
+            findings,
+            ["figure", "path", "baseline", "current", "status"],
+            title=f"compare: {len(findings)} finding(s) "
+            f"({args.current} vs {args.baseline})",
+        )
+    )
+    worst = (
+        "regression"
+        if any(f["status"] == "regression" for f in findings)
+        else "drift"
+    )
+    print(f"compare: FAIL ({worst})")
+    return 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -33,6 +33,8 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro import obs
+from repro.obs import trace
+from repro.obs.trace import TraceRecorder
 from repro.bench.workloads import WorkloadSpec
 from repro.core.pecj import PECJoin
 from repro.engine.simulator import ParallelJoinEngine
@@ -191,13 +193,25 @@ def run_cell(cell: Cell, cache: dict[str, BatchArrays]) -> dict:
     return row
 
 
-def _run_shard(payload: tuple[list[int], list[Cell]]):
-    """Worker entry: run one shard of cells under a scoped registry."""
-    indices, cells = payload
-    with obs.scoped() as reg:
+def _run_shard(payload: tuple[list[int], list[Cell], bool, str]):
+    """Worker entry: run one shard of cells under a scoped registry.
+
+    Trace context travels in the payload (not via fork-inherited globals)
+    so spawn-based pools behave identically: the worker records into its
+    own :class:`TraceRecorder` stamped with the parent's group, and the
+    per-cell ``(cell, seq)`` coordinates make the parent's post-merge
+    sort independent of which worker ran which cell.
+    """
+    indices, cells, trace_on, group = payload
+    with obs.scoped() as reg, trace.tracing(TraceRecorder(enabled=trace_on)) as rec:
+        rec.set_group(group)
         cache: dict[str, BatchArrays] = {}
-        rows = [run_cell(cell, cache) for cell in cells]
-    return indices, rows, reg
+        rows = []
+        for idx, cell in zip(indices, cells):
+            rec.begin_cell(idx)
+            rows.append(run_cell(cell, cache))
+        rec.begin_cell(-1)
+    return indices, rows, reg, rec
 
 
 def _pool_context():
@@ -222,13 +236,20 @@ def execute_cells(
     cells = list(cells)
     if not cells:
         return []
+    rec = trace.active_recorder()
     if workers is None or workers <= 1:
         cache: dict[str, BatchArrays] = {}
-        return [run_cell(cell, cache) for cell in cells]
+        rows_serial: list[dict] = []
+        for i, cell in enumerate(cells):
+            rec.begin_cell(i)
+            rows_serial.append(run_cell(cell, cache))
+        rec.begin_cell(-1)
+        return rows_serial
 
     workers = min(workers, len(cells))
     shards = [
-        (list(range(i, len(cells), workers)), cells[i::workers])
+        (list(range(i, len(cells), workers)), cells[i::workers],
+         rec.enabled, rec.group)
         for i in range(workers)
     ]
     obs.counter("executor.shards").inc(len(shards))
@@ -240,8 +261,9 @@ def execute_cells(
         # merged histograms (and everything else) are deterministic.
         results = [f.result() for f in [pool.submit(_run_shard, s) for s in shards]]
     parent = obs.get_registry()
-    for indices, shard_rows, reg in results:
+    for indices, shard_rows, reg, shard_rec in results:
         for idx, row in zip(indices, shard_rows):
             rows[idx] = row
         reg.merge_into(parent)
+        rec.merge_from(shard_rec)
     return rows  # type: ignore[return-value]

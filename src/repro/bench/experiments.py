@@ -38,7 +38,35 @@ __all__ = [
     "fig9_algorithm_sensitivity",
     "fig10_integrated",
     "fig11_scaling",
+    "smoke_observability",
 ]
+
+
+def smoke_observability(scale: float = 1.0, workers: int | None = None) -> list[dict]:
+    """Observability smoke: every estimator backend plus one engine run.
+
+    Not a paper figure — a deliberately tiny cell set whose trace export
+    exercises the whole event vocabulary in one file: runner window
+    lifecycle spans, ``pecj.sample`` series for all three backends
+    (AEMA, SVI, MLP), engine batch/phase spans and per-window engine
+    spans.  ``python -m repro.bench smoke --trace-events out.json`` is
+    the one-command way to get a representative Perfetto trace.
+    """
+    spec = micro_spec(num_keys=50, duration_ms=2000.0, warmup_ms=500.0,
+                      rate_r=20.0, rate_s=20.0).scaled(scale)
+    cells: list[Cell] = [
+        Cell("standalone", spec, method=method, omega=10.0)
+        for method in ("wmj", "pecj-aema", "pecj-svi", "pecj-mlp")
+    ]
+    cells.append(
+        Cell(
+            "engine",
+            spec,
+            engine={"algorithm": "prj", "threads": 4, "pecj": True, "omega": 10.0},
+            front={"threads": 4},
+        )
+    )
+    return execute_cells(cells, workers)
 
 
 def run_standalone(

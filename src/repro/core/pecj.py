@@ -27,6 +27,7 @@ from typing import Callable
 import numpy as np
 
 from repro import obs
+from repro.obs import trace
 from repro.core.compensation import compensate, product_interval
 from repro.core.delay_profile import DelayProfile
 from repro.core.estimators.base import PosteriorEstimator
@@ -150,6 +151,9 @@ class PECJoin(StreamJoinOperator):
         # finalization so learning backends can be told the realised
         # completeness factor: window idx -> (obs_r, obs_s, c_bar, m_hat).
         self._emitted: dict[int, tuple[int, int, float, float]] = {}
+        # Whether the most recent rate estimate hit a clamp (observation
+        # floor / negative prior), surfaced per window in trace samples.
+        self._last_clamped = False
 
     # -- observation machinery ----------------------------------------------
 
@@ -272,7 +276,8 @@ class PECJoin(StreamJoinOperator):
         raw_mu_r = self.rate_r.blend([], [], tag=widx)
         raw_mu_s = self.rate_s.blend([], [], tag=widx)
         obs.counter(f"pecj.{self.backend}.blend_calls").inc(2)
-        if raw_mu_r < 0.0 or raw_mu_s < 0.0:
+        self._last_clamped = raw_mu_r < 0.0 or raw_mu_s < 0.0
+        if self._last_clamped:
             obs.counter(f"pecj.{self.backend}.clamp.negative_rate").inc()
         mu_r = max(raw_mu_r, 0.0)
         mu_s = max(raw_mu_s, 0.0)
@@ -361,7 +366,11 @@ class PECJoin(StreamJoinOperator):
         mu_r = self.rate_r.blend(xs_r, zs, tag=widx)
         mu_s = self.rate_s.blend(xs_s, zs, tag=widx)
         obs.counter(f"pecj.{self.backend}.blend_calls").inc(2)
-        if float(obs_r) > mu_r * window.length or float(obs_s) > mu_s * window.length:
+        self._last_clamped = (
+            float(obs_r) > mu_r * window.length
+            or float(obs_s) > mu_s * window.length
+        )
+        if self._last_clamped:
             # The posterior rate undershoots what was already observed;
             # the observation floor wins (a sign the prior lags the
             # stream, worth watching per backend).
@@ -411,6 +420,10 @@ class PECJoin(StreamJoinOperator):
         if not (self.profile.is_warm and self.rate_r.is_warm and self.rate_s.is_warm):
             self.last_interval = None
             obs.counter(f"pecj.{self.backend}.cold_windows").inc()
+            trace.instant(
+                "pecj.cold", now, cat="estimator", track=f"pecj.{self.backend}",
+                args={"window_start": float(window.start)},
+            )
             return observed.value(self.agg), extra
         obs.counter(f"pecj.{self.backend}.compensated_windows").inc()
 
@@ -451,9 +464,32 @@ class PECJoin(StreamJoinOperator):
         lo, hi = self.last_interval
         # Posterior health: relative width of the output credible interval
         # (wide = the estimators are uncertain about this regime).
-        obs.gauge(f"pecj.{self.backend}.interval_rel_width").set(
-            (hi - lo) / max(abs(est.value), 1e-9)
-        )
+        rel_width = (hi - lo) / max(abs(est.value), 1e-9)
+        obs.gauge(f"pecj.{self.backend}.interval_rel_width.last").set(rel_width)
+        obs.observe(f"pecj.{self.backend}.interval_rel_width", rel_width)
+        if trace.is_tracing():
+            sample = {
+                "window_start": float(window.start),
+                "r_bar_r": float(n_hat_r / window.length),
+                "r_bar_s": float(n_hat_s / window.length),
+                "n_hat_r": float(n_hat_r),
+                "n_hat_s": float(n_hat_s),
+                "obs_r": int(obs_r),
+                "obs_s": int(obs_s),
+                "sigma": float(sigma_hat),
+                "alpha": float(alpha_hat),
+                "value": float(est.value),
+                "interval_lo": float(lo),
+                "interval_hi": float(hi),
+                "interval_rel_width": float(rel_width),
+                "clamped": bool(self._last_clamped),
+            }
+            if observed.n_r > 0 and observed.n_s > 0:
+                sample["w_sigma"] = float(w_sigma)
+            trace.instant(
+                "pecj.sample", now, cat="estimator",
+                track=f"pecj.{self.backend}", args=sample,
+            )
         if self.debug:
             truth = self.window_aggregate(arrays, window.start, window.end, None)
             self.debug_records.append(

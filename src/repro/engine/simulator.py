@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import obs
+from repro.obs import trace
 from repro.core.pecj import PECJoin
 from repro.engine.cost_model import EngineCostModel
 from repro.joins.arrays import AggKind, BatchArrays
@@ -95,6 +96,7 @@ class EngineResult:
             "p95_latency_ms": self.p95_latency,
             "throughput_ktps": self.throughput_ktps,
             "windows": float(len(self.records)),
+            "negative_latency_samples": float(self.latency.negative_samples),
         }
 
 
@@ -173,22 +175,46 @@ class ParallelJoinEngine:
         finishes: dict[int, float] = {}
         finish_prev = 0.0
         cm = self.cost_model
+        tracing = trace.is_tracing()
+        pool_track = f"engine.{self.name}.pool"
         for offset, n in enumerate(counts):
             w = first + offset
             trigger = (w + 1) * wlen
             batch_ms = cm.prj_batch_ms(int(n), self.threads)
             if self.pecj_enabled:
                 batch_ms += cm.prj_pecj_extra_ms(int(n), self.threads)
+            start_exec = max(trigger, finish_prev)
             if n:
-                for phase, ms in cm.prj_phase_breakdown(
-                    int(n), self.threads
-                ).items():
+                phases = cm.prj_phase_breakdown(int(n), self.threads)
+                for phase, ms in phases.items():
                     obs.gauge(f"engine.prj.time_ms.{phase}").add(ms)
                 if self.pecj_enabled:
                     obs.gauge("engine.prj.time_ms.observe").add(
                         cm.prj_pecj_extra_ms(int(n), self.threads)
                     )
-            finish_prev = max(trigger, finish_prev) + batch_ms
+                if tracing:
+                    # One pool-occupancy span per batch join, with the cost
+                    # model's phase breakdown nested inside it on the same
+                    # virtual axis (partition -> build/probe -> sync).
+                    trace.complete(
+                        "prj.batch", start_exec, batch_ms,
+                        cat="engine", track=pool_track,
+                        args={"batch": int(w), "tuples": int(n)},
+                    )
+                    t = start_exec
+                    for phase, ms in phases.items():
+                        trace.complete(
+                            f"prj.{phase}", t, float(ms),
+                            cat="phase", track=pool_track,
+                        )
+                        t += float(ms)
+                    if self.pecj_enabled:
+                        trace.complete(
+                            "prj.observe", t,
+                            float(cm.prj_pecj_extra_ms(int(n), self.threads)),
+                            cat="phase", track=pool_track,
+                        )
+            finish_prev = start_exec + batch_ms
             finishes[w] = finish_prev
 
         # Data availability is *trigger*-quantised: a batch's content is
@@ -213,11 +239,26 @@ class ParallelJoinEngine:
             self.algorithm, self.threads, self.pecj_enabled
         )
         obs.gauge(f"engine.{self.algorithm}.time_ms.probe").add(per_tuple * n)
+        tracing = trace.is_tracing()
         for worker in range(self.threads):
             sel = np.arange(worker, n, self.threads)
             costs = np.full(len(sel), per_tuple)
             done = completion_times(arrivals[sel], costs)
             visible[order[sel]] = done
+            if tracing and len(sel):
+                # One busy-interval span per eager worker: first dispatch
+                # to last completion, with the per-tuple service total so
+                # (dur - busy_ms) reads as idle time in Perfetto.
+                first_in = float(arrivals[sel][0])
+                last_out = float(done[-1])
+                trace.complete(
+                    "worker.busy", first_in, last_out - first_in,
+                    cat="engine", track=f"engine.{self.name}.t{worker}",
+                    args={
+                        "tuples": int(len(sel)),
+                        "busy_ms": float(per_tuple * len(sel)),
+                    },
+                )
         return visible
 
     # -- driver ---------------------------------------------------------------
@@ -362,13 +403,28 @@ class ParallelJoinEngine:
                 emit_time=emit,
                 contributing=len(arrivals),
             )
-            if idx - first_idx >= warmup_windows:
+            warmup = idx - first_idx < warmup_windows
+            if not warmup:
                 result.records.append(record)
                 obs.counter("engine.windows").inc()
                 if len(arrivals):
                     result.latency.extend(emit - arrivals)
                 result.processed_tuples += len(arrivals)
                 last_emit = max(last_emit, emit)
+            if trace.is_tracing():
+                trace.complete(
+                    "window", window.start, max(emit - window.start, 0.0),
+                    cat="window", track=f"engine.{self.name}",
+                    args={
+                        "window_start": float(window.start),
+                        "value": float(value),
+                        "expected": float(expected),
+                        "error": float(err),
+                        "emit": float(emit),
+                        "contributing": int(len(arrivals)),
+                        "warmup": bool(warmup),
+                    },
+                )
             idx += 1
 
         measured_start = windows.window_at(first_idx + warmup_windows).start

@@ -153,4 +153,8 @@ class RunResult:
             "p95_latency_ms": self.p95_latency,
             "mean_latency_ms": self.latency.mean(),
             "windows": float(self.num_windows),
+            # Emit-before-arrival samples are an upstream scheduling bug;
+            # surfacing the count here keeps it from hiding in clamped
+            # percentiles (see LatencyTracker).
+            "negative_latency_samples": float(self.latency.negative_samples),
         }

@@ -15,6 +15,7 @@ virtual time advance monotonically, matching a real deployment.
 from __future__ import annotations
 
 from repro import obs
+from repro.obs import trace
 from repro.joins.arrays import BatchArrays
 from repro.joins.base import RunResult, StreamJoinOperator, WindowRecord
 from repro.joins.pipeline import CostModel, apply_pipeline_costs
@@ -101,7 +102,8 @@ def run_operator(
                 emit_time=emit_time,
                 contributing=len(arrivals),
             )
-            if idx - first_idx < warmup_windows:
+            warmup = idx - first_idx < warmup_windows
+            if warmup:
                 result.warmup_records.append(record)
                 obs.counter("runner.warmup_windows").inc()
             else:
@@ -110,6 +112,34 @@ def run_operator(
                 obs.counter("runner.contributing_tuples").inc(len(arrivals))
                 if len(arrivals):
                     result.latency.extend(emit_time - arrivals)
+            if trace.is_tracing():
+                # Per-window lifecycle span on the virtual axis: the whole
+                # window (open -> scored) with its observe and drain phases
+                # nested inside, so Perfetto shows where a window's wall
+                # of virtual time went and how it scored.
+                track = f"runner.{operator.name}"
+                trace.complete(
+                    "window",
+                    window.start,
+                    emit_time - window.start,
+                    cat="window",
+                    track=track,
+                    args={
+                        "window_start": float(window.start),
+                        "value": float(value),
+                        "expected": float(expected),
+                        "error": float(err),
+                        "contributing": int(len(arrivals)),
+                        "warmup": bool(warmup),
+                    },
+                )
+                trace.complete(
+                    "observe", window.start, cutoff - window.start,
+                    cat="phase", track=track,
+                )
+                trace.complete(
+                    "drain", cutoff, emit_time - cutoff, cat="phase", track=track,
+                )
             idx += 1
 
     result.metrics = reg.snapshot()

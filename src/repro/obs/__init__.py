@@ -14,15 +14,28 @@ Usage around a run::
         result = run_operator(...)
     result.metrics = reg.snapshot()
 
-See :mod:`repro.obs.registry` for the instrument semantics and
+Usage around tracing (virtual-time events/spans)::
+
+    from repro.obs import trace
+
+    with trace.tracing() as rec:
+        result = engine.run(arrays)
+    rec.export_chrome("trace.json")   # Perfetto / chrome://tracing
+
+See :mod:`repro.obs.registry` for the instrument semantics,
+:mod:`repro.obs.trace` for the event recorder and
 :mod:`repro.obs.report` for the derived run-report schema.
 """
 
+from repro.obs import trace
+from repro.obs.events import TRACE_SCHEMA_VERSION, TraceEvent
 from repro.obs.registry import (
+    SNAPSHOT_SCHEMA_VERSION,
     Counter,
     Gauge,
     MetricsRegistry,
     StreamingHistogram,
+    gauge_merge_policy,
     counter,
     default_registry,
     disable,
@@ -36,14 +49,23 @@ from repro.obs.registry import (
     span,
     timer,
 )
-from repro.obs.report import summarize_run
+from repro.obs.report import summarize_run, summarize_trace
+from repro.obs.trace import TraceRecorder, is_tracing, tracing
 
 __all__ = [
+    "SNAPSHOT_SCHEMA_VERSION",
+    "TRACE_SCHEMA_VERSION",
     "Counter",
     "Gauge",
     "MetricsRegistry",
     "StreamingHistogram",
+    "TraceEvent",
+    "TraceRecorder",
     "counter",
+    "gauge_merge_policy",
+    "is_tracing",
+    "trace",
+    "tracing",
     "default_registry",
     "disable",
     "enable",
@@ -56,4 +78,5 @@ __all__ = [
     "span",
     "timer",
     "summarize_run",
+    "summarize_trace",
 ]

@@ -1,0 +1,98 @@
+"""Typed trace events keyed to the simulation's virtual clock.
+
+The run-level registry (:mod:`repro.obs.registry`) answers *how much* —
+counts, totals, quantiles over a whole run.  Events answer *when*: each
+:class:`TraceEvent` is a point or span on the simulator's virtual time
+axis, so trajectories the paper plots (estimator convergence per window,
+per-phase engine occupancy, disorder bursts hitting the k-slack buffer)
+can be reconstructed after the fact instead of being reduced to a single
+aggregate.
+
+Ordering is part of the schema.  Every event carries a ``(group, cell,
+seq)`` coordinate in addition to its virtual timestamp:
+
+* ``group`` — the experiment grouping (one per figure in a bench run);
+* ``cell`` — the executor cell index that produced the event (``-1``
+  outside the executor);
+* ``seq`` — a per-cell monotone sequence number, reset whenever a new
+  cell begins.
+
+Cells are deterministic computations on virtual time, so a cell's event
+list is identical however the cell is scheduled; sorting merged events by
+:meth:`TraceEvent.sort_key` therefore makes a ``--workers N`` trace
+byte-identical to the serial one (see :mod:`repro.bench.executor`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "PH_INSTANT",
+    "PH_COMPLETE",
+    "TraceEvent",
+]
+
+#: Version of the event schema written to JSONL / Chrome exports.
+TRACE_SCHEMA_VERSION = 1
+
+#: Chrome ``trace_event`` phase for a zero-duration point event.
+PH_INSTANT = "i"
+#: Chrome ``trace_event`` phase for a complete (begin+duration) span.
+PH_COMPLETE = "X"
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One point or span on the virtual time axis.
+
+    Attributes:
+        name: Event name (``"window"``, ``"pecj.sample"``, ...).
+        ph: Phase — :data:`PH_INSTANT` or :data:`PH_COMPLETE`.
+        ts: Virtual timestamp in ms (a monotone fallback counter outside
+            the engine, see :class:`~repro.obs.trace.TraceRecorder`).
+        dur: Span duration in virtual ms (0 for instants).
+        cat: Category for filtering (``"window"``, ``"estimator"``,
+            ``"engine"``, ``"buffer"``, ...).
+        track: Display track; maps to a Perfetto thread so e.g. each
+            engine worker gets its own lane.
+        group: Experiment grouping (figure name in bench runs).
+        cell: Executor cell index, ``-1`` outside the executor.
+        seq: Per-cell monotone sequence number.
+        args: JSON-serialisable payload (estimator posteriors, window
+            scores, buffer statistics).
+    """
+
+    name: str
+    ph: str
+    ts: float
+    dur: float = 0.0
+    cat: str = ""
+    track: str = "main"
+    group: str = ""
+    cell: int = -1
+    seq: int = 0
+    args: dict | None = field(default=None)
+
+    def sort_key(self) -> tuple:
+        """Deterministic global ordering: virtual time first, then the
+        stable per-cell sequence coordinate (see module docstring)."""
+        return (self.group, self.ts, self.cell, self.seq, self.track, self.name)
+
+    def to_json(self) -> dict:
+        """JSONL-ready dict (stable key order, ``args`` omitted if empty)."""
+        out = {
+            "name": self.name,
+            "ph": self.ph,
+            "ts": self.ts,
+            "dur": self.dur,
+            "cat": self.cat,
+            "track": self.track,
+            "group": self.group,
+            "cell": self.cell,
+            "seq": self.seq,
+        }
+        if self.args:
+            out["args"] = self.args
+        return out

@@ -38,10 +38,12 @@ from contextlib import contextmanager
 from typing import Callable, Iterator
 
 __all__ = [
+    "SNAPSHOT_SCHEMA_VERSION",
     "Counter",
     "Gauge",
     "StreamingHistogram",
     "MetricsRegistry",
+    "gauge_merge_policy",
     "get_registry",
     "default_registry",
     "scoped",
@@ -55,6 +57,37 @@ __all__ = [
     "timer",
     "span",
 ]
+
+#: Version of the snapshot dict written by :meth:`MetricsRegistry.snapshot`
+#: (and therefore of ``RunResult.metrics`` / ``EngineResult.metrics`` and
+#: the ``--trace`` report that embeds them).  Version 1 was the implicit
+#: pre-versioned schema; version 2 added this field and the deterministic
+#: gauge merge policy.  ``repro.bench.compare`` rejects unknown versions.
+SNAPSHOT_SCHEMA_VERSION = 2
+
+
+def gauge_merge_policy(name: str) -> str:
+    """The deterministic policy used to merge a gauge across scopes.
+
+    Last-write-wins is shard-order-dependent under the parallel executor,
+    so merged snapshots could flap between runs.  Policy is keyed on the
+    gauge's name instead:
+
+    * ``sum`` — names containing ``.time_ms.`` or ending in ``_bytes``:
+      accumulated totals (virtual phase time, index bytes) add up, so a
+      parallel merge equals the serial total;
+    * ``last`` — names ending in ``.last``: explicitly a most-recent
+      reading; merge order is fixed (shard index), so the result is
+      reproducible run-to-run, but serial and parallel runs may disagree —
+      use only where that is acceptable;
+    * ``max`` — everything else: order-independent and idempotent, the
+      safe default for level-style readings.
+    """
+    if name.endswith(".last"):
+        return "last"
+    if ".time_ms." in name or name.endswith("_bytes"):
+        return "sum"
+    return "max"
 
 
 class Counter:
@@ -279,19 +312,33 @@ class MetricsRegistry:
     # -- aggregation ---------------------------------------------------------
 
     def merge_into(self, other: "MetricsRegistry") -> None:
-        """Fold this registry's contents into ``other`` (scope exit)."""
+        """Fold this registry's contents into ``other`` (scope exit).
+
+        Counters add and histograms merge bucket-wise (both lossless and
+        order-independent); gauges follow :func:`gauge_merge_policy` so
+        the merged value cannot depend on shard scheduling.
+        """
         if not self.enabled or not other.enabled:
             return
         for name, c in self.counters.items():
             other.counter(name).inc(c.value)
         for name, g in self.gauges.items():
-            other.gauge(name).set(g.value)
+            policy = gauge_merge_policy(name)
+            fresh = name not in other.gauges
+            dst = other.gauge(name)
+            if policy == "sum":
+                dst.add(g.value)
+            elif policy == "last" or fresh:
+                dst.set(g.value)
+            else:  # max
+                dst.set(max(dst.value, g.value))
         for name, h in self.histograms.items():
             other.histogram(name).merge(h)
 
     def snapshot(self) -> dict:
         """JSON-ready view: counters, gauges and histogram summaries."""
         return {
+            "schema_version": SNAPSHOT_SCHEMA_VERSION,
             "counters": {k: v.value for k, v in sorted(self.counters.items())},
             "gauges": {k: v.value for k, v in sorted(self.gauges.items())},
             "histograms": {

@@ -10,7 +10,9 @@ them in one place so ``python -m repro.bench --trace``,
 
 from __future__ import annotations
 
-__all__ = ["summarize_run"]
+from repro.obs.events import PH_COMPLETE, TraceEvent
+
+__all__ = ["summarize_run", "summarize_trace"]
 
 
 def _rate(part: float, whole: float) -> float:
@@ -73,4 +75,33 @@ def summarize_run(snapshot: dict) -> dict:
         "latency_negative_samples": counters.get("latency.negative_samples", 0),
         "engine_time_ms": engine_time,
         "pecj": pecj,
+    }
+
+
+def summarize_trace(events: list[TraceEvent]) -> dict:
+    """Derived summary of a trace: event counts and span time by track.
+
+    Counts events per category, spans and total span duration per track,
+    and per-backend PECJ estimator samples — the shape the compare gate
+    and the CLI report embed so a trace regression (a phase disappearing,
+    estimator samples drying up) is visible without replaying the export.
+    """
+    by_category: dict[str, int] = {}
+    span_ms: dict[str, float] = {}
+    spans: dict[str, int] = {}
+    estimator_samples: dict[str, int] = {}
+    for e in events:
+        cat = e.cat or "default"
+        by_category[cat] = by_category.get(cat, 0) + 1
+        if e.ph == PH_COMPLETE:
+            spans[e.track] = spans.get(e.track, 0) + 1
+            span_ms[e.track] = span_ms.get(e.track, 0.0) + e.dur
+        if e.name == "pecj.sample":
+            estimator_samples[e.track] = estimator_samples.get(e.track, 0) + 1
+    return {
+        "events": len(events),
+        "by_category": dict(sorted(by_category.items())),
+        "spans_by_track": dict(sorted(spans.items())),
+        "span_ms_by_track": {k: span_ms[k] for k in sorted(span_ms)},
+        "estimator_samples": dict(sorted(estimator_samples.items())),
     }

@@ -1,0 +1,376 @@
+"""Virtual-clock event/span recorder (``repro.obs.trace``).
+
+A :class:`TraceRecorder` captures :class:`~repro.obs.events.TraceEvent`
+objects keyed to the simulator's virtual time.  It follows the same
+discipline as the metrics registry:
+
+* **zero dependencies** — pure stdlib;
+* **no-op cheap when disabled** — every module-level recording function
+  checks one attribute and returns; the process-global default recorder
+  is disabled, so untraced runs pay a function call and a branch per
+  *potential* event (and hot per-tuple sites additionally guard with
+  :func:`is_tracing` so they do not even build the payload);
+* **deterministic merge** — events from executor workers concatenate and
+  sort by ``(group, ts, cell, seq)``, making a ``--workers N`` export
+  byte-identical to the serial one.
+
+Activate tracing around a run::
+
+    from repro.obs import trace
+
+    with trace.tracing() as rec:
+        rows = fig6_end_to_end(scale=0.05)
+    rec.export_chrome("fig6_trace.json")     # open in Perfetto / chrome://tracing
+    rec.export_jsonl("fig6_trace.jsonl")
+
+Instrumented sites record through the module functions::
+
+    trace.instant("pecj.sample", ts=now, cat="estimator", track="pecj.aema",
+                  args={"r_bar_r": mu_r, "sigma": sigma_hat})
+    trace.complete("window", ts=window.start, dur=emit - window.start,
+                   cat="window", track="runner.WMJ", args={"error": err})
+
+Timestamps are virtual milliseconds supplied by the caller; when ``ts``
+is omitted the recorder falls back to a monotone counter so events stay
+ordered even outside the engine's virtual clock.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.obs.events import (
+    PH_COMPLETE,
+    PH_INSTANT,
+    TRACE_SCHEMA_VERSION,
+    TraceEvent,
+)
+
+__all__ = [
+    "TraceRecorder",
+    "tracing",
+    "active_recorder",
+    "is_tracing",
+    "instant",
+    "complete",
+    "span",
+]
+
+
+class TraceRecorder:
+    """Collects typed events on the virtual time axis.
+
+    Args:
+        enabled: When False every recording method returns immediately
+            and the event list stays empty.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+        self._group = ""
+        self._cell = -1
+        self._seq = 0
+        # Sequence counter of the out-of-cell (-1) coordinate, preserved
+        # across cell scopes so returning to it never reuses a sequence id.
+        self._outer_seq = 0
+        # Fallback clock for events recorded without a virtual timestamp.
+        self._auto_ts = 0
+
+    # -- coordinates ---------------------------------------------------------
+
+    @property
+    def group(self) -> str:
+        """The current experiment grouping (see :meth:`set_group`)."""
+        return self._group
+
+    def set_group(self, group: str) -> None:
+        """Start a new experiment grouping (e.g. one bench figure).
+
+        Resets the cell coordinate; sequence ids restart per group so the
+        ``(group, cell, seq)`` coordinate stays unique.
+        """
+        if not self.enabled:
+            return
+        self._group = group
+        self._cell = -1
+        self._seq = 0
+        self._outer_seq = 0
+
+    def begin_cell(self, cell: int) -> None:
+        """Enter executor cell ``cell`` (or ``-1`` to leave cell scope).
+
+        Sequence numbers reset per cell: a cell's events carry the same
+        ``(cell, seq)`` coordinates whichever worker runs it, which is
+        what makes the post-merge sort deterministic.
+        """
+        if not self.enabled:
+            return
+        if cell < 0:
+            self._cell = -1
+            self._seq = self._outer_seq
+            return
+        if self._cell < 0:
+            self._outer_seq = self._seq
+        self._cell = cell
+        self._seq = 0
+
+    def _next_auto_ts(self) -> float:
+        self._auto_ts += 1
+        return float(self._auto_ts)
+
+    # -- recording -----------------------------------------------------------
+
+    def instant(
+        self,
+        name: str,
+        ts: float | None = None,
+        *,
+        cat: str = "",
+        track: str = "main",
+        args: dict | None = None,
+    ) -> None:
+        """Record a point event at virtual time ``ts``."""
+        if not self.enabled:
+            return
+        if ts is None:
+            ts = self._next_auto_ts()
+        self.events.append(
+            TraceEvent(
+                name, PH_INSTANT, float(ts), 0.0, cat, track,
+                self._group, self._cell, self._seq, args,
+            )
+        )
+        self._seq += 1
+
+    def complete(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        *,
+        cat: str = "",
+        track: str = "main",
+        args: dict | None = None,
+    ) -> None:
+        """Record a span ``[ts, ts + dur)`` on the virtual axis."""
+        if not self.enabled:
+            return
+        self.events.append(
+            TraceEvent(
+                name, PH_COMPLETE, float(ts), max(float(dur), 0.0), cat, track,
+                self._group, self._cell, self._seq, args,
+            )
+        )
+        self._seq += 1
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        clock: Callable[[], float],
+        *,
+        cat: str = "",
+        track: str = "main",
+        args: dict | None = None,
+    ) -> Iterator[None]:
+        """Record the block as a complete span on an arbitrary clock."""
+        if not self.enabled:
+            yield
+            return
+        t0 = clock()
+        try:
+            yield
+        finally:
+            t1 = clock()
+            self.complete(name, t0, t1 - t0, cat=cat, track=track, args=args)
+
+    # -- aggregation ----------------------------------------------------------
+
+    def merge_from(self, other: "TraceRecorder") -> None:
+        """Fold another recorder's events into this one (worker merge).
+
+        Plain concatenation: global order is established by
+        :meth:`sorted_events` at export time, never by merge order.
+        """
+        if not self.enabled:
+            return
+        self.events.extend(other.events)
+
+    def sorted_events(self) -> list[TraceEvent]:
+        """Events in deterministic global order (see events module)."""
+        return sorted(self.events, key=TraceEvent.sort_key)
+
+    # -- export ----------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """JSONL: a header line, then one event per line, sorted."""
+        lines = [
+            json.dumps(
+                {
+                    "format": "repro.trace/jsonl",
+                    "schema_version": TRACE_SCHEMA_VERSION,
+                    "events": len(self.events),
+                },
+                sort_keys=False,
+            )
+        ]
+        lines.extend(json.dumps(e.to_json()) for e in self.sorted_events())
+        return "\n".join(lines) + "\n"
+
+    def export_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl())
+
+    def to_chrome(self) -> dict:
+        """Chrome/Perfetto ``trace_event`` JSON object.
+
+        Each ``(group, cell)`` becomes a process and each track within it
+        a named thread, so Perfetto shows engine workers as lanes and
+        nested window spans inside them.  Virtual ms map to trace-format
+        microseconds.
+        """
+        events = self.sorted_events()
+        pids: dict[tuple[str, int], int] = {}
+        tids: dict[tuple[str, int, str], int] = {}
+        for e in events:
+            pkey = (e.group, e.cell)
+            if pkey not in pids:
+                pids[pkey] = len(pids) + 1
+            tkey = (e.group, e.cell, e.track)
+            if tkey not in tids:
+                tids[tkey] = len([t for t in tids if t[:2] == pkey]) + 1
+        trace_events: list[dict] = []
+        for (group, cell), pid in sorted(pids.items(), key=lambda kv: kv[1]):
+            label = group or "run"
+            name = f"{label}" if cell < 0 else f"{label} cell {cell}"
+            trace_events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": name},
+                }
+            )
+        for (group, cell, track), tid in sorted(tids.items(), key=lambda kv: (pids[kv[0][:2]], kv[1])):
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pids[(group, cell)],
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        for e in events:
+            entry: dict = {
+                "name": e.name,
+                "cat": e.cat or "default",
+                "ph": e.ph,
+                "ts": e.ts * 1000.0,
+                "pid": pids[(e.group, e.cell)],
+                "tid": tids[(e.group, e.cell, e.track)],
+            }
+            if e.ph == PH_COMPLETE:
+                entry["dur"] = e.dur * 1000.0
+            if e.ph == PH_INSTANT:
+                entry["s"] = "t"
+            if e.args:
+                entry["args"] = e.args
+            trace_events.append(entry)
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro.obs.trace",
+                "schema_version": TRACE_SCHEMA_VERSION,
+                "clock": "virtual-ms",
+            },
+        }
+
+    def export_chrome(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome(), fh, indent=1)
+            fh.write("\n")
+
+
+#: Process-global recorder; disabled so untraced runs stay no-op cheap.
+_DISABLED = TraceRecorder(enabled=False)
+_ACTIVE: TraceRecorder = _DISABLED
+
+
+def active_recorder() -> TraceRecorder:
+    """The recorder currently receiving events (disabled by default)."""
+    return _ACTIVE
+
+
+def is_tracing() -> bool:
+    """Whether the active recorder captures events.
+
+    Hot call sites (per-tuple buffer events) guard on this before building
+    an args payload; per-window sites may call the recording functions
+    directly — a disabled recorder ignores them.
+    """
+    return _ACTIVE.enabled
+
+
+@contextmanager
+def tracing(recorder: TraceRecorder | None = None) -> Iterator[TraceRecorder]:
+    """Route events to ``recorder`` for the duration of the block.
+
+    Unlike registry scopes, recorders do not auto-merge on exit: the
+    block's recorder *is* the trace (callers export or merge explicitly,
+    as the executor does for worker recorders).
+    """
+    global _ACTIVE
+    rec = recorder if recorder is not None else TraceRecorder(enabled=True)
+    prev = _ACTIVE
+    _ACTIVE = rec
+    try:
+        yield rec
+    finally:
+        _ACTIVE = prev
+
+
+# -- module-level shortcuts (record to the active recorder) --------------------
+
+
+def instant(
+    name: str,
+    ts: float | None = None,
+    *,
+    cat: str = "",
+    track: str = "main",
+    args: dict | None = None,
+) -> None:
+    rec = _ACTIVE
+    if rec.enabled:
+        rec.instant(name, ts, cat=cat, track=track, args=args)
+
+
+def complete(
+    name: str,
+    ts: float,
+    dur: float,
+    *,
+    cat: str = "",
+    track: str = "main",
+    args: dict | None = None,
+) -> None:
+    rec = _ACTIVE
+    if rec.enabled:
+        rec.complete(name, ts, dur, cat=cat, track=track, args=args)
+
+
+def span(
+    name: str,
+    clock: Callable[[], float],
+    *,
+    cat: str = "",
+    track: str = "main",
+    args: dict | None = None,
+):
+    return _ACTIVE.span(name, clock, cat=cat, track=track, args=args)

@@ -17,6 +17,8 @@ import heapq
 import itertools
 from typing import Iterable
 
+from repro import obs
+from repro.obs import trace
 from repro.streams.tuples import StreamTuple
 
 __all__ = ["KSlackBuffer"]
@@ -56,6 +58,17 @@ class KSlackBuffer:
         """
         if t.event_time <= self._watermark - self.slack:
             self.asynchronous_releases += 1
+            obs.counter("kslack.asynchronous_releases").inc()
+            if trace.is_tracing():
+                trace.instant(
+                    "kslack.async_release", t.arrival_time,
+                    cat="buffer", track="kslack",
+                    args={
+                        "event_time": float(t.event_time),
+                        "watermark": float(self._watermark),
+                        "slack": float(self.slack),
+                    },
+                )
             return [t]
         self._watermark = max(self._watermark, t.event_time)
         heapq.heappush(self._heap, (t.event_time, next(self._tie), t))
@@ -72,6 +85,12 @@ class KSlackBuffer:
         bound = self._watermark - self.slack
         while self._heap and self._heap[0][0] <= bound:
             released.append(heapq.heappop(self._heap)[2])
+        if released and trace.is_tracing():
+            trace.instant(
+                "kslack.release", self._watermark,
+                cat="buffer", track="kslack",
+                args={"count": len(released), "buffered": len(self._heap)},
+            )
         return released
 
     def flush(self) -> list[StreamTuple]:

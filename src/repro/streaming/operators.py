@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import trace
 from repro.core.compensation import compensate
 from repro.core.delay_profile import DelayProfile
 from repro.core.pecj import make_estimator
@@ -218,6 +219,16 @@ class _StreamingBase:
             )
             emissions.append(emission)
             self._emitted[w] = emission
+            if trace.is_tracing():
+                trace.instant(
+                    "streaming.emit", emission.emit_time,
+                    cat="window", track=f"streaming.{self.name}",
+                    args={
+                        "window_start": float(start),
+                        "value": float(value),
+                        "observed": int(emission.observed),
+                    },
+                )
             self._next_emit += 1
         # Finalize windows older than the delay horizon.  The horizon
         # recomputation is throttled: eviction may lag by one window,

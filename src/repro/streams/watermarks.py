@@ -27,6 +27,7 @@ import math
 
 import numpy as np
 
+from repro.obs import trace
 from repro.streams.tuples import StreamTuple
 
 __all__ = [
@@ -71,6 +72,20 @@ class WatermarkGenerator:
     def is_late(self, t: StreamTuple) -> bool:
         """Whether a tuple arrives behind the current watermark."""
         return t.event_time < self.watermark
+
+    def record_trace(self) -> None:
+        """Emit the current watermark position as a trace instant.
+
+        Call at any sampling cadence the caller likes (per window, per
+        batch); a no-op when tracing is off or before the first tuple.
+        """
+        if not trace.is_tracing() or math.isinf(self._max_event):
+            return
+        trace.instant(
+            "watermark", self._max_event,
+            cat="buffer", track=f"watermark.{type(self).__name__}",
+            args={"watermark": float(self.watermark), "lag": float(self.lag)},
+        )
 
 
 class PeriodicWatermark(WatermarkGenerator):
@@ -166,4 +181,12 @@ def suggest_omega(generator: WatermarkGenerator, window_length: float) -> float:
     """
     if window_length <= 0:
         raise ValueError("window_length must be positive")
-    return window_length + max(generator.lag, 0.0)
+    omega = window_length + max(generator.lag, 0.0)
+    if trace.is_tracing():
+        trace.instant(
+            "watermark.suggest_omega", max(generator.max_event_seen, 0.0),
+            cat="buffer", track=f"watermark.{type(generator).__name__}",
+            args={"omega": float(omega), "lag": float(generator.lag),
+                  "window_length": float(window_length)},
+        )
+    return omega

@@ -9,7 +9,9 @@ from repro.bench.__main__ import _FIGURES, main
 
 class TestCli:
     def test_figure_registry_covers_all_benchmarks(self):
-        assert set(_FIGURES) == {"fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
+        assert set(_FIGURES) == {
+            "smoke", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+        }
 
     def test_runs_one_figure(self, capsys):
         rc = main(["fig6", "--scale", "0.05"])
@@ -54,3 +56,29 @@ class TestCli:
         monkeypatch.chdir(tmp_path)
         main(["fig6", "--scale", "0.05"])
         assert list(tmp_path.iterdir()) == []
+
+    def test_smoke_perfetto_export_covers_event_vocabulary(self, tmp_path, capsys):
+        """The acceptance smoke: one export holding engine phase spans,
+        window lifecycle spans, and estimator samples for all three
+        backends, in valid Chrome trace_event shape."""
+        path = tmp_path / "smoke.json"
+        rc = main(["smoke", "--scale", "0.15", "--trace-events", str(path)])
+        assert rc == 0
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert all({"name", "ph", "pid", "tid"} <= set(e) for e in events)
+        assert all("ts" in e for e in events if e["ph"] != "M")
+        names = {e["name"] for e in events}
+        assert {"prj.batch", "prj.partition", "prj.build_probe", "prj.sync"} <= names
+        assert sum(1 for e in events if e["name"] == "window") >= 1
+        thread_names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in events
+            if e["name"] == "thread_name"
+        }
+        sample_tracks = {
+            thread_names[(e["pid"], e["tid"])]
+            for e in events
+            if e["name"] == "pecj.sample"
+        }
+        assert {"pecj.aema", "pecj.svi", "pecj.mlp"} <= sample_tracks

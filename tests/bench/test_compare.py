@@ -1,0 +1,243 @@
+"""Tests for the metrics regression gate (``repro.bench compare``)."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    KNOWN_SCHEMA_VERSIONS,
+    SchemaVersionError,
+    Tolerance,
+    TOLERANCES,
+    compare_reports,
+    compare_trees,
+    main,
+)
+from repro.obs import SNAPSHOT_SCHEMA_VERSION
+
+
+def make_report(**figure_overrides):
+    """A minimal but realistic --trace report for one figure."""
+    rows = [
+        {"workload": "micro", "omega_ms": 12.0, "method": "WMJ",
+         "error": 0.210, "p95_latency_ms": 12.5},
+        {"workload": "micro", "omega_ms": 12.0, "method": "PECJ-aema",
+         "error": 0.080, "p95_latency_ms": 12.5},
+    ]
+    fig = {
+        "elapsed_s": 3.7,
+        "rows": rows,
+        "summary": {
+            "cost_memo": {"hit_rate": 0.95, "misses": 40},
+            "aggregator": {"grid_hits": 100, "fallback_rate": 0.0},
+            "engine_time_ms": {"wmj.time_ms.pipeline": 675.0},
+            "latency_negative_samples": 0.0,
+        },
+    }
+    fig.update(figure_overrides)
+    return {
+        "report": "repro.bench trace",
+        "schema_version": SNAPSHOT_SCHEMA_VERSION,
+        "scale": 0.05,
+        "workers": None,
+        "figures": {"fig6": fig},
+    }
+
+
+def mutate(report, fn):
+    clone = json.loads(json.dumps(report))
+    fn(clone)
+    return clone
+
+
+class TestTolerance:
+    def test_within_absolute_and_relative(self):
+        tol = Tolerance(atol=0.02, rtol=0.10)
+        assert tol.within(1.0, 1.11)       # 0.02 + 0.10*1.0 = 0.12 slack
+        assert not tol.within(1.0, 1.13)
+        assert tol.within(0.0, 0.02)
+
+    def test_direction_higher_worse(self):
+        tol = Tolerance(atol=0.0, rtol=0.0, direction="higher_worse")
+        assert tol.classify(1.0, 2.0) == "regression"
+        assert tol.classify(1.0, 0.5) == "drift"
+        assert tol.classify(1.0, 1.0) == "ok"
+
+    def test_direction_lower_worse(self):
+        tol = Tolerance(atol=0.0, rtol=0.0, direction="lower_worse")
+        assert tol.classify(10.0, 5.0) == "regression"
+        assert tol.classify(10.0, 20.0) == "drift"
+
+    def test_direction_both(self):
+        tol = Tolerance(atol=0.1, direction="both")
+        assert tol.classify(1.0, 1.5) == "regression"
+        assert tol.classify(1.0, 0.5) == "regression"
+
+    def test_error_and_throughput_rules_registered(self):
+        assert TOLERANCES["error"].direction == "higher_worse"
+        assert TOLERANCES["throughput_ktps"].direction == "lower_worse"
+
+
+class TestCompareReports:
+    def test_identical_reports_clean(self):
+        assert compare_reports(make_report(), make_report()) == []
+
+    def test_roundtrip_through_json(self, tmp_path):
+        """Write/read round trip keeps the report comparable (satellite:
+        schema_version survives serialization)."""
+        path = tmp_path / "r.json"
+        path.write_text(json.dumps(make_report()))
+        loaded = json.loads(path.read_text())
+        assert loaded["schema_version"] in KNOWN_SCHEMA_VERSIONS
+        assert compare_reports(make_report(), loaded) == []
+
+    def test_error_regression_detected(self):
+        worse = mutate(make_report(), lambda r: r["figures"]["fig6"]["rows"][1]
+                       .__setitem__("error", 0.30))
+        findings = compare_reports(make_report(), worse)
+        assert [f["status"] for f in findings] == ["regression"]
+        assert findings[0]["path"] == "rows[1].error"
+
+    def test_error_improvement_is_drift_not_ok(self):
+        better = mutate(make_report(), lambda r: r["figures"]["fig6"]["rows"][0]
+                        .__setitem__("error", 0.01))
+        findings = compare_reports(make_report(), better)
+        assert [f["status"] for f in findings] == ["drift"]
+
+    def test_small_error_shift_within_tolerance(self):
+        near = mutate(make_report(), lambda r: r["figures"]["fig6"]["rows"][0]
+                      .__setitem__("error", 0.215))
+        assert compare_reports(make_report(), near) == []
+
+    def test_hit_rate_drop_regresses(self):
+        worse = mutate(
+            make_report(),
+            lambda r: r["figures"]["fig6"]["summary"]["cost_memo"]
+            .__setitem__("hit_rate", 0.50),
+        )
+        findings = compare_reports(make_report(), worse)
+        assert findings[0]["status"] == "regression"
+
+    def test_elapsed_and_wall_keys_ignored(self):
+        noisy = mutate(make_report(), lambda r: (
+            r["figures"]["fig6"].__setitem__("elapsed_s", 9999.0),
+            r["figures"]["fig6"]["summary"]["engine_time_ms"]
+            .__setitem__("wmj.time_ms.pipeline", 1e9),
+        ))
+        # engine_time_ms values are virtual-time, compared; elapsed_s is not.
+        findings = compare_reports(make_report(), noisy)
+        assert all("elapsed_s" not in f["path"] for f in findings)
+
+    def test_missing_figure_flagged(self):
+        empty = mutate(make_report(), lambda r: r["figures"].clear())
+        findings = compare_reports(make_report(), empty)
+        assert findings == [
+            {"figure": "fig6", "path": "", "baseline": "(present)",
+             "current": None, "status": "removed"}
+        ]
+
+    def test_extra_row_flagged(self):
+        grown = mutate(make_report(), lambda r: r["figures"]["fig6"]["rows"]
+                       .append({"method": "NEW", "error": 0.0}))
+        findings = compare_reports(make_report(), grown)
+        assert any(f["path"] == "rows(len)" for f in findings)
+
+    def test_scale_mismatch_flagged(self):
+        rescaled = mutate(make_report(), lambda r: r.__setitem__("scale", 0.3))
+        findings = compare_reports(make_report(), rescaled)
+        assert findings[0]["path"] == "scale"
+
+    def test_nan_equal_nan(self):
+        a = mutate(make_report(), lambda r: r["figures"]["fig6"]["rows"][0]
+                   .__setitem__("error", float("nan")))
+        b = json.loads(json.dumps(a))  # json round-trips NaN (non-strict)
+        assert compare_reports(a, b) == []
+        findings = compare_reports(a, make_report())
+        assert findings[0]["status"] == "drift"
+
+
+class TestSchemaVersions:
+    def test_unknown_version_rejected(self):
+        alien = mutate(make_report(), lambda r: r.__setitem__("schema_version", 99))
+        with pytest.raises(SchemaVersionError, match="99"):
+            compare_reports(make_report(), alien)
+        with pytest.raises(SchemaVersionError):
+            compare_reports(alien, make_report())
+
+    def test_missing_version_means_v1(self):
+        legacy = mutate(make_report(), lambda r: r.pop("schema_version"))
+        assert compare_reports(legacy, make_report()) == []
+
+    def test_non_integer_version_rejected(self):
+        alien = mutate(make_report(), lambda r: r.__setitem__("schema_version", "2"))
+        with pytest.raises(SchemaVersionError):
+            compare_reports(make_report(), alien)
+
+    def test_current_snapshot_version_is_known(self):
+        assert SNAPSHOT_SCHEMA_VERSION in KNOWN_SCHEMA_VERSIONS
+
+
+class TestCompareTrees:
+    def test_generic_trees_use_default_tolerance(self):
+        findings = compare_trees("x", {"a": 1.0}, {"a": 1.0 + 1e-13})
+        assert findings == []
+        findings = compare_trees("x", {"a": 1.0}, {"a": 1.5})
+        assert findings[0]["status"] == "regression"
+
+    def test_string_change_is_drift(self):
+        findings = compare_trees("x", {"m": "WMJ"}, {"m": "KSJ"})
+        assert findings == [
+            {"figure": "x", "path": "m", "baseline": "WMJ",
+             "current": "KSJ", "status": "drift"}
+        ]
+
+
+class TestMainExitCodes:
+    def _write(self, tmp_path, name, report):
+        path = tmp_path / name
+        path.write_text(json.dumps(report) + "\n")
+        return str(path)
+
+    def test_clean_pair_exits_zero(self, tmp_path, capsys):
+        b = self._write(tmp_path, "b.json", make_report())
+        c = self._write(tmp_path, "c.json", make_report())
+        assert main([b, c]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        worse = mutate(make_report(), lambda r: r["figures"]["fig6"]["rows"][1]
+                       .__setitem__("error", 0.5))
+        b = self._write(tmp_path, "b.json", make_report())
+        c = self._write(tmp_path, "c.json", worse)
+        assert main([b, c]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out and "rows[1].error" in out
+
+    def test_unknown_schema_exits_two(self, tmp_path, capsys):
+        alien = mutate(make_report(), lambda r: r.__setitem__("schema_version", 99))
+        b = self._write(tmp_path, "b.json", make_report())
+        c = self._write(tmp_path, "c.json", alien)
+        assert main([b, c]) == 2
+        assert "schema version" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, tmp_path):
+        b = self._write(tmp_path, "b.json", make_report())
+        assert main([b, str(tmp_path / "absent.json")]) == 2
+
+    def test_json_findings_output(self, tmp_path):
+        worse = mutate(make_report(), lambda r: r["figures"]["fig6"]["rows"][1]
+                       .__setitem__("error", 0.5))
+        b = self._write(tmp_path, "b.json", make_report())
+        c = self._write(tmp_path, "c.json", worse)
+        out = tmp_path / "findings.json"
+        main([b, c, "--json", str(out)])
+        findings = json.loads(out.read_text())["findings"]
+        assert findings[0]["status"] == "regression"
+
+    def test_cli_subcommand_dispatch(self, tmp_path, capsys):
+        from repro.bench.__main__ import main as bench_main
+
+        b = self._write(tmp_path, "b.json", make_report())
+        c = self._write(tmp_path, "c.json", make_report())
+        assert bench_main(["compare", b, c]) == 0
+        assert "OK" in capsys.readouterr().out

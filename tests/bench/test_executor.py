@@ -10,6 +10,7 @@ import json
 import pytest
 
 from repro import obs
+from repro.obs import trace
 from repro.bench.executor import Cell, execute_cells, run_cell, spec_key
 from repro.bench.workloads import micro_spec
 
@@ -133,3 +134,36 @@ class TestParallelDeterminism:
         parallel = execute_cells(cells, workers=2)
         assert serial == parallel
         assert serial[0]["method"] == "PECJ-analytical"
+
+
+class TestTraceDeterminism:
+    """Worker traces must merge back to byte-identical exports."""
+
+    def _traced_run(self, workers=None):
+        with trace.tracing() as rec:
+            rec.set_group("figX")
+            execute_cells(tiny_cells(), workers=workers)
+        return rec
+
+    def test_trace_exports_byte_identical_to_serial(self):
+        serial = self._traced_run()
+        parallel = self._traced_run(workers=2)
+        assert serial.events, "traced run produced events"
+        assert serial.to_jsonl() == parallel.to_jsonl()
+        assert json.dumps(serial.to_chrome()) == json.dumps(parallel.to_chrome())
+
+    def test_sharding_width_does_not_change_exports(self):
+        two = self._traced_run(workers=2)
+        three = self._traced_run(workers=3)
+        assert two.to_jsonl() == three.to_jsonl()
+
+    def test_events_tagged_with_cell_and_group(self):
+        rec = self._traced_run(workers=2)
+        cells = {e.cell for e in rec.events}
+        assert cells <= set(range(len(tiny_cells())))
+        assert {e.group for e in rec.events} == {"figX"}
+
+    def test_tracing_disabled_costs_no_events_in_workers(self):
+        with trace.tracing(trace.TraceRecorder(enabled=False)) as rec:
+            execute_cells(tiny_cells(), workers=2)
+        assert rec.events == []

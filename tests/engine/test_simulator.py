@@ -125,6 +125,7 @@ class TestEngineResult:
             "p95_latency_ms",
             "throughput_ktps",
             "windows",
+            "negative_latency_samples",
         }
 
 

@@ -143,4 +143,10 @@ class TestRunResult:
     def test_summary_keys(self):
         res = RunResult("x", 10.0, records=[self._record(0.1)])
         summary = res.summary()
-        assert set(summary) == {"mean_error", "p95_latency_ms", "mean_latency_ms", "windows"}
+        assert set(summary) == {
+            "mean_error",
+            "p95_latency_ms",
+            "mean_latency_ms",
+            "windows",
+            "negative_latency_samples",
+        }

@@ -1,0 +1,188 @@
+"""Composition semantics of the metrics registry.
+
+The parallel executor and the nested run scopes only stay deterministic
+if the merge algebra behaves: histogram merge must be associative,
+gauge merges must follow the name-keyed policy (not arrival order), and
+disabling instrumentation mid-scope must not corrupt counts.
+"""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import (
+    MetricsRegistry,
+    StreamingHistogram,
+    gauge_merge_policy,
+)
+
+
+def _hist(values):
+    h = StreamingHistogram()
+    for v in values:
+        h.observe(v)
+    return h
+
+
+def _hist_state(h):
+    """Merge-relevant state, minus ``total``.
+
+    ``total`` is a float sum and therefore associative only to 1 ulp;
+    it is asserted separately with a relative tolerance.
+    """
+    return (h.count, h.min, h.max, h._under, dict(h._buckets))
+
+
+class TestHistogramMergeAssociativity:
+    def test_three_way_associative(self):
+        rng = random.Random(7)
+        samples = [[rng.uniform(-1.0, 100.0) for _ in range(50)] for _ in range(3)]
+
+        left = _hist(samples[0])
+        left.merge(_hist(samples[1]))
+        left.merge(_hist(samples[2]))          # (a + b) + c
+
+        bc = _hist(samples[1])
+        bc.merge(_hist(samples[2]))
+        right = _hist(samples[0])
+        right.merge(bc)                        # a + (b + c)
+
+        assert _hist_state(left) == _hist_state(right)
+        assert left.total == pytest.approx(right.total, rel=1e-12)
+        assert left.quantile(0.5) == right.quantile(0.5)
+        assert left.quantile(0.95) == right.quantile(0.95)
+
+    def test_merge_equals_direct_observation(self):
+        rng = random.Random(8)
+        values = [rng.uniform(0.1, 50.0) for _ in range(100)]
+        direct = _hist(values)
+        merged = _hist(values[:40])
+        merged.merge(_hist(values[40:]))
+        assert _hist_state(direct) == _hist_state(merged)
+        assert direct.total == pytest.approx(merged.total, rel=1e-12)
+
+
+class TestGaugeMergePolicy:
+    def test_policy_by_name(self):
+        assert gauge_merge_policy("engine.prj.time_ms.sync") == "sum"
+        assert gauge_merge_policy("aggregator.index_bytes") == "sum"
+        assert gauge_merge_policy("pecj.aema.interval_rel_width.last") == "last"
+        assert gauge_merge_policy("queue.depth") == "max"
+
+    def test_sum_gauges_accumulate_across_scopes(self):
+        with obs.scoped() as outer:
+            with obs.scoped():
+                obs.gauge("engine.x.time_ms.phase").add(3.0)
+            with obs.scoped():
+                obs.gauge("engine.x.time_ms.phase").add(4.0)
+            assert outer.gauges["engine.x.time_ms.phase"].value == 7.0
+
+    def test_max_gauges_ignore_merge_order(self):
+        a = MetricsRegistry()
+        a.gauge("depth").set(5.0)
+        b = MetricsRegistry()
+        b.gauge("depth").set(9.0)
+        ab = MetricsRegistry()
+        a.merge_into(ab)
+        b.merge_into(ab)
+        ba = MetricsRegistry()
+        b.merge_into(ba)
+        a.merge_into(ba)
+        assert ab.gauges["depth"].value == ba.gauges["depth"].value == 9.0
+
+    def test_last_gauges_take_merge_order(self):
+        a = MetricsRegistry()
+        a.gauge("reading.last").set(5.0)
+        b = MetricsRegistry()
+        b.gauge("reading.last").set(9.0)
+        dst = MetricsRegistry()
+        a.merge_into(dst)
+        b.merge_into(dst)
+        assert dst.gauges["reading.last"].value == 9.0
+
+    def test_max_gauge_fresh_in_parent(self):
+        child = MetricsRegistry()
+        child.gauge("depth").set(-2.0)
+        parent = MetricsRegistry()
+        child.merge_into(parent)
+        # A gauge the parent never wrote adopts the child's value even if
+        # negative (max against the default 0.0 would lose it).
+        assert parent.gauges["depth"].value == -2.0
+
+
+class TestNestedScopes:
+    def test_inner_counts_surface_at_every_level(self):
+        with obs.scoped() as outer:
+            obs.counter("c").inc()
+            with obs.scoped() as mid:
+                obs.counter("c").inc(2)
+                with obs.scoped() as inner:
+                    obs.counter("c").inc(4)
+                assert inner.counters["c"].value == 4
+            assert mid.counters["c"].value == 6
+        assert outer.counters["c"].value == 7
+
+    def test_nested_histograms_fold_losslessly(self):
+        with obs.scoped() as outer:
+            obs.observe("h", 1.0)
+            with obs.scoped():
+                obs.observe("h", 10.0)
+                with obs.scoped():
+                    obs.observe("h", 100.0)
+        h = outer.histograms["h"]
+        assert h.count == 3
+        assert h.min == 1.0 and h.max == 100.0
+
+    def test_sibling_scopes_are_independent(self):
+        with obs.scoped() as outer:
+            with obs.scoped() as first:
+                obs.counter("c").inc()
+            with obs.scoped() as second:
+                pass
+            assert first.counters["c"].value == 1
+            assert "c" not in second.counters
+            assert outer.counters["c"].value == 1
+
+
+class TestDisableMidScope:
+    def test_disable_silences_future_top_level_scopes(self):
+        obs.disable()
+        try:
+            with obs.scoped() as reg:
+                obs.counter("c").inc()
+            assert not reg.enabled
+            assert reg.counters == {}
+        finally:
+            obs.enable()
+
+    def test_disable_does_not_corrupt_open_enabled_scope(self):
+        """An already-open enabled scope keeps recording consistently:
+        its children inherit *its* state, not the disabled default."""
+        with obs.scoped() as reg:
+            obs.counter("c").inc()
+            obs.disable()
+            try:
+                obs.counter("c").inc(2)
+                with obs.scoped() as child:
+                    obs.counter("c").inc(4)
+                assert child.enabled
+                assert child.counters["c"].value == 4
+            finally:
+                obs.enable()
+        assert reg.counters["c"].value == 7
+
+    def test_reenable_restores_recording(self):
+        obs.disable()
+        obs.enable()
+        with obs.scoped() as reg:
+            obs.counter("c").inc()
+        assert reg.counters["c"].value == 1
+
+    def test_counter_survives_disable_toggle(self):
+        with obs.scoped() as reg:
+            obs.counter("kept").inc(3)
+            obs.disable()
+            obs.enable()
+            obs.counter("kept").inc(4)
+        assert reg.counters["kept"].value == 7

@@ -128,7 +128,12 @@ class TestEquivalence:
         assert [(r.window.start, r.value, r.expected) for r in off.records] == [
             (r.window.start, r.value, r.expected) for r in on.records
         ]
-        assert off.metrics == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert off.metrics == {
+            "schema_version": 2,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
 
     def test_engine_results_identical(self):
         on = run_engine(small_arrays(), pecj=True)
@@ -136,4 +141,9 @@ class TestEquivalence:
         assert off.mean_error == on.mean_error
         assert off.p95_latency == on.p95_latency
         assert [r.value for r in off.records] == [r.value for r in on.records]
-        assert off.metrics == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert off.metrics == {
+            "schema_version": 2,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

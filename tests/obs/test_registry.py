@@ -110,7 +110,12 @@ class TestRegistry:
         with reg.timer("t"):
             pass
         snap = reg.snapshot()
-        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert snap == {
+            "schema_version": 2,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
 
     def test_timer_records_milliseconds(self):
         reg = MetricsRegistry()

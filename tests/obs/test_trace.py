@@ -1,0 +1,202 @@
+"""Unit tests of the virtual-time trace recorder and its exports."""
+
+import json
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.events import (
+    PH_COMPLETE,
+    PH_INSTANT,
+    TRACE_SCHEMA_VERSION,
+    TraceEvent,
+)
+from repro.obs.trace import TraceRecorder
+
+
+class TestRecorderBasics:
+    def test_instant_and_complete(self):
+        rec = TraceRecorder()
+        rec.instant("a", 5.0, cat="x", track="t")
+        rec.complete("b", 1.0, 2.5, cat="y", track="t", args={"k": 1})
+        assert len(rec.events) == 2
+        a, b = rec.events
+        assert a.ph == PH_INSTANT and a.ts == 5.0
+        assert b.ph == PH_COMPLETE and b.dur == 2.5 and b.args == {"k": 1}
+
+    def test_negative_duration_clamped(self):
+        rec = TraceRecorder()
+        rec.complete("b", 10.0, -3.0)
+        assert rec.events[0].dur == 0.0
+
+    def test_auto_ts_monotone(self):
+        rec = TraceRecorder()
+        rec.instant("a")
+        rec.instant("b")
+        assert rec.events[0].ts < rec.events[1].ts
+
+    def test_span_records_clock_difference(self):
+        rec = TraceRecorder()
+        clock = iter([10.0, 17.5])
+        with rec.span("s", lambda: next(clock), track="t"):
+            pass
+        (e,) = rec.events
+        assert e.ts == 10.0 and e.dur == 7.5
+
+    def test_disabled_recorder_records_nothing(self):
+        rec = TraceRecorder(enabled=False)
+        rec.instant("a", 1.0)
+        rec.complete("b", 1.0, 1.0)
+        rec.set_group("g")
+        rec.begin_cell(3)
+        assert rec.events == []
+
+    def test_sequence_numbers_reset_per_cell(self):
+        rec = TraceRecorder()
+        rec.set_group("fig")
+        rec.begin_cell(0)
+        rec.instant("a", 1.0)
+        rec.instant("b", 2.0)
+        rec.begin_cell(1)
+        rec.instant("c", 3.0)
+        seqs = [(e.cell, e.seq) for e in rec.events]
+        assert seqs == [(0, 0), (0, 1), (1, 0)]
+
+    def test_outer_seq_preserved_across_cells(self):
+        rec = TraceRecorder()
+        rec.set_group("fig")
+        rec.instant("pre", 0.0)
+        rec.begin_cell(0)
+        rec.instant("in", 1.0)
+        rec.begin_cell(-1)
+        rec.instant("post", 2.0)
+        pre, _, post = rec.events
+        assert pre.cell == -1 and post.cell == -1
+        assert post.seq == pre.seq + 1  # never reuses an out-of-cell seq
+
+
+class TestMergeDeterminism:
+    def _cell_events(self, cell, names):
+        rec = TraceRecorder()
+        rec.set_group("fig")
+        rec.begin_cell(cell)
+        for i, name in enumerate(names):
+            rec.instant(name, float(cell * 10 + i))
+        return rec
+
+    def test_merge_order_does_not_matter(self):
+        a = self._cell_events(0, ["a0", "a1"])
+        b = self._cell_events(1, ["b0"])
+        m1 = TraceRecorder()
+        m1.merge_from(a)
+        m1.merge_from(b)
+        m2 = TraceRecorder()
+        m2.merge_from(b)
+        m2.merge_from(a)
+        assert m1.to_jsonl() == m2.to_jsonl()
+        assert json.dumps(m1.to_chrome()) == json.dumps(m2.to_chrome())
+
+    def test_sorted_events_orders_by_group_ts_cell_seq(self):
+        rec = TraceRecorder()
+        rec.set_group("fig")
+        rec.begin_cell(1)
+        rec.instant("late", 5.0)
+        rec.begin_cell(0)
+        rec.instant("early", 1.0)
+        ordered = rec.sorted_events()
+        assert [e.name for e in ordered] == ["early", "late"]
+
+
+class TestExports:
+    def _sample(self):
+        rec = TraceRecorder()
+        rec.set_group("fig")
+        rec.begin_cell(0)
+        rec.complete("window", 0.0, 10.0, cat="window", track="runner.WMJ",
+                     args={"error": 0.1})
+        rec.instant("pecj.sample", 5.0, cat="estimator", track="pecj.aema")
+        return rec
+
+    def test_jsonl_header_and_lines(self):
+        lines = self._sample().to_jsonl().strip().split("\n")
+        header = json.loads(lines[0])
+        assert header["format"] == "repro.trace/jsonl"
+        assert header["schema_version"] == TRACE_SCHEMA_VERSION
+        assert header["events"] == 2
+        events = [json.loads(ln) for ln in lines[1:]]
+        assert events[0]["name"] == "window"
+        assert events[0]["dur"] == 10.0
+
+    def test_chrome_export_shape(self):
+        doc = self._sample().to_chrome()
+        assert doc["otherData"]["schema_version"] == TRACE_SCHEMA_VERSION
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert any(e["name"] == "process_name" for e in meta)
+        assert any(e["name"] == "thread_name" for e in meta)
+        spans = [e for e in events if e["ph"] == PH_COMPLETE]
+        # virtual ms -> trace microseconds
+        assert spans[0]["dur"] == 10.0 * 1000.0
+        instants = [e for e in events if e["ph"] == PH_INSTANT]
+        assert instants[0]["s"] == "t"
+
+    def test_chrome_tracks_become_threads(self):
+        doc = self._sample().to_chrome()
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e.get("name") == "thread_name"
+        }
+        assert {"runner.WMJ", "pecj.aema"} <= names
+
+    def test_export_files(self, tmp_path):
+        rec = self._sample()
+        jp = tmp_path / "t.jsonl"
+        cp = tmp_path / "t.json"
+        rec.export_jsonl(str(jp))
+        rec.export_chrome(str(cp))
+        assert jp.read_text().startswith("{")
+        assert json.loads(cp.read_text())["displayTimeUnit"] == "ms"
+
+
+class TestModuleLevel:
+    def test_disabled_by_default(self):
+        assert not trace.is_tracing()
+        trace.instant("ignored", 1.0)
+        assert trace.active_recorder().events == []
+
+    def test_tracing_scope_activates_and_restores(self):
+        assert not trace.is_tracing()
+        with trace.tracing() as rec:
+            assert trace.is_tracing()
+            trace.instant("a", 1.0)
+            trace.complete("b", 1.0, 1.0)
+        assert not trace.is_tracing()
+        assert [e.name for e in rec.events] == ["a", "b"]
+
+    def test_nested_tracing_inner_wins(self):
+        with trace.tracing() as outer:
+            trace.instant("outer", 1.0)
+            with trace.tracing() as inner:
+                trace.instant("inner", 2.0)
+            trace.instant("outer2", 3.0)
+        assert [e.name for e in outer.events] == ["outer", "outer2"]
+        assert [e.name for e in inner.events] == ["inner"]
+
+    def test_tracing_with_disabled_recorder(self):
+        with trace.tracing(TraceRecorder(enabled=False)):
+            assert not trace.is_tracing()
+            trace.instant("ignored", 1.0)
+
+
+class TestEventJson:
+    def test_sort_key_groups_first(self):
+        a = TraceEvent("a", PH_INSTANT, 9.0, group="fig1")
+        b = TraceEvent("b", PH_INSTANT, 1.0, group="fig2")
+        assert sorted([b, a], key=TraceEvent.sort_key)[0] is a
+
+    def test_to_json_omits_empty_args(self):
+        e = TraceEvent("a", PH_INSTANT, 1.0)
+        assert "args" not in e.to_json()
+        e2 = TraceEvent("a", PH_INSTANT, 1.0, args={"k": 2})
+        assert e2.to_json()["args"] == {"k": 2}
