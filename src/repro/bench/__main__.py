@@ -45,6 +45,7 @@ import time
 from repro import obs
 from repro.obs import trace as obs_trace
 from repro.bench.experiments import (
+    chaos_resilience,
     fig6_end_to_end,
     fig7_q3_end_to_end,
     fig8_workload_sensitivity,
@@ -63,10 +64,12 @@ _FIGURES = {
     "fig9": (fig9_algorithm_sensitivity, None),
     "fig10": (fig10_integrated, ["dataset", "method", "error", "p95_latency_ms"]),
     "fig11": (fig11_scaling, ["threads", "method", "error", "p95_latency_ms", "throughput_ktps"]),
+    "chaos": (chaos_resilience, ["intensity", "method", "error", "p95_latency_ms"]),
 }
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry: run figures, print tables, write reports and trace exports."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "compare":

@@ -66,6 +66,7 @@ class Tolerance:
     direction: str = "both"
 
     def within(self, baseline: float, current: float) -> bool:
+        """Whether ``current`` stays inside the tolerance around ``baseline``."""
         return abs(current - baseline) <= self.atol + self.rtol * abs(baseline)
 
     def classify(self, baseline: float, current: float) -> str:
@@ -224,6 +225,7 @@ def _load(path: str) -> dict:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI: diff two trace reports; exit nonzero on regression or drift."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench compare",
         description="Diff two --trace run reports under per-metric "

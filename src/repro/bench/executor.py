@@ -38,6 +38,8 @@ from repro.obs.trace import TraceRecorder
 from repro.bench.workloads import WorkloadSpec
 from repro.core.pecj import PECJoin
 from repro.engine.simulator import ParallelJoinEngine
+from repro.faults.inject import FaultReport, apply_faults, arm_operator, plan_trace
+from repro.faults.plan import FaultPlan
 from repro.joins.arrays import AggKind, BatchArrays
 from repro.joins.base import StreamJoinOperator
 from repro.joins.baselines import KSlackJoin, WatermarkJoin
@@ -47,7 +49,16 @@ __all__ = ["Cell", "execute_cells", "run_cell", "make_operator", "standalone_row
 
 
 def make_operator(method: str, agg: AggKind, seed: int = 0) -> StreamJoinOperator:
-    """Instantiate a standalone operator by its benchmark method key."""
+    """Instantiate a standalone operator by its benchmark method key.
+
+    A ``+guard`` suffix wraps the operator in the
+    :class:`~repro.faults.degrade.ResilientPECJoin` degradation guard
+    (e.g. ``pecj-aema+guard``).
+    """
+    if method.endswith("+guard"):
+        from repro.faults.degrade import ResilientPECJoin
+
+        return ResilientPECJoin(make_operator(method[: -len("+guard")], agg, seed))
     if method == "wmj":
         return WatermarkJoin(agg)
     if method == "ksj":
@@ -77,6 +88,11 @@ class Cell:
         overrides: Values replacing already-present row fields after the
             run (field order preserved; e.g. relabelling a method).
         extras: Row fields appended after the measured fields.
+        faults: Optional :class:`~repro.faults.plan.FaultPlan` applied to
+            the built workload before the run (stream-level events) and
+            armed on the operator/engine (divergence, stragglers).
+            Faulted arrays are cached per ``(spec, plan)`` within a
+            worker, so cells sharing a plan share the injection.
     """
 
     kind: str
@@ -87,6 +103,7 @@ class Cell:
     front: dict = field(default_factory=dict)
     overrides: dict = field(default_factory=dict)
     extras: dict = field(default_factory=dict)
+    faults: FaultPlan | None = None
 
 
 def spec_key(spec: WorkloadSpec) -> str:
@@ -94,7 +111,7 @@ def spec_key(spec: WorkloadSpec) -> str:
     return repr(spec)
 
 
-def _arrays_for(spec: WorkloadSpec, cache: dict[str, BatchArrays]) -> BatchArrays:
+def _arrays_for(spec: WorkloadSpec, cache: dict) -> BatchArrays:
     key = spec_key(spec)
     arrays = cache.get(key)
     if arrays is None:
@@ -105,15 +122,48 @@ def _arrays_for(spec: WorkloadSpec, cache: dict[str, BatchArrays]) -> BatchArray
     return arrays
 
 
+def _faulted_arrays_for(
+    spec: WorkloadSpec, faults: FaultPlan | None, cache: dict
+) -> tuple[BatchArrays, FaultReport | None]:
+    """Built workload with the cell's fault plan applied (cached).
+
+    The transform runs untraced: which cell first populates the cache
+    depends on sharding, so trace emission is deferred to
+    :func:`repro.faults.inject.plan_trace`, called per cell — keeping the
+    parallel trace byte-identical to the serial one.
+    """
+    base = _arrays_for(spec, cache)
+    if faults is None or not faults.events:
+        return base, None
+    key = spec_key(spec) + "|faults|" + faults.key()
+    hit = cache.get(key)
+    if hit is None:
+        obs.counter("executor.faulted_arrays_built").inc()
+        with trace.tracing(TraceRecorder(enabled=False)):
+            hit = cache[key] = apply_faults(base, faults)
+    else:
+        obs.counter("executor.faulted_arrays_cache_hits").inc()
+    return hit
+
+
 def standalone_row(
     spec: WorkloadSpec,
     method: str,
     omega: float | None,
     arrays: BatchArrays,
+    faults: FaultPlan | None = None,
+    report: FaultReport | None = None,
 ) -> dict:
-    """Run one standalone operator over a built workload and summarise."""
+    """Run one standalone operator over a built workload and summarise.
+
+    With a fault plan, the operator is armed for scheduled estimator
+    divergence and the row carries the injection accounting
+    (``fault_*`` columns) plus, for guarded operators, the degradation
+    summary (``guard_*`` columns).
+    """
     omega = spec.omega_ms if omega is None else omega
     operator = make_operator(method, spec.agg, seed=spec.seed)
+    operator = arm_operator(operator, faults)
     result = run_operator(
         operator,
         arrays,
@@ -123,7 +173,7 @@ def standalone_row(
         t_end=spec.t_end,
         warmup_windows=spec.warmup_windows,
     )
-    return {
+    row = {
         "workload": spec.name,
         "method": operator.name,
         "omega_ms": omega,
@@ -131,6 +181,12 @@ def standalone_row(
         "p95_latency_ms": result.p95_latency,
         "windows": result.num_windows,
     }
+    if report is not None:
+        row.update(report.as_extras())
+    summary = getattr(operator, "guard_summary", None)
+    if summary is not None:
+        row.update(summary())
+    return row
 
 
 def _analytical_best_row(
@@ -147,7 +203,12 @@ def _analytical_best_row(
     return best
 
 
-def _engine_row(spec: WorkloadSpec, params: dict, arrays: BatchArrays) -> dict:
+def _engine_row(
+    spec: WorkloadSpec,
+    params: dict,
+    arrays: BatchArrays,
+    faults: FaultPlan | None = None,
+) -> dict:
     engine = ParallelJoinEngine(
         params["algorithm"],
         threads=params["threads"],
@@ -156,6 +217,7 @@ def _engine_row(spec: WorkloadSpec, params: dict, arrays: BatchArrays) -> dict:
         omega=params.get("omega", spec.omega_ms),
         window_length=spec.window_ms,
         seed=spec.seed,
+        faults=faults,
     )
     result = engine.run(
         arrays,
@@ -171,18 +233,22 @@ def _engine_row(spec: WorkloadSpec, params: dict, arrays: BatchArrays) -> dict:
     }
 
 
-def run_cell(cell: Cell, cache: dict[str, BatchArrays]) -> dict:
+def run_cell(cell: Cell, cache: dict) -> dict:
     """Execute one cell against a (possibly shared) arrays cache."""
-    arrays = _arrays_for(cell.spec, cache)
+    arrays, report = _faulted_arrays_for(cell.spec, cell.faults, cache)
     obs.counter("executor.cells").inc()
+    if report is not None:
+        plan_trace(cell.faults, report)
     if cell.kind == "standalone":
-        row = standalone_row(cell.spec, cell.method, cell.omega, arrays)
+        row = standalone_row(
+            cell.spec, cell.method, cell.omega, arrays, cell.faults, report
+        )
     elif cell.kind == "analytical_best":
         row = _analytical_best_row(cell.spec, cell.omega, arrays)
     elif cell.kind == "engine":
         if cell.engine is None:
             raise ValueError("engine cell requires engine parameters")
-        row = _engine_row(cell.spec, cell.engine, arrays)
+        row = _engine_row(cell.spec, cell.engine, arrays, cell.faults)
     else:
         raise ValueError(f"unknown cell kind {cell.kind!r}")
     if cell.front:
@@ -205,7 +271,7 @@ def _run_shard(payload: tuple[list[int], list[Cell], bool, str]):
     indices, cells, trace_on, group = payload
     with obs.scoped() as reg, trace.tracing(TraceRecorder(enabled=trace_on)) as rec:
         rec.set_group(group)
-        cache: dict[str, BatchArrays] = {}
+        cache: dict = {}
         rows = []
         for idx, cell in zip(indices, cells):
             rec.begin_cell(idx)
@@ -238,7 +304,7 @@ def execute_cells(
         return []
     rec = trace.active_recorder()
     if workers is None or workers <= 1:
-        cache: dict[str, BatchArrays] = {}
+        cache: dict = {}
         rows_serial: list[dict] = []
         for i, cell in enumerate(cells):
             rec.begin_cell(i)

@@ -39,6 +39,7 @@ __all__ = [
     "fig10_integrated",
     "fig11_scaling",
     "smoke_observability",
+    "chaos_resilience",
 ]
 
 
@@ -301,4 +302,87 @@ def fig11_scaling(
                         front={"threads": threads},
                     )
                 )
+    return execute_cells(cells, workers)
+
+
+# -- Chaos: fault intensity vs. degradation ------------------------------------
+
+
+def chaos_resilience(scale: float = 1.0, workers: int | None = None) -> list[dict]:
+    """Chaos figure: bounded window error/latency vs. fault intensity.
+
+    Sweeps the composite :func:`repro.faults.plan.reference_plan`
+    (disorder burst, rate spike, one-sided stall, one-sided drops,
+    straggler thread) at increasing intensity over Q1, comparing the
+    conservative WMJ baseline, plain PECJ, and PECJ under the
+    :class:`~repro.faults.degrade.ResilientPECJoin` degradation guard —
+    standalone and integrated (PRJ engine, whose batch barrier feels the
+    straggler).  A final drill adds forced NaN estimator divergence at
+    the worst intensity, where the guard's checkpoint-repair path is the
+    difference between a bounded answer and garbage.
+
+    Expected shape: every method's error grows with intensity; PECJ
+    stays below WMJ throughout (proactive compensation absorbs the
+    burst); the guard tracks plain PECJ when healthy and pays at most a
+    small premium for its health probes; under the divergence drill the
+    unguarded operator's error explodes while the guard's stays near its
+    drill-free level, with ``guard_repairs >= 1`` and finite output
+    everywhere.
+    """
+    from repro.faults.plan import FaultEvent, FaultPlan, reference_plan
+
+    spec = q1_spec(duration_ms=4000.0, warmup_ms=1000.0, name="Q1-chaos").scaled(scale)
+    cells: list[Cell] = []
+    plans: dict[float, FaultPlan | None] = {}
+    for intensity in (0.0, 0.5, 1.0, 2.0):
+        plan = reference_plan(intensity, spec.warmup_ms, spec.t_end, seed=spec.seed)
+        plans[intensity] = plan if plan else None
+        for method in ("wmj", "pecj-aema", "pecj-aema+guard"):
+            cells.append(
+                Cell(
+                    "standalone",
+                    spec,
+                    method=method,
+                    front={"intensity": intensity},
+                    faults=plans[intensity],
+                )
+            )
+        for pecj in (False, True):
+            cells.append(
+                Cell(
+                    "engine",
+                    spec,
+                    engine={
+                        "algorithm": "prj",
+                        "threads": 4,
+                        "pecj": pecj,
+                        "omega": spec.omega_ms,
+                    },
+                    front={"intensity": intensity},
+                    faults=plans[intensity],
+                )
+            )
+    # Divergence drill: the reference plan at full intensity plus a forced
+    # NaN divergence of the rate posteriors halfway through measurement.
+    base = plans[2.0]
+    t_mid = 0.5 * (spec.warmup_ms + spec.t_end)
+    drill = FaultPlan(
+        events=base.events
+        + (FaultEvent("estimator_divergence", t_mid, t_mid, mode="nan"),),
+        seed=base.seed,
+    )
+    for method, label in (
+        ("pecj-aema", "PECJ-aema (diverged)"),
+        ("pecj-aema+guard", "PECJ-aema+guard (diverged)"),
+    ):
+        cells.append(
+            Cell(
+                "standalone",
+                spec,
+                method=method,
+                front={"intensity": 2.0},
+                overrides={"method": label},
+                faults=drill,
+            )
+        )
     return execute_cells(cells, workers)

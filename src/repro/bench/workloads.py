@@ -68,6 +68,7 @@ class WorkloadSpec:
 
     @property
     def t_end(self) -> float:
+        """End of the measured stream segment (ms)."""
         return self.duration_ms - self.window_ms
 
     @property

@@ -33,6 +33,7 @@ class CompensatedEstimate:
     alpha_r: float
 
     def as_dict(self) -> dict[str, float]:
+        """Plain-dict form for JSON reports and tables."""
         return {
             "value": self.value,
             "n_r": self.n_r,
@@ -89,7 +90,11 @@ def product_interval(
     for m, s in zip(means, stds):
         product *= m
         if m != 0.0:
-            rel_var += (s / m) ** 2
+            ratio = s / m
+            # ratio * ratio saturates to inf per IEEE instead of raising
+            # OverflowError the way ``ratio ** 2`` does; an unbounded
+            # relative variance honestly yields an infinite interval.
+            rel_var += ratio * ratio
     if product == 0.0:
         return (0.0, 0.0)
     sd = abs(product) * math.sqrt(rel_var)

@@ -93,6 +93,7 @@ class DelayProfile:
 
     @property
     def is_warm(self) -> bool:
+        """Whether enough delay samples have arrived to trust the profile."""
         return self._total >= self.min_weight
 
     @property

@@ -52,6 +52,7 @@ class AEMAEstimator(PosteriorEstimator):
         self.reset()
 
     def reset(self) -> None:
+        """Forget all history (fresh run)."""
         self._mean: float | None = None
         self._var = 0.0
         self._smoothed_err = 0.0
@@ -62,6 +63,7 @@ class AEMAEstimator(PosteriorEstimator):
     # -- continual learning ------------------------------------------------
 
     def observe(self, x: float, z_mean: float = 1.0) -> None:
+        """Fold one observed per-window rate into the adaptive EMA."""
         corrected = x * z_mean
         self._count += 1
         if self._mean is None:
@@ -83,6 +85,7 @@ class AEMAEstimator(PosteriorEstimator):
     # -- estimation ----------------------------------------------------------
 
     def estimate(self) -> float:
+        """Current posterior-mean rate estimate."""
         return self._mean if self._mean is not None else 0.0
 
     @property
@@ -99,6 +102,7 @@ class AEMAEstimator(PosteriorEstimator):
         tag: Hashable | None = None,
         weights: Sequence[float] | None = None,
     ) -> float:
+        """Blend observed values with the EMA prior (pseudo-count weighting)."""
         check_blend_args(xs, z_means, weights)
         if weights is None:
             weights = [1.0] * len(xs)
@@ -125,6 +129,7 @@ class AEMAEstimator(PosteriorEstimator):
 
     @property
     def is_warm(self) -> bool:
+        """Whether at least one observation has been folded in."""
         return self._count >= 3
 
     @property

@@ -383,6 +383,7 @@ class MLPEstimator(PosteriorEstimator):
     # -- continual learning -------------------------------------------------
 
     def observe(self, x: float, z_mean: float = 1.0) -> None:
+        """Online-train on one observed rate under the current context."""
         corrected = x * z_mean
         self._count += 1
         if self._scale <= 0.0:
@@ -394,6 +395,7 @@ class MLPEstimator(PosteriorEstimator):
         self._hist.append(corrected)
 
     def set_context(self, context: Sequence[float]) -> None:
+        """Update the feature context the network conditions on."""
         self._context = np.clip(np.asarray(context, dtype=float), 0.0, 2.5)
 
     def _train_dim(self, features: np.ndarray, dim: int, target: float) -> None:
@@ -435,6 +437,7 @@ class MLPEstimator(PosteriorEstimator):
         raise RuntimeError("network has no dense layer")
 
     def feedback(self, tag: Hashable, true_value: float) -> None:
+        """Deliver the realised rate for a tagged earlier prediction."""
         entry = self._pending.get(tag)
         if entry is None:
             return
@@ -478,6 +481,7 @@ class MLPEstimator(PosteriorEstimator):
         return float(np.clip(w @ vals / total, 0.2, 5.0))
 
     def feedback_completeness(self, tag: Hashable, m_true: float) -> None:
+        """Deliver the realised completeness factor for a tagged window."""
         entry = self._pending.get(tag)
         if entry is None:
             return
@@ -501,6 +505,7 @@ class MLPEstimator(PosteriorEstimator):
         return (lam * residual + _anchor_from_features(features)) * scale
 
     def estimate(self) -> float:
+        """Current network prediction, rescaled to the rate's units."""
         if not self.is_warm:
             return self._ema
         features = build_features(self._hist, [], [], self._scale, self._context)
@@ -513,6 +518,7 @@ class MLPEstimator(PosteriorEstimator):
         tag: Hashable | None = None,
         weights: Sequence[float] | None = None,
     ) -> float:
+        """Blend observed values with the network prediction as the prior."""
         check_blend_args(xs, z_means, weights)
         if not self.is_warm:
             # Analytical fallback while the stream history is still cold.
@@ -543,16 +549,19 @@ class MLPEstimator(PosteriorEstimator):
         return float(np.sqrt(max(self._residual_var, 0.0)))
 
     def credible_interval(self, quantile_z: float = 1.96) -> tuple[float, float]:
+        """Symmetric interval from the tracked residual variance (Eq. 10)."""
         mean = self.estimate()
         sd = self.residual_std()
         return (mean - quantile_z * sd, mean + quantile_z * sd)
 
     @property
     def confidence_weight(self) -> float:
+        """Pseudo-count the blend assigns to the network's prediction."""
         return 20.0
 
     @property
     def is_warm(self) -> bool:
+        """Whether the network has trained on enough windows to be trusted."""
         return self._count >= self.warm_after
 
     def elbo_of_current(self, xs: Sequence[float], z_means: Sequence[float]) -> float:

@@ -51,6 +51,7 @@ class SVIEstimator(PosteriorEstimator):
         self.reset()
 
     def reset(self) -> None:
+        """Forget all history (fresh run)."""
         priors = DistortionModelPriors(
             mu0=0.0,
             tau0=1e-3,  # nearly flat: the stream must speak first
@@ -73,11 +74,13 @@ class SVIEstimator(PosteriorEstimator):
 
     @property
     def scale(self) -> float:
+        """Normalisation scale mapping rates into the SVI model's units."""
         return self._scale if self._scale > 0 else 1.0
 
     # -- continual learning ------------------------------------------------
 
     def observe(self, x: float, z_mean: float = 1.0) -> None:
+        """Fold one observed per-window rate into the streaming posterior."""
         self._update_scale(x * z_mean)
         self._svi.observe_batch([x / self.scale], [z_mean])
         self._count += 1
@@ -85,10 +88,12 @@ class SVIEstimator(PosteriorEstimator):
     # -- estimation ----------------------------------------------------------
 
     def estimate(self) -> float:
+        """Posterior-mean rate under ``q(mu)``, rescaled to rate units."""
         return self._svi.estimate() * self.scale
 
     @property
     def confidence_weight(self) -> float:
+        """Pseudo-count ``tau`` derived from the posterior precision."""
         if self._count < 2:
             return 0.0
         return min(self._svi._state.tau, self.max_prior_weight)
@@ -100,6 +105,7 @@ class SVIEstimator(PosteriorEstimator):
         tag: Hashable | None = None,
         weights: Sequence[float] | None = None,
     ) -> float:
+        """Blend observed values with the SVI posterior mean as the prior."""
         check_blend_args(xs, z_means, weights)
         if len(xs) == 0:
             return self.estimate()
@@ -119,9 +125,11 @@ class SVIEstimator(PosteriorEstimator):
         return (tau * self._svi.estimate() + g_sum) / (tau + n) * scale
 
     def credible_interval(self, quantile_z: float = 1.96) -> tuple[float, float]:
+        """Symmetric credible interval from ``q(mu)`` (Eq. 10)."""
         lo, hi = self._svi.credible_interval(quantile_z)
         return (lo * self.scale, hi * self.scale)
 
     @property
     def is_warm(self) -> bool:
+        """Whether the posterior has absorbed enough observations."""
         return self._count >= 3

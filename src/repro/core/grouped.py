@@ -123,6 +123,7 @@ class GroupedPECJoin:
     # -- shared observation machinery (mirrors the scalar operator) --------
 
     def prepare(self, arrays: BatchArrays) -> None:
+        """Partition the batch by key group and prepare one core per group."""
         self._comp_order = arrays.completion_order()
         self._comp_sorted = arrays.completion[self._comp_order]
         self._ingest_cursor = 0
@@ -235,11 +236,13 @@ class GroupedRunResult:
 
     @property
     def mean_compensated_error(self) -> float:
+        """Mean bounded window error of the compensated answers."""
         e = self.compensated_errors
         return sum(e) / len(e) if e else 0.0
 
     @property
     def mean_observed_error(self) -> float:
+        """Mean bounded window error of the uncompensated answers."""
         e = self.observed_errors
         return sum(e) / len(e) if e else 0.0
 

@@ -122,6 +122,7 @@ class PECJoin(StreamJoinOperator):
     # -- lifecycle ---------------------------------------------------------
 
     def prepare(self, arrays: BatchArrays, window_length: float, omega: float) -> None:
+        """Precompute batch orderings and rate priors; reset runtime cursors."""
         self._wlen = window_length
         self._omega = omega
         self._bucket_len = window_length / self.buckets_per_window
@@ -408,6 +409,7 @@ class PECJoin(StreamJoinOperator):
     def process_window(
         self, arrays: BatchArrays, window: Window, available_by: float
     ) -> tuple[float, float]:
+        """Emit the window's compensated aggregate at its cutoff (Section 4)."""
         now = available_by
         self._ingest_delays(arrays, now)
         self._finalize(arrays, now)

@@ -77,12 +77,14 @@ class EngineResult:
 
     @property
     def mean_error(self) -> float:
+        """Mean bounded window error over measured windows."""
         if not self.records:
             return 0.0
         return sum(r.error for r in self.records) / len(self.records)
 
     @property
     def p95_latency(self) -> float:
+        """95th-percentile emission latency (ms)."""
         return self.latency.p95()
 
     @property
@@ -91,6 +93,7 @@ class EngineResult:
         return throughput_ktuples_per_s(self.processed_tuples, self.makespan_ms)
 
     def summary(self) -> dict[str, float]:
+        """Headline numbers for benchmark tables."""
         return {
             "mean_error": self.mean_error,
             "p95_latency_ms": self.p95_latency,
@@ -118,6 +121,12 @@ class ParallelJoinEngine:
         grace_fraction: Emission-deadline slack as a fraction of the
             window length (bounds latency under overload; unprocessed
             tuples miss their window instead).
+        faults: Optional :class:`~repro.faults.plan.FaultPlan`; its
+            ``straggler`` events slow this engine's cost model (a lazy
+            batch barrier waits for the slowest thread; eager workers
+            slow individually when an event's ``mode`` names their
+            index).  Stream-level events must be applied to the batch
+            beforehand via :func:`repro.faults.inject.apply_faults`.
     """
 
     def __init__(
@@ -132,6 +141,7 @@ class ParallelJoinEngine:
         cost_model: EngineCostModel | None = None,
         grace_fraction: float = 0.5,
         seed: int = 0,
+        faults=None,
     ):
         if algorithm not in ("prj", "shj", "hsj", "spj"):
             raise ValueError(f"unknown engine algorithm {algorithm!r}")
@@ -147,9 +157,14 @@ class ParallelJoinEngine:
         self.cost_model = cost_model or EngineCostModel()
         self.grace_fraction = grace_fraction
         self.seed = seed
+        self.faults = faults
+        #: The integrated PECJ operator of the most recent run (None for
+        #: baselines) — exposed so callers can checkpoint it mid-run.
+        self.pecj_operator: PECJoin | None = None
 
     @property
     def name(self) -> str:
+        """Display name (algorithm, PECJ-prefixed when compensating)."""
         base = self.algorithm.upper()
         return f"PECJ-{base}" if self.pecj_enabled else base
 
@@ -166,9 +181,13 @@ class ParallelJoinEngine:
         """
         wlen = self.window_length
         arrival = arrays.arrival
-        batch_idx = np.floor(arrival / wlen).astype(np.int64)
+        # Tuples lost in transit (drop faults set arrival = inf) never
+        # reach the engine: they join no batch and stay invisible forever.
+        finite = np.isfinite(arrival)
+        fin_arrival = arrival[finite]
+        batch_idx = np.floor(fin_arrival / wlen).astype(np.int64)
         first = int(batch_idx.min()) if len(batch_idx) else 0
-        last_time = max(float(arrival.max()) if len(arrival) else 0.0, t_end)
+        last_time = max(float(fin_arrival.max()) if len(fin_arrival) else 0.0, t_end)
         last = int(math.floor(last_time / wlen)) + 1
         counts = np.bincount(batch_idx - first, minlength=last - first + 1)
 
@@ -184,6 +203,22 @@ class ParallelJoinEngine:
             if self.pecj_enabled:
                 batch_ms += cm.prj_pecj_extra_ms(int(n), self.threads)
             start_exec = max(trigger, finish_prev)
+            if self.faults is not None and n:
+                # A partitioned batch join is a barrier: any straggler
+                # thread active while it runs slows the whole batch.
+                factor = self.faults.straggler_factor(start_exec)
+                if factor > 1.0:
+                    obs.counter("faults.straggler.slowed_batches").inc()
+                    obs.gauge("faults.straggler.extra_ms").add(
+                        batch_ms * (factor - 1.0)
+                    )
+                    if tracing:
+                        trace.instant(
+                            "fault.straggler", start_exec, cat="fault",
+                            track="faults",
+                            args={"batch": int(w), "factor": float(factor)},
+                        )
+                    batch_ms *= factor
             if n:
                 phases = cm.prj_phase_breakdown(int(n), self.threads)
                 for phase, ms in phases.items():
@@ -220,7 +255,8 @@ class ParallelJoinEngine:
         # Data availability is *trigger*-quantised: a batch's content is
         # frozen when its boundary passes (the engine buffers arrivals);
         # the join's finish time only affects emission latency.
-        visible = (batch_idx + 1).astype(float) * wlen
+        visible = np.full(len(arrival), np.inf)
+        visible[finite] = (batch_idx + 1).astype(float) * wlen
         return visible, finishes
 
     def _shj_schedule(self, arrays: BatchArrays) -> np.ndarray:
@@ -232,17 +268,32 @@ class ParallelJoinEngine:
         from repro.joins.pipeline import completion_times
 
         n = len(arrays)
-        visible = np.empty(n)
-        order = np.argsort(arrays.arrival, kind="stable")
+        visible = np.full(n, np.inf)
+        # Tuples lost in transit (drop faults: arrival = inf) are never
+        # dispatched — workers only serve what actually arrives.
+        delivered = np.flatnonzero(np.isfinite(arrays.arrival))
+        order = delivered[np.argsort(arrays.arrival[delivered], kind="stable")]
         arrivals = arrays.arrival[order]
+        m = len(order)
         per_tuple = self.cost_model.eager_tuple_ms(
             self.algorithm, self.threads, self.pecj_enabled
         )
-        obs.gauge(f"engine.{self.algorithm}.time_ms.probe").add(per_tuple * n)
+        obs.gauge(f"engine.{self.algorithm}.time_ms.probe").add(per_tuple * m)
         tracing = trace.is_tracing()
         for worker in range(self.threads):
-            sel = np.arange(worker, n, self.threads)
+            sel = np.arange(worker, m, self.threads)
             costs = np.full(len(sel), per_tuple)
+            if self.faults is not None and len(sel):
+                mult = self.faults.straggler_multipliers(arrivals[sel], thread=worker)
+                slowed = mult > 1.0
+                if slowed.any():
+                    obs.counter("faults.straggler.slowed_tuples").inc(
+                        int(slowed.sum())
+                    )
+                    obs.gauge("faults.straggler.extra_ms").add(
+                        float((costs * (mult - 1.0)).sum())
+                    )
+                    costs = costs * mult
             done = completion_times(arrivals[sel], costs)
             visible[order[sel]] = done
             if tracing and len(sel):
@@ -256,7 +307,7 @@ class ParallelJoinEngine:
                     cat="engine", track=f"engine.{self.name}.t{worker}",
                     args={
                         "tuples": int(len(sel)),
-                        "busy_ms": float(per_tuple * len(sel)),
+                        "busy_ms": float(costs.sum()),
                     },
                 )
         return visible
@@ -269,6 +320,7 @@ class ParallelJoinEngine:
         t_start: float = 0.0,
         t_end: float | None = None,
         warmup_windows: int = 0,
+        resume_state: dict | None = None,
     ) -> EngineResult:
         """Simulate the engine over every full window in ``[t_start, t_end)``.
 
@@ -276,10 +328,14 @@ class ParallelJoinEngine:
         ``result.metrics`` snapshots the per-phase virtual-time breakdown
         (partition/build-probe/sync for the lazy engine, probe for the
         eager ones, compensate for the PECJ variants), window counts and
-        estimator health.
+        estimator health.  ``resume_state`` is a
+        :func:`repro.core.persistence.checkpoint_operator` snapshot of a
+        previous run's integrated PECJ (see :attr:`pecj_operator`),
+        restored after prepare so a run over ``[t_mid, t_end)`` continues
+        the interrupted one exactly.
         """
         with obs.scoped() as reg, reg.timer("engine.wall_ms"):
-            result = self._run(arrays, t_start, t_end, warmup_windows)
+            result = self._run(arrays, t_start, t_end, warmup_windows, resume_state)
         result.metrics = reg.snapshot()
         return result
 
@@ -289,6 +345,7 @@ class ParallelJoinEngine:
         t_start: float,
         t_end: float | None,
         warmup_windows: int,
+        resume_state: dict | None = None,
     ) -> EngineResult:
         if t_end is None:
             t_end = float(arrays.event.max()) if len(arrays) else t_start
@@ -318,6 +375,12 @@ class ParallelJoinEngine:
                 seed=self.seed,
             )
             pecj.prepare(arrays, wlen, self.omega)
+            if resume_state is not None:
+                from repro.core.persistence import restore_operator
+
+                restore_operator(pecj, resume_state)
+                obs.counter("engine.resumed").inc()
+        self.pecj_operator = pecj
 
         # Drain(T): when the engine has finished everything arrived by T.
         order = np.argsort(arrays.arrival, kind="stable")

@@ -1,0 +1,61 @@
+"""``repro.faults`` — deterministic fault injection and graceful degradation.
+
+The benchmark harness (PRs 1-4) measures PECJ under *well-behaved*
+disorder: the delay model is stationary per spec, streams never stall,
+the engine never loses a thread and the estimators never diverge.  This
+package supplies the chaos side of the reproduction:
+
+* :mod:`repro.faults.plan` — declarative, virtual-time-keyed fault
+  schedules (:class:`FaultPlan` / :class:`FaultEvent`) that serialise
+  into run specs and shard cleanly through the parallel executor;
+* :mod:`repro.faults.inject` — applying a plan to a built workload
+  (:func:`apply_faults`) with accounted — never silent — tuple loss,
+  plus the estimator saboteur that forces posterior divergence;
+* :mod:`repro.faults.degrade` — the :class:`DegradationController` and
+  the :class:`ResilientPECJoin` guard operator that detect stress
+  through the observability metrics and degrade gracefully: fall back
+  to the conservative baseline answer, widen the emission budget toward
+  a quality target, and repair diverged estimators from checkpoints
+  (:mod:`repro.core.persistence`).
+
+Everything is deterministic and seedable: the same plan over the same
+workload produces byte-identical faulted arrays, rows and traces,
+whether run serially or sharded (``python -m repro.bench chaos
+--workers N``).  Injection sites emit ``fault.*`` trace events and the
+controller emits ``degrade.*`` events on the virtual clock (DESIGN.md
+§12 documents the vocabulary).
+"""
+
+from repro.faults.degrade import (
+    DegradationController,
+    DegradeConfig,
+    ResilientPECJoin,
+)
+from repro.faults.inject import (
+    EstimatorSaboteur,
+    FaultReport,
+    apply_faults,
+    arm_operator,
+    plan_trace,
+)
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    reference_burst_plan,
+    reference_plan,
+)
+
+__all__ = [
+    "DegradationController",
+    "DegradeConfig",
+    "EstimatorSaboteur",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultReport",
+    "ResilientPECJoin",
+    "apply_faults",
+    "arm_operator",
+    "plan_trace",
+    "reference_burst_plan",
+    "reference_plan",
+]

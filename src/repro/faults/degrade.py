@@ -1,0 +1,379 @@
+"""Graceful degradation: posterior health tracking and the guard operator.
+
+PECJ's compensation is a model; models fail.  Under a delay-regime
+burst the posterior lags, under a stall the observations starve, and a
+diverged estimator emits NaN or a 1e12 blow-up straight into the join
+output.  This module keeps the *output* trustworthy while the model is
+not:
+
+* :class:`DegradationController` — a small hysteresis state machine fed
+  by per-window health probes (output finiteness, credible-interval
+  width, amplification vs the observed floor).  ``patience``
+  consecutive unhealthy windows switch to fallback mode; ``recovery``
+  healthy windows switch back.  Hard failures (non-finite output)
+  switch immediately.
+* :class:`ResilientPECJoin` — a :class:`~repro.joins.base.StreamJoinOperator`
+  wrapping a PECJ core.  In normal mode it passes the compensated
+  output through and periodically checkpoints the learned state
+  (:func:`repro.core.persistence.checkpoint_pecj`).  On degradation it
+  (a) falls back to the conservative observed aggregate — the
+  WMJ-equivalent answer, always finite; (b) on hard failures restores
+  the last healthy checkpoint so compensation can resume instead of
+  staying poisoned; (c) when observations starve (a stalled side), it
+  widens the availability budget toward a quality target, paying
+  bounded extra emission latency; when the widening cap is reached and
+  the window is still starved, the window is *shed* — answered
+  observed-only and accounted in ``degrade.shed_windows``, never
+  silently.
+
+Every transition emits ``degrade.*`` obs counters and trace instants on
+the virtual clock (vocabulary in API.md / DESIGN.md §12).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro import obs
+from repro.obs import trace
+from repro.core.pecj import PECJoin
+from repro.joins.arrays import AggKind, BatchArrays
+from repro.joins.base import StreamJoinOperator
+from repro.streams.windows import Window
+
+__all__ = ["DegradeConfig", "DegradationController", "ResilientPECJoin"]
+
+
+@dataclass(frozen=True)
+class DegradeConfig:
+    """Tunables of the degradation controller.
+
+    Attributes:
+        interval_width_limit: Posterior health bound — a credible
+            interval wider than this, relative to the output, marks the
+            window unhealthy.
+        max_amplification: Sanity bound on compensation — an output more
+            than this factor above the observed aggregate (when the
+            observed aggregate is positive) marks the window unhealthy;
+            catches blow-up divergence that stays finite.
+        patience: Consecutive unhealthy windows before falling back.
+        recovery: Consecutive healthy windows before resuming
+            compensation.
+        checkpoint_every: Healthy compensated windows between learned-state
+            checkpoints (the repair restore point).
+        widen_step_ms: Budget widening added per starved window (and
+            removed per fed window).  ``None`` resolves to a quarter of
+            ``omega`` at :meth:`ResilientPECJoin.prepare` time.
+        max_widen_ms: Cap on total widening.  ``None`` resolves to one
+            ``omega``.
+        repair: Restore the last checkpoint on hard (non-finite)
+            failures.
+    """
+
+    interval_width_limit: float = 3.0
+    max_amplification: float = 50.0
+    patience: int = 2
+    recovery: int = 3
+    checkpoint_every: int = 16
+    widen_step_ms: float | None = None
+    max_widen_ms: float | None = None
+    repair: bool = True
+
+
+class DegradationController:
+    """Hysteresis state machine over per-window posterior health.
+
+    Feed it one :meth:`assess` + :meth:`observe` pair per window; read
+    :attr:`mode` (``"normal"`` / ``"fallback"``) and :attr:`widen_ms`.
+    The controller is pure state — it never touches the operator; the
+    :class:`ResilientPECJoin` acts on its decisions.
+    """
+
+    def __init__(self, config: DegradeConfig):
+        self.config = config
+        self._widen_step = config.widen_step_ms or 0.0
+        self._max_widen = config.max_widen_ms or 0.0
+        self.reset()
+
+    def reset(self) -> None:
+        """Return to the initial (normal, unwidened) state."""
+        self.mode = "normal"
+        self.widen_ms = 0.0
+        self.checkpoint: dict[str, Any] | None = None
+        self.fallback_windows = 0
+        self.repairs = 0
+        self.widened_windows = 0
+        self.shed_windows = 0
+        self._healthy_streak = 0
+        self._unhealthy_streak = 0
+        self._healthy_since_checkpoint = 0
+
+    def resolve_budget(self, omega: float) -> None:
+        """Resolve ``None`` widening tunables against the run's omega."""
+        if self.config.widen_step_ms is None:
+            self._widen_step = omega / 4.0
+        if self.config.max_widen_ms is None:
+            self._max_widen = omega
+
+    def assess(
+        self,
+        value: float,
+        observed_value: float,
+        interval: tuple[float, float] | None,
+    ) -> tuple[bool, bool]:
+        """Health-probe one emission: returns ``(healthy, hard)``.
+
+        ``hard`` failures (non-finite output or interval) bypass the
+        patience hysteresis — the emission is unusable, not merely
+        suspect.
+        """
+        cfg = self.config
+        if not math.isfinite(value):
+            return False, True
+        if interval is not None:
+            lo, hi = interval
+            if not (math.isfinite(lo) and math.isfinite(hi)):
+                return False, True
+            rel_width = (hi - lo) / max(abs(value), 1e-9)
+            if rel_width > cfg.interval_width_limit:
+                return False, False
+        if value < 0.0:
+            return False, False
+        if observed_value > 0.0 and value > cfg.max_amplification * observed_value:
+            return False, False
+        if observed_value > 0.0 and value * cfg.max_amplification < observed_value:
+            # Severe undershoot: compensation can only add to what was
+            # already observed, so a value far below the observed floor
+            # means an estimator collapsed (e.g. a NaN rate clamped to
+            # zero inside the compensation closed form).
+            return False, False
+        return True, False
+
+    def observe(self, healthy: bool, hard: bool) -> str:
+        """Advance the hysteresis; returns the mode for *this* window."""
+        if healthy:
+            self._healthy_streak += 1
+            self._unhealthy_streak = 0
+            if self.mode == "fallback" and self._healthy_streak >= self.config.recovery:
+                self.mode = "normal"
+                obs.counter("degrade.recoveries").inc()
+        else:
+            self._unhealthy_streak += 1
+            self._healthy_streak = 0
+            if hard or self._unhealthy_streak >= self.config.patience:
+                if self.mode == "normal":
+                    obs.counter("degrade.fallback_entries").inc()
+                self.mode = "fallback"
+        return self.mode
+
+    def update_widen(self, starved: bool) -> bool:
+        """Adjust the availability budget after a window; True if shed.
+
+        Starved windows grow the widening by one step toward the cap;
+        fed windows shrink it back.  A window that is still starved at
+        the cap is shed (compensation gives up on the quality target for
+        it) — callers account it.
+        """
+        if starved:
+            if self.widen_ms >= self._max_widen > 0.0:
+                self.shed_windows += 1
+                obs.counter("degrade.shed_windows").inc()
+                return True
+            self.widen_ms = min(self.widen_ms + self._widen_step, self._max_widen)
+        elif self.widen_ms > 0.0:
+            self.widen_ms = max(self.widen_ms - self._widen_step, 0.0)
+        return False
+
+    def maybe_checkpoint(self, pecj: PECJoin) -> None:
+        """Checkpoint learned state on a healthy cadence (repair point)."""
+        self._healthy_since_checkpoint += 1
+        take_first = self.checkpoint is None
+        if take_first or self._healthy_since_checkpoint >= self.config.checkpoint_every:
+            from repro.core.persistence import checkpoint_pecj
+
+            self.checkpoint = checkpoint_pecj(pecj)
+            self._healthy_since_checkpoint = 0
+            obs.counter("degrade.checkpoints").inc()
+
+    def repair(self, pecj: PECJoin) -> bool:
+        """Restore the last healthy checkpoint into the operator.
+
+        Also scrubs non-finite residue a divergence may have left in
+        MLP optimizer moments (the checkpoint covers weights, not Adam
+        state).  Returns False when no checkpoint exists yet.
+        """
+        if self.checkpoint is None:
+            return False
+        from repro.core.persistence import restore_pecj
+
+        restore_pecj(pecj, self.checkpoint)
+        for name in ("rate_r", "rate_s", "sigma", "alpha"):
+            est = getattr(pecj, name)
+            for opt_name in ("_optimizer", "_elbo_optimizer"):
+                opt = getattr(est, opt_name, None)
+                if opt is None:
+                    continue
+                import numpy as np
+
+                for arrs in (opt._m, opt._v):
+                    for a in arrs:
+                        bad = ~np.isfinite(a)
+                        if bad.any():
+                            a[bad] = 0.0
+        self.repairs += 1
+        obs.counter("degrade.repairs").inc()
+        return True
+
+
+class ResilientPECJoin(StreamJoinOperator):
+    """PECJ wrapped in the degradation controller (``<name>+guard``).
+
+    Guarantees about the emitted value, regardless of what the wrapped
+    estimators do:
+
+    * it is always finite (NaN/blow-up emissions are replaced by the
+      conservative observed aggregate — the WMJ answer);
+    * it is never negative for COUNT/SUM aggregations;
+    * it never exceeds ``max_amplification`` times a positive observed
+      aggregate.
+
+    Args:
+        inner: The PECJ core — a :class:`~repro.core.pecj.PECJoin` or an
+            :class:`~repro.faults.inject.EstimatorSaboteur` around one.
+        config: Controller tunables (defaults resolve the widening
+            budget from omega at :meth:`prepare` time).
+    """
+
+    def __init__(self, inner: StreamJoinOperator, config: DegradeConfig | None = None):
+        super().__init__(inner.agg)
+        self.inner = inner
+        self.config = config or DegradeConfig()
+        self.controller = DegradationController(self.config)
+        self.name = f"{inner.name}+guard"
+        self.pipeline_method = inner.pipeline_method
+
+    @property
+    def pecj(self) -> PECJoin:
+        """The underlying PECJ operator (unwraps a saboteur)."""
+        return getattr(self.inner, "pecj", self.inner)
+
+    def prepare(self, arrays: BatchArrays, window_length: float, omega: float) -> None:
+        """Prepare the core and reset the controller for this run."""
+        self.inner.prepare(arrays, window_length, omega)
+        self.controller.reset()
+        self.controller.resolve_budget(omega)
+
+    def bind_aggregator(self, aggregator) -> None:
+        """Bind the grid aggregator to both the guard and the core."""
+        super().bind_aggregator(aggregator)
+        self.inner.bind_aggregator(aggregator)
+
+    def _posterior_diverged(self) -> bool:
+        """Probe the rate posteriors directly for NaN/blow-up divergence.
+
+        The compensation closed form clamps negative (and NaN) factors to
+        zero, so a diverged estimator can surface as a plausible-looking
+        finite output; probing the posterior means catches it at the
+        source.  The 1e9 bound is rates-per-ms — orders of magnitude above
+        any workload this harness generates.
+        """
+        for est in (self.pecj.rate_r, self.pecj.rate_s):
+            mu = est.estimate()
+            if not math.isfinite(mu) or abs(mu) > 1e9:
+                return True
+        return False
+
+    def guard_summary(self) -> dict[str, int]:
+        """Row fields summarising the guard's interventions this run."""
+        c = self.controller
+        return {
+            "guard_fallback_windows": c.fallback_windows,
+            "guard_repairs": c.repairs,
+            "guard_widened_windows": c.widened_windows,
+            "guard_shed_windows": c.shed_windows,
+        }
+
+    def process_window(
+        self, arrays: BatchArrays, window: Window, available_by: float
+    ) -> tuple[float, float]:
+        """Emit one window through the degradation state machine."""
+        ctl = self.controller
+        widen = ctl.widen_ms
+        now = available_by + widen
+        if widen > 0.0:
+            ctl.widened_windows += 1
+            obs.counter("degrade.widened_windows").inc()
+        try:
+            value, extra = self.inner.process_window(arrays, window, now)
+        except (ValueError, FloatingPointError, ZeroDivisionError, OverflowError):
+            # A diverged posterior can crash the operator mid-update
+            # (e.g. a NaN natural parameter failing distribution
+            # validation).  Degraded mode contains it: score the window
+            # as a hard failure and let the repair path restore state.
+            value, extra = float("nan"), 0.0
+            obs.counter("degrade.operator_errors").inc()
+            if trace.is_tracing():
+                trace.instant(
+                    "degrade.operator_error", now, cat="degrade",
+                    track=f"degrade.{self.name}",
+                    args={"window_start": float(window.start)},
+                )
+        extra += widen  # widened budget is paid as emission latency
+
+        observed = self.window_aggregate(arrays, window.start, window.end, now)
+        observed_value = observed.value(self.agg)
+        starved = observed.n_r == 0 or observed.n_s == 0
+
+        interval = self.pecj.last_interval
+        healthy, hard = ctl.assess(value, observed_value, interval)
+        if not hard and self._posterior_diverged():
+            healthy, hard = False, True
+        mode = ctl.observe(healthy, hard)
+
+        if hard and self.config.repair:
+            repaired = ctl.repair(self.pecj)
+            if repaired and trace.is_tracing():
+                trace.instant(
+                    "degrade.repair", now, cat="degrade", track=f"degrade.{self.name}",
+                    args={"window_start": float(window.start)},
+                )
+
+        if mode == "fallback" or not healthy:
+            value = observed_value
+            ctl.fallback_windows += 1
+            obs.counter("degrade.fallback_windows").inc()
+            if trace.is_tracing():
+                trace.instant(
+                    "degrade.fallback", now, cat="degrade",
+                    track=f"degrade.{self.name}",
+                    args={
+                        "window_start": float(window.start),
+                        "hard": bool(hard),
+                        "observed": float(observed_value),
+                    },
+                )
+        elif interval is not None:
+            ctl.maybe_checkpoint(self.pecj)
+
+        shed = ctl.update_widen(starved)
+        if (shed or ctl.widen_ms != widen) and trace.is_tracing():
+            trace.instant(
+                "degrade.widen", now, cat="degrade", track=f"degrade.{self.name}",
+                args={
+                    "window_start": float(window.start),
+                    "widen_ms": float(ctl.widen_ms),
+                    "shed": bool(shed),
+                },
+            )
+        obs.gauge("degrade.widen_ms.last").set(ctl.widen_ms)
+
+        if not math.isfinite(value):
+            # Observed aggregates are finite by construction; this is a
+            # belt-and-braces floor so the guard's contract survives any
+            # future aggregation path.
+            value = 0.0
+        if value < 0.0 and self.agg is not AggKind.AVG:
+            value = 0.0
+        return value, extra

@@ -1,0 +1,319 @@
+"""Applying fault plans to built workloads and live operators.
+
+Two injection surfaces:
+
+* :func:`apply_faults` rewrites a built
+  :class:`~repro.joins.arrays.BatchArrays` according to a plan's
+  stream-level events (bursts, spikes/droughts, stalls, drops).  The
+  input batch is never mutated; the returned batch is freshly sorted and
+  carries default (arrival-time) completion times, ready for a pipeline.
+  Every affected tuple is accounted in the returned
+  :class:`FaultReport` and in ``faults.*`` obs counters — loss is never
+  silent.
+* :class:`EstimatorSaboteur` wraps a live
+  :class:`~repro.core.pecj.PECJoin` and fires the plan's
+  ``estimator_divergence`` events on the virtual clock, corrupting the
+  posterior rate estimators (NaN poison or 1e12 blow-up) right before
+  the next emission — the failure mode the
+  :class:`~repro.faults.degrade.ResilientPECJoin` guard must survive.
+
+All randomness derives from the plan's own seed
+(``np.random.default_rng(plan.seed)``), so injection is deterministic
+per plan and independent of the workload's RNG stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.obs import trace
+from repro.core.estimators.aema import AEMAEstimator
+from repro.core.estimators.svi_backend import SVIEstimator
+from repro.core.pecj import PECJoin
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.joins.arrays import BatchArrays
+from repro.joins.base import StreamJoinOperator
+from repro.streams.windows import Window
+
+__all__ = [
+    "FaultReport",
+    "apply_faults",
+    "plan_trace",
+    "EstimatorSaboteur",
+    "arm_operator",
+]
+
+
+@dataclass
+class FaultReport:
+    """Accounting of what a plan's stream-level injection touched.
+
+    Attributes:
+        delayed: Tuples whose arrival a disorder burst pushed back.
+        stalled: Tuples held by a stream stall and delivered at its end.
+        dropped: Tuples lost in transit (arrival set to ``inf``; the
+            oracle still counts them).
+        duplicated: Extra tuples a rate spike added (oracle counts them).
+        thinned: Tuples a rate drought removed entirely (never existed).
+    """
+
+    delayed: int = 0
+    stalled: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    thinned: int = 0
+
+    def as_extras(self) -> dict[str, int]:
+        """Row fields for benchmark tables (``fault_*`` columns)."""
+        return {
+            "fault_delayed": self.delayed,
+            "fault_stalled": self.stalled,
+            "fault_dropped": self.dropped,
+            "fault_duplicated": self.duplicated,
+            "fault_thinned": self.thinned,
+        }
+
+
+def _trace_event(e: FaultEvent, tuples: int) -> None:
+    if not trace.is_tracing():
+        return
+    trace.instant(
+        f"fault.{e.kind}", e.t_start, cat="fault", track="faults",
+        args={
+            "t_end": float(e.t_end),
+            "side": e.side,
+            "magnitude": float(e.magnitude),
+            "mode": e.mode,
+            "tuples": int(tuples),
+        },
+    )
+
+
+def apply_faults(
+    arrays: BatchArrays, plan: FaultPlan | None
+) -> tuple[BatchArrays, FaultReport]:
+    """Apply a plan's stream-level events to a built batch.
+
+    Returns a new :class:`BatchArrays` (the input is untouched) plus the
+    injection accounting.  ``straggler`` and ``estimator_divergence``
+    events do not touch the arrays — they are consumed by the engine and
+    the saboteur respectively — but still count one
+    ``faults.<kind>.events`` tick here so a plan's full schedule is
+    visible in one snapshot.  An empty or ``None`` plan returns the
+    input batch itself (no copy) and an empty report.
+    """
+    report = FaultReport()
+    if plan is None or not plan.events:
+        return arrays, report
+    rng = np.random.default_rng(plan.seed)
+
+    event = arrays.event.copy()
+    arrival = arrays.arrival.copy()
+    key = arrays.key.copy()
+    payload = arrays.payload.copy()
+    is_r = arrays.is_r.copy()
+
+    for e in plan.sorted_events():
+        obs.counter(f"faults.{e.kind}.events").inc()
+        if e.kind == "disorder_burst":
+            mask = (event >= e.t_start) & (event < e.t_end) & e.side_mask(is_r)
+            n = int(mask.sum())
+            if n and e.magnitude > 0.0:
+                arrival[mask] = arrival[mask] + rng.exponential(e.magnitude, n)
+                report.delayed += n
+                obs.counter("faults.tuples_delayed").inc(n)
+            _trace_event(e, n)
+        elif e.kind == "rate_spike":
+            mask = (event >= e.t_start) & (event < e.t_end) & e.side_mask(is_r)
+            idx = np.flatnonzero(mask)
+            n = len(idx)
+            if n and e.magnitude > 1.0:
+                n_extra = int(round((e.magnitude - 1.0) * n))
+                pick = rng.choice(idx, size=n_extra, replace=n_extra > n)
+                pick.sort()
+                event = np.concatenate([event, event[pick]])
+                arrival = np.concatenate([arrival, arrival[pick]])
+                key = np.concatenate([key, key[pick]])
+                payload = np.concatenate([payload, payload[pick]])
+                is_r = np.concatenate([is_r, is_r[pick]])
+                report.duplicated += n_extra
+                obs.counter("faults.tuples_duplicated").inc(n_extra)
+                _trace_event(e, n_extra)
+            elif n and e.magnitude < 1.0:
+                lottery = rng.random(n)
+                remove = idx[lottery >= e.magnitude]
+                keep = np.ones(len(event), dtype=bool)
+                keep[remove] = False
+                event, arrival = event[keep], arrival[keep]
+                key, payload, is_r = key[keep], payload[keep], is_r[keep]
+                report.thinned += len(remove)
+                obs.counter("faults.tuples_thinned").inc(len(remove))
+                _trace_event(e, len(remove))
+            else:
+                _trace_event(e, 0)
+        elif e.kind == "stall":
+            mask = (arrival >= e.t_start) & (arrival < e.t_end) & e.side_mask(is_r)
+            n = int(mask.sum())
+            if n:
+                arrival[mask] = e.t_end
+                report.stalled += n
+                obs.counter("faults.tuples_stalled").inc(n)
+            _trace_event(e, n)
+        elif e.kind == "drop":
+            mask = (event >= e.t_start) & (event < e.t_end) & e.side_mask(is_r)
+            idx = np.flatnonzero(mask)
+            lottery = rng.random(len(idx))
+            lost = idx[lottery < e.magnitude]
+            if len(lost):
+                arrival[lost] = np.inf
+                report.dropped += len(lost)
+                obs.counter("faults.tuples_dropped").inc(len(lost))
+            _trace_event(e, len(lost))
+        else:
+            # straggler / estimator_divergence: scheduled here, consumed
+            # by the engine simulator / the saboteur.
+            _trace_event(e, 0)
+
+    return BatchArrays(event, arrival, key, payload, is_r), report
+
+
+def plan_trace(plan: FaultPlan | None, report: FaultReport) -> None:
+    """Emit a plan's ``fault.*`` trace instants from its injection report.
+
+    :func:`apply_faults` traces inline, but callers that *cache* faulted
+    arrays (the benchmark executor) must decouple trace emission from the
+    transform — otherwise which cell carries the events depends on cache
+    hits and the parallel trace stops being byte-identical to the serial
+    one.  Such callers apply faults untraced once, then call this per
+    cell.  Per-kind tuple counts come from the report (aggregated over
+    the plan's events of that kind).
+    """
+    if plan is None or not plan.events or not trace.is_tracing():
+        return
+    per_kind = {
+        "disorder_burst": report.delayed,
+        "rate_spike": report.duplicated + report.thinned,
+        "stall": report.stalled,
+        "drop": report.dropped,
+    }
+    for e in plan.sorted_events():
+        _trace_event(e, per_kind.get(e.kind, 0))
+
+
+# -- estimator divergence -----------------------------------------------------
+
+
+def _corrupt_estimator(est, mode: str) -> None:
+    """Poison one posterior estimator in place (NaN or 1e12 blow-up)."""
+    if isinstance(est, AEMAEstimator):
+        if mode == "nan":
+            est._mean = float("nan")
+        else:
+            est._mean = max(abs(est._mean or 0.0), 1.0) * 1e12
+        return
+    if isinstance(est, SVIEstimator):
+        # Poison the natural-parameter state: the running-scale property
+        # deliberately guards against non-positive values, so corruption
+        # must hit ``q(mu)`` itself to reach the posterior mean.
+        state = est._svi._state
+        state.tau_mu = float("nan") if mode == "nan" else abs(state.tau_mu) * 1e12 + 1e12
+        return
+    from repro.core.estimators.mlp_backend import MLPEstimator
+
+    if isinstance(est, MLPEstimator):
+        if mode == "nan":
+            est._ema = float("nan")
+            est._scale = float("nan")
+        else:
+            est._scale = max(est._scale, 1.0) * 1e12
+            est._ema = max(abs(est._ema), 1.0) * 1e12
+        return
+    raise TypeError(f"cannot corrupt estimator type {type(est).__name__}")
+
+
+class EstimatorSaboteur(StreamJoinOperator):
+    """Operator proxy that fires scheduled estimator divergences.
+
+    Wraps a prepared-or-not :class:`~repro.core.pecj.PECJoin`; before
+    each emission it fires every not-yet-fired ``estimator_divergence``
+    event whose time has come on the virtual clock, corrupting the
+    wrapped operator's posterior rate estimators.  Everything else
+    (name, cost profile, aggregation) passes through, so rows are
+    attributed to the underlying method.
+    """
+
+    def __init__(self, inner: PECJoin, plan: FaultPlan):
+        super().__init__(inner.agg)
+        self.inner = inner
+        self.plan = plan
+        self.name = inner.name
+        self.pipeline_method = inner.pipeline_method
+        self._events = plan.by_kind("estimator_divergence")
+        self._fired = 0
+
+    @property
+    def pecj(self) -> PECJoin:
+        """The wrapped PECJ operator (for checkpoint/health access)."""
+        return self.inner
+
+    @property
+    def last_interval(self):
+        """Credible interval passthrough (health probes read this)."""
+        return self.inner.last_interval
+
+    def prepare(self, arrays: BatchArrays, window_length: float, omega: float) -> None:
+        """Reset the firing cursor and prepare the wrapped operator."""
+        self.inner.prepare(arrays, window_length, omega)
+        self._fired = 0
+
+    def bind_aggregator(self, aggregator) -> None:
+        """Bind the runner's grid aggregator to both layers."""
+        super().bind_aggregator(aggregator)
+        self.inner.bind_aggregator(aggregator)
+
+    def process_window(
+        self, arrays: BatchArrays, window: Window, available_by: float
+    ) -> tuple[float, float]:
+        """Fire due divergence events, then delegate to the wrapped PECJ."""
+        while (
+            self._fired < len(self._events)
+            and self._events[self._fired].t_start <= available_by
+        ):
+            e = self._events[self._fired]
+            for est in (self.inner.rate_r, self.inner.rate_s):
+                _corrupt_estimator(est, e.mode)
+            obs.counter(f"faults.estimator_divergence.fired.{e.mode}").inc()
+            if trace.is_tracing():
+                trace.instant(
+                    "fault.estimator_divergence", e.t_start,
+                    cat="fault", track="faults",
+                    args={"mode": e.mode, "backend": self.inner.backend},
+                )
+            self._fired += 1
+        return self.inner.process_window(arrays, window, available_by)
+
+
+def arm_operator(
+    operator: StreamJoinOperator, plan: FaultPlan | None
+) -> StreamJoinOperator:
+    """Attach the divergence saboteur to an operator if the plan needs it.
+
+    PECJ operators (bare or guard-wrapped) get their posterior core
+    wrapped in an :class:`EstimatorSaboteur`; baselines have no
+    posteriors to corrupt and pass through unchanged, as does any
+    operator under a plan without ``estimator_divergence`` events.
+    """
+    if plan is None or not plan.has("estimator_divergence"):
+        return operator
+    from repro.faults.degrade import ResilientPECJoin
+
+    if isinstance(operator, ResilientPECJoin):
+        return ResilientPECJoin(
+            EstimatorSaboteur(operator.pecj, plan), config=operator.config
+        )
+    if isinstance(operator, PECJoin):
+        return EstimatorSaboteur(operator, plan)
+    return operator

@@ -1,0 +1,346 @@
+"""Declarative fault plans: virtual-time schedules of injected failures.
+
+A :class:`FaultPlan` is a small, immutable, JSON-serialisable value — a
+seed plus a tuple of :class:`FaultEvent` entries keyed on the
+simulation's virtual clock.  Plans ride inside benchmark cells
+(:class:`repro.bench.executor.Cell`), pickle across process-pool
+shards, and key the executor's faulted-arrays cache, so a chaos sweep
+stays byte-identical between serial and ``--workers N`` runs.
+
+Event kinds (``FaultEvent.kind``):
+
+``disorder_burst``
+    Transient delay-distribution shift: every tuple with event time in
+    ``[t_start, t_end)`` gains an extra ``Exp(magnitude)`` arrival delay.
+``rate_spike``
+    Load change over ``[t_start, t_end)``: ``magnitude > 1`` duplicates
+    tuples up to the factor (a spike the oracle also sees);
+    ``magnitude < 1`` thins the stream to the factor (a drought — the
+    removed tuples never existed).
+``stall``
+    One side's delivery freezes: tuples of ``side`` whose *arrival*
+    falls in ``[t_start, t_end)`` are held and delivered together when
+    the stall clears at ``t_end``.
+``drop``
+    Lossy delivery: each tuple of ``side`` with event time in
+    ``[t_start, t_end)`` is lost in transit with probability
+    ``magnitude``.  The oracle still counts the lost tuples — they
+    happened — so an operator that cannot compensate eats the error.
+``straggler``
+    A slow engine thread: per-tuple (eager) or per-batch (lazy) costs
+    are multiplied by ``magnitude`` while the event is active.  ``mode``
+    optionally names one worker index (eager engines only); empty means
+    every thread.  Consumed by
+    :class:`repro.engine.simulator.ParallelJoinEngine`; a no-op for the
+    cost-free standalone runner arrays.
+``estimator_divergence``
+    Forced posterior failure at virtual time ``t_start``: ``mode`` is
+    ``"nan"`` (poison the posterior mean) or ``"blowup"`` (scale it by
+    ``1e12``).  Consumed by
+    :class:`repro.faults.inject.EstimatorSaboteur`.
+
+The module also ships the two canonical plans the tests and the
+``chaos`` figure share: :func:`reference_burst_plan` (the regression
+plan of the acceptance tests) and :func:`reference_plan` (the
+intensity-scaled composite behind ``python -m repro.bench chaos``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PLAN_SCHEMA_VERSION",
+    "FaultEvent",
+    "FaultPlan",
+    "reference_burst_plan",
+    "reference_plan",
+]
+
+#: Recognised event kinds, in the canonical order injection applies them.
+FAULT_KINDS = (
+    "disorder_burst",
+    "rate_spike",
+    "stall",
+    "drop",
+    "straggler",
+    "estimator_divergence",
+)
+
+#: Stamped into serialised plans; bump on schema changes.
+FAULT_PLAN_SCHEMA_VERSION = 1
+
+_SIDES = ("r", "s", "both")
+_DIVERGENCE_MODES = ("nan", "blowup")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One scheduled fault on the virtual clock.
+
+    Attributes:
+        kind: One of :data:`FAULT_KINDS` (semantics in the module doc).
+        t_start: Start of the affected virtual-time interval (ms,
+            inclusive).  Instant kinds (``estimator_divergence``) fire at
+            this time.
+        t_end: End of the interval (ms, exclusive); equal to ``t_start``
+            for instants.
+        side: Which stream is affected — ``"r"``, ``"s"`` or ``"both"``
+            (ignored by ``straggler`` and ``estimator_divergence``).
+        magnitude: Kind-specific intensity — mean extra delay in ms
+            (``disorder_burst``), rate factor (``rate_spike``), loss
+            probability (``drop``), cost multiplier (``straggler``).
+        mode: Kind-specific qualifier — divergence flavour (``"nan"`` /
+            ``"blowup"``) or the targeted worker index for
+            ``straggler``; empty otherwise.
+    """
+
+    kind: str
+    t_start: float
+    t_end: float
+    side: str = "both"
+    magnitude: float = 1.0
+    mode: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.side not in _SIDES:
+            raise ValueError(f"side must be one of {_SIDES}, got {self.side!r}")
+        if not (np.isfinite(self.t_start) and np.isfinite(self.t_end)):
+            raise ValueError("fault times must be finite")
+        if self.t_end < self.t_start:
+            raise ValueError("t_end must be >= t_start")
+        if self.kind == "disorder_burst" and self.magnitude < 0.0:
+            raise ValueError("disorder_burst magnitude (extra mean delay) must be >= 0")
+        if self.kind == "rate_spike" and self.magnitude <= 0.0:
+            raise ValueError("rate_spike magnitude (rate factor) must be > 0")
+        if self.kind == "drop" and not 0.0 <= self.magnitude <= 1.0:
+            raise ValueError("drop magnitude (loss probability) must be in [0, 1]")
+        if self.kind == "straggler" and self.magnitude < 1.0:
+            raise ValueError("straggler magnitude (cost multiplier) must be >= 1")
+        if self.kind == "estimator_divergence" and self.mode not in _DIVERGENCE_MODES:
+            raise ValueError(
+                f"estimator_divergence mode must be one of {_DIVERGENCE_MODES}"
+            )
+
+    def covers(self, t: float) -> bool:
+        """Whether virtual time ``t`` falls inside the event's interval."""
+        return self.t_start <= t < self.t_end
+
+    def side_mask(self, is_r: np.ndarray) -> np.ndarray:
+        """Boolean mask selecting the affected stream side."""
+        if self.side == "r":
+            return is_r
+        if self.side == "s":
+            return ~is_r
+        return np.ones_like(is_r, dtype=bool)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seedable schedule of fault events.
+
+    Attributes:
+        events: The scheduled events (any order; injection groups them by
+            kind in the canonical :data:`FAULT_KINDS` order, then by
+            ``(t_start, t_end, side, magnitude, mode)``, so equal plans
+            inject identically regardless of declaration order).
+        seed: Seed of the plan's private RNG — all randomness in
+            injection (burst delays, drop lotteries, duplicate picks)
+            derives from it, never from the workload's RNG.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def key(self) -> str:
+        """Deterministic cache key (used by the executor's arrays cache)."""
+        parts = [f"seed={self.seed}"] + [
+            f"{e.kind}[{e.t_start:g},{e.t_end:g}){e.side}x{e.magnitude:g}:{e.mode}"
+            for e in self.sorted_events()
+        ]
+        return "faults(" + ";".join(parts) + ")"
+
+    def sorted_events(self) -> list[FaultEvent]:
+        """Events in the canonical injection order."""
+        return sorted(
+            self.events,
+            key=lambda e: (
+                FAULT_KINDS.index(e.kind),
+                e.t_start,
+                e.t_end,
+                e.side,
+                e.magnitude,
+                e.mode,
+            ),
+        )
+
+    def by_kind(self, kind: str) -> list[FaultEvent]:
+        """The plan's events of one kind, in canonical order."""
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        return [e for e in self.sorted_events() if e.kind == kind]
+
+    def has(self, kind: str) -> bool:
+        """Whether the plan schedules at least one event of ``kind``."""
+        return any(e.kind == kind for e in self.events)
+
+    # -- engine hooks --------------------------------------------------------
+
+    def straggler_factor(self, t: float) -> float:
+        """Combined cost multiplier of every straggler active at ``t``.
+
+        Thread-targeted events count too: a lazy engine's batch barrier
+        waits for its slowest thread, so any active straggler slows the
+        whole batch.
+        """
+        factor = 1.0
+        for e in self.events:
+            if e.kind == "straggler" and e.covers(t):
+                factor *= e.magnitude
+        return factor
+
+    def straggler_multipliers(
+        self, times: np.ndarray, thread: int | None = None
+    ) -> np.ndarray:
+        """Per-tuple cost multipliers for an eager worker.
+
+        Args:
+            times: Tuple arrival times (the moment the worker serves them).
+            thread: The worker's index; events whose ``mode`` names a
+                different worker do not apply.  ``None`` applies every
+                straggler event.
+        """
+        out = np.ones(len(times))
+        for e in self.by_kind("straggler"):
+            if thread is not None and e.mode not in ("", str(thread)):
+                continue
+            mask = (times >= e.t_start) & (times < e.t_end)
+            out[mask] *= e.magnitude
+        return out
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-ready; round-trips via :meth:`from_json`)."""
+        return {
+            "schema_version": FAULT_PLAN_SCHEMA_VERSION,
+            "seed": int(self.seed),
+            "events": [asdict(e) for e in self.events],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_json` output (validates events)."""
+        version = data.get("schema_version")
+        if version != FAULT_PLAN_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported fault-plan schema_version {version!r} "
+                f"(this build reads {FAULT_PLAN_SCHEMA_VERSION})"
+            )
+        events = tuple(FaultEvent(**e) for e in data.get("events", ()))
+        return cls(events=events, seed=int(data.get("seed", 0)))
+
+    def dumps(self) -> str:
+        """Compact JSON string (stable for equal plans)."""
+        return json.dumps(self.to_json(), sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultPlan":
+        """Inverse of :meth:`dumps`."""
+        return cls.from_json(json.loads(text))
+
+
+def _segment(t_lo: float, t_hi: float, f0: float, f1: float) -> tuple[float, float]:
+    span = t_hi - t_lo
+    return (t_lo + f0 * span, t_lo + f1 * span)
+
+
+def reference_burst_plan(
+    t_lo: float,
+    t_hi: float,
+    extra_delay_ms: float = 20.0,
+    side: str = "both",
+    seed: int = 0,
+) -> FaultPlan:
+    """The acceptance tests' canonical burst-disorder plan.
+
+    One transient delay-distribution shift covering the middle third of
+    ``[t_lo, t_hi)``: affected tuples gain ``Exp(extra_delay_ms)`` extra
+    arrival delay.  Degraded-mode PECJ must keep bounded window error
+    below the conservative baseline under this plan (ISSUE 5 acceptance
+    criterion), which ``tests/faults`` pins.
+    """
+    b0, b1 = _segment(t_lo, t_hi, 1.0 / 3.0, 2.0 / 3.0)
+    return FaultPlan(
+        events=(
+            FaultEvent("disorder_burst", b0, b1, side=side, magnitude=extra_delay_ms),
+        ),
+        seed=seed,
+    )
+
+
+def reference_plan(
+    intensity: float,
+    t_lo: float,
+    t_hi: float,
+    base_delay_ms: float = 5.0,
+    seed: int = 0,
+) -> FaultPlan:
+    """The composite chaos-figure plan at a given fault intensity.
+
+    Scales every fault family with ``intensity`` over disjoint segments
+    of ``[t_lo, t_hi)``:
+
+    * a disorder burst with ``4 * base_delay_ms * intensity`` mean extra
+      delay over the [10%, 30%) segment;
+    * a rate spike of factor ``1 + intensity / 2`` over [35%, 45%);
+    * a stall of stream S over [55%, 60%);
+    * tuple drops on stream R at probability ``min(0.08 * intensity,
+      0.6)`` over [70%, 85%);
+    * an engine straggler of factor ``1 + intensity`` over [55%, 75%).
+
+    ``intensity <= 0`` returns an empty plan (the figure's fault-free
+    control row).
+    """
+    if intensity <= 0.0:
+        return FaultPlan(events=(), seed=seed)
+    events = (
+        FaultEvent(
+            "disorder_burst",
+            *_segment(t_lo, t_hi, 0.10, 0.30),
+            side="both",
+            magnitude=4.0 * base_delay_ms * intensity,
+        ),
+        FaultEvent(
+            "rate_spike",
+            *_segment(t_lo, t_hi, 0.35, 0.45),
+            side="both",
+            magnitude=1.0 + 0.5 * intensity,
+        ),
+        FaultEvent("stall", *_segment(t_lo, t_hi, 0.55, 0.60), side="s"),
+        FaultEvent(
+            "drop",
+            *_segment(t_lo, t_hi, 0.70, 0.85),
+            side="r",
+            magnitude=min(0.08 * intensity, 0.6),
+        ),
+        FaultEvent(
+            "straggler",
+            *_segment(t_lo, t_hi, 0.55, 0.75),
+            magnitude=1.0 + intensity,
+        ),
+    )
+    return FaultPlan(events=events, seed=seed)

@@ -143,6 +143,7 @@ class BatchArrays:
 
     @property
     def num_keys(self) -> int:
+        """Number of distinct join keys in the batch."""
         return self._num_keys
 
     # -- completion ownership and derived caches ----------------------------

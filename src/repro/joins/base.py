@@ -113,6 +113,7 @@ class WindowRecord:
 
     @property
     def absolute_miss(self) -> float:
+        """Absolute difference between the emitted and exact values."""
         return abs(self.value - self.expected)
 
 
@@ -144,6 +145,7 @@ class RunResult:
 
     @property
     def num_windows(self) -> int:
+        """Number of measured (post-warmup) windows."""
         return len(self.records)
 
     def summary(self) -> dict[str, float]:

@@ -33,6 +33,7 @@ class WatermarkJoin(StreamJoinOperator):
     def process_window(
         self, arrays: BatchArrays, window: Window, available_by: float
     ) -> tuple[float, float]:
+        """Emit whatever has arrived by the cutoff (no compensation)."""
         agg = self.window_aggregate(arrays, window.start, window.end, available_by)
         return agg.value(self.agg), 0.0
 
@@ -52,6 +53,7 @@ class KSlackJoin(StreamJoinOperator):
     def process_window(
         self, arrays: BatchArrays, window: Window, available_by: float
     ) -> tuple[float, float]:
+        """Emit the k-slack-buffered observed answer at the cutoff."""
         agg = self.window_aggregate(arrays, window.start, window.end, available_by)
         return agg.value(self.agg), 0.0
 
@@ -70,6 +72,7 @@ class ExactJoin(StreamJoinOperator):
     def process_window(
         self, arrays: BatchArrays, window: Window, available_by: float
     ) -> tuple[float, float]:
+        """Emit the oracle answer over the full window (no disorder loss)."""
         sl = arrays.window_slice(window.start, window.end)
         agg = self.window_aggregate(arrays, window.start, window.end, None)
         if sl.stop > sl.start:

@@ -35,6 +35,7 @@ def run_operator(
     cost_model: CostModel | None = None,
     warmup_windows: int = 0,
     origin: float = 0.0,
+    resume_state: dict | None = None,
 ) -> RunResult:
     """Run ``operator`` over every complete window in ``[t_start, t_end)``.
 
@@ -52,6 +53,10 @@ def run_operator(
             latency aggregation (estimator warm-up).
         origin: Offset of the tumbling grid (used by the sliding-window
             adapter to run phase-shifted grids).
+        resume_state: A :func:`repro.core.persistence.checkpoint_operator`
+            snapshot to restore after ``prepare`` — a run over
+            ``[t_mid, t_end)`` resuming a checkpoint taken at ``t_mid``
+            continues the interrupted run exactly.
 
     Returns:
         A :class:`RunResult` with per-window records and latency samples.
@@ -73,6 +78,11 @@ def run_operator(
 
         operator.prepare(arrays, window_length, omega)
         operator.bind_aggregator(aggregator)
+        if resume_state is not None:
+            from repro.core.persistence import restore_operator
+
+            restore_operator(operator, resume_state)
+            obs.counter("runner.resumed").inc()
         result = RunResult(operator=operator.name, omega=omega)
 
         idx = first_idx

@@ -78,19 +78,24 @@ class LatencyTracker:
 
     @property
     def samples(self) -> Sequence[float]:
+        """All recorded latency samples (ms), in insertion order."""
         return self._samples
 
     @property
     def count(self) -> int:
+        """Number of recorded samples."""
         return len(self._samples)
 
     def p95(self) -> float:
+        """95th-percentile latency (ms)."""
         return p95(self._samples)
 
     def mean(self) -> float:
+        """Mean latency (ms)."""
         if not self._samples:
             return 0.0
         return sum(self._samples) / len(self._samples)
 
     def max(self) -> float:
+        """Maximum latency (ms)."""
         return max(self._samples) if self._samples else 0.0

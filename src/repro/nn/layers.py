@@ -17,6 +17,7 @@ class Layer:
     """Base layer: forward, backward and (possibly empty) parameters."""
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer's output for a batch of inputs."""
         raise NotImplementedError
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -61,10 +62,12 @@ class Dense(Layer):
         self._x: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        """Affine map ``x @ W + b``, caching inputs for the backward pass."""
         self._x = x
         return x @ self.w + self.b
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate weight/bias gradients; return the input gradient."""
         if self._x is None:
             raise RuntimeError("backward called before forward")
         self.grad_w[...] = self._x.T @ grad_out
@@ -72,9 +75,11 @@ class Dense(Layer):
         return grad_out @ self.w.T
 
     def params(self) -> list[np.ndarray]:
+        """The layer's trainable arrays (weights, bias)."""
         return [self.w, self.b]
 
     def grads(self) -> list[np.ndarray]:
+        """Gradient arrays aligned with :attr:`params`."""
         return [self.grad_w, self.grad_b]
 
 
@@ -85,10 +90,12 @@ class ReLU(Layer):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        """Elementwise ``max(x, 0)``."""
         self._mask = x > 0.0
         return np.where(self._mask, x, 0.0)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Pass gradients through where the input was positive."""
         if self._mask is None:
             raise RuntimeError("backward called before forward")
         return grad_out * self._mask
@@ -101,10 +108,12 @@ class Tanh(Layer):
         self._y: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        """Elementwise hyperbolic tangent."""
         self._y = np.tanh(x)
         return self._y
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Scale gradients by ``1 - tanh(x)^2``."""
         if self._y is None:
             raise RuntimeError("backward called before forward")
         return grad_out * (1.0 - self._y**2)
@@ -117,10 +126,12 @@ class Sigmoid(Layer):
         self._y: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        """Elementwise logistic sigmoid."""
         self._y = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
         return self._y
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Scale gradients by ``s * (1 - s)``."""
         if self._y is None:
             raise RuntimeError("backward called before forward")
         return grad_out * self._y * (1.0 - self._y)
@@ -130,7 +141,9 @@ class Identity(Layer):
     """No-op activation (linear output head)."""
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        """Return the input unchanged."""
         return x
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Pass gradients through unchanged."""
         return grad_out

@@ -80,12 +80,15 @@ class MLP:
     # -- parameters ------------------------------------------------------
 
     def params(self) -> list[np.ndarray]:
+        """All trainable arrays, layer by layer."""
         return [p for layer in self.layers for p in layer.params()]
 
     def grads(self) -> list[np.ndarray]:
+        """All gradient arrays, aligned with :attr:`params`."""
         return [g for layer in self.layers for g in layer.grads()]
 
     def num_parameters(self) -> int:
+        """Total scalar parameter count."""
         return sum(p.size for p in self.params())
 
     def make_optimizer(self, kind: str = "adam", lr: float = 1e-3, **kwargs) -> Optimizer:

@@ -29,6 +29,7 @@ class Optimizer:
         raise NotImplementedError
 
     def zero_grad(self) -> None:
+        """Reset every tracked gradient array to zero."""
         for g in self.grads:
             g[...] = 0.0
 
@@ -50,6 +51,7 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p) for p in params]
 
     def step(self) -> None:
+        """Apply one (optionally momentum-smoothed) gradient step."""
         for p, g, v in zip(self.params, self.grads, self._velocity):
             v *= self.momentum
             v -= self.lr * g
@@ -79,6 +81,7 @@ class Adam(Optimizer):
         self._t = 0
 
     def step(self) -> None:
+        """Apply one Adam update (bias-corrected first/second moments)."""
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t

@@ -99,6 +99,7 @@ class Counter:
         self.value = 0
 
     def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1) to the counter."""
         self.value += n
 
 
@@ -111,6 +112,7 @@ class Gauge:
         self.value = 0.0
 
     def set(self, v: float) -> None:
+        """Record the latest value."""
         self.value = float(v)
 
     def add(self, v: float) -> None:
@@ -144,6 +146,7 @@ class StreamingHistogram:
         self._buckets: dict[int, int] = {}
 
     def observe(self, x: float) -> None:
+        """Fold one sample into the running moments and extrema."""
         x = float(x)
         self.count += 1
         self.total += x
@@ -159,14 +162,17 @@ class StreamingHistogram:
 
     @property
     def mean(self) -> float:
+        """Mean of all observed samples."""
         return self.total / self.count if self.count else 0.0
 
     @property
     def min(self) -> float:
+        """Smallest observed sample."""
         return self._min if self.count else 0.0
 
     @property
     def max(self) -> float:
+        """Largest observed sample."""
         return self._max if self.count else 0.0
 
     def quantile(self, q: float) -> float:
@@ -187,6 +193,7 @@ class StreamingHistogram:
         return self._max
 
     def merge(self, other: "StreamingHistogram") -> None:
+        """Fold another histogram's moments into this one (shard merge)."""
         self.count += other.count
         self.total += other.total
         self._min = min(self._min, other._min)
@@ -196,6 +203,7 @@ class StreamingHistogram:
             self._buckets[idx] = self._buckets.get(idx, 0) + n
 
     def summary(self) -> dict[str, float]:
+        """Count/mean/min/max as a plain dict."""
         return {
             "count": float(self.count),
             "mean": self.mean,
@@ -252,6 +260,7 @@ class MetricsRegistry:
     # -- instruments ---------------------------------------------------------
 
     def counter(self, name: str) -> Counter:
+        """The named counter, created on first use."""
         if not self.enabled:
             return _NULL_COUNTER
         c = self.counters.get(name)
@@ -260,6 +269,7 @@ class MetricsRegistry:
         return c
 
     def gauge(self, name: str) -> Gauge:
+        """The named gauge, created on first use."""
         if not self.enabled:
             return _NULL_GAUGE
         g = self.gauges.get(name)
@@ -268,6 +278,7 @@ class MetricsRegistry:
         return g
 
     def histogram(self, name: str) -> StreamingHistogram:
+        """The named histogram, created on first use."""
         if not self.enabled:
             return _NULL_HISTOGRAM
         h = self.histograms.get(name)
@@ -276,6 +287,7 @@ class MetricsRegistry:
         return h
 
     def observe(self, name: str, value: float) -> None:
+        """Shorthand: fold one sample into the named histogram."""
         self.histogram(name).observe(value)
 
     # -- scopes --------------------------------------------------------------
@@ -347,6 +359,7 @@ class MetricsRegistry:
         }
 
     def reset(self) -> None:
+        """Drop every metric (fresh scope)."""
         self.counters.clear()
         self.gauges.clear()
         self.histograms.clear()
@@ -398,6 +411,7 @@ def disable() -> None:
 
 
 def is_enabled() -> bool:
+    """Whether the current scope records metrics."""
     return get_registry().enabled
 
 
@@ -405,24 +419,30 @@ def is_enabled() -> bool:
 
 
 def counter(name: str) -> Counter:
+    """The named counter in the current scope."""
     return _STACK[-1].counter(name)
 
 
 def gauge(name: str) -> Gauge:
+    """The named gauge in the current scope."""
     return _STACK[-1].gauge(name)
 
 
 def histogram(name: str) -> StreamingHistogram:
+    """The named histogram in the current scope."""
     return _STACK[-1].histogram(name)
 
 
 def observe(name: str, value: float) -> None:
+    """Fold one sample into the named histogram in the current scope."""
     _STACK[-1].observe(name, value)
 
 
 def timer(name: str):
+    """Time a block (wall-clock ms) into the current scope's histogram."""
     return _STACK[-1].timer(name)
 
 
 def span(name: str, clock: Callable[[], float]):
+    """Time a block on an arbitrary clock into the current scope."""
     return _STACK[-1].span(name, clock)

@@ -221,6 +221,7 @@ class TraceRecorder:
         return "\n".join(lines) + "\n"
 
     def export_jsonl(self, path: str) -> None:
+        """Write the sorted events as JSON Lines."""
         with open(path, "w") as fh:
             fh.write(self.to_jsonl())
 
@@ -292,6 +293,7 @@ class TraceRecorder:
         }
 
     def export_chrome(self, path: str) -> None:
+        """Write a Chrome/Perfetto ``trace_event`` JSON file."""
         with open(path, "w") as fh:
             json.dump(self.to_chrome(), fh, indent=1)
             fh.write("\n")
@@ -346,6 +348,7 @@ def instant(
     track: str = "main",
     args: dict | None = None,
 ) -> None:
+    """Record a zero-duration event at a virtual-time instant."""
     rec = _ACTIVE
     if rec.enabled:
         rec.instant(name, ts, cat=cat, track=track, args=args)
@@ -360,6 +363,7 @@ def complete(
     track: str = "main",
     args: dict | None = None,
 ) -> None:
+    """Record a complete span (start + duration) on the virtual clock."""
     rec = _ACTIVE
     if rec.enabled:
         rec.complete(name, ts, dur, cat=cat, track=track, args=args)
@@ -373,4 +377,5 @@ def span(
     track: str = "main",
     args: dict | None = None,
 ):
+    """Context manager recording a span around a block (virtual clock)."""
     return _ACTIVE.span(name, clock, cat=cat, track=track, args=args)

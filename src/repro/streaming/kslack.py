@@ -74,7 +74,31 @@ class KSlackBuffer:
         heapq.heappush(self._heap, (t.event_time, next(self._tie), t))
         return self._drain_ready()
 
+    def set_slack(self, slack: float) -> list[StreamTuple]:
+        """Retune ``K`` mid-stream; return any tuples the change releases.
+
+        Growing the slack simply holds future tuples longer.  Shrinking
+        it moves the release bound forward, so tuples already buffered
+        may become ready *immediately* — they are drained and returned
+        here rather than sitting until the next push (which might never
+        come on a stalled stream).
+        """
+        if slack < 0:
+            raise ValueError("slack must be non-negative")
+        old, self.slack = self.slack, slack
+        obs.counter("kslack.slack_changes").inc()
+        if trace.is_tracing():
+            trace.instant(
+                "kslack.set_slack", max(self._watermark, 0.0),
+                cat="buffer", track="kslack",
+                args={"old": float(old), "new": float(slack)},
+            )
+        if slack < old:
+            return self._drain_ready()
+        return []
+
     def push_many(self, tuples: Iterable[StreamTuple]) -> list[StreamTuple]:
+        """Push tuples in arrival order; return all releases, concatenated."""
         out: list[StreamTuple] = []
         for t in tuples:
             out.extend(self.push(t))

@@ -322,6 +322,7 @@ class StreamingKSJ(StreamingWMJ):
         self.buffer = KSlackBuffer(0.0 if slack is None else slack)
 
     def push(self, t: StreamTuple) -> list[WindowEmission]:
+        """Feed one arriving tuple; join and emit whatever it releases."""
         if t.arrival_time < self.clock - 1e-9:
             raise ValueError(
                 f"arrival clock went backwards: {t.arrival_time} < {self.clock}"
@@ -348,6 +349,7 @@ class StreamingKSJ(StreamingWMJ):
         return state.value(self.agg), None, 0.0
 
     def finish(self) -> list[WindowEmission]:
+        """Flush the reorder buffer and join the stragglers (end of stream)."""
         for released in self.buffer.flush():
             self._ingest(released)
         return super().finish()

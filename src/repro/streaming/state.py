@@ -63,9 +63,11 @@ class WindowJoinState:
 
     @property
     def length(self) -> float:
+        """Number of tuples currently stored."""
         return self.end - self.start
 
     def contains(self, event_time: float) -> bool:
+        """Whether any stored tuple carries the given key."""
         return self.start <= event_time < self.end
 
     def add(self, t: StreamTuple) -> None:
@@ -97,11 +99,13 @@ class WindowJoinState:
 
     @property
     def selectivity(self) -> float:
+        """Empirical join selectivity ``sigma`` of the stored window."""
         denom = self.n_r * self.n_s
         return self.matches / denom if denom > 0 else 0.0
 
     @property
     def alpha_r(self) -> float:
+        """Fraction of stored tuples that belong to stream R."""
         return self.sum_r / self.matches if self.matches > 0 else 0.0
 
     def value(self, agg: AggKind) -> float:
@@ -116,6 +120,7 @@ class WindowJoinState:
 
     @property
     def distinct_keys(self) -> int:
+        """Number of distinct join keys stored."""
         return len(self._keys)
 
     def clone(self) -> "WindowJoinState":

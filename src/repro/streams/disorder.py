@@ -66,6 +66,7 @@ class NoDisorder(DelayModel):
     max_delay: float = 0.0
 
     def sample(self, rng: np.random.Generator, event_times: np.ndarray) -> np.ndarray:
+        """Zero delay for every tuple (the ordered-stream control)."""
         return np.zeros_like(event_times, dtype=float)
 
 
@@ -76,6 +77,7 @@ class UniformDelay(DelayModel):
     max_delay: float = 5.0
 
     def sample(self, rng: np.random.Generator, event_times: np.ndarray) -> np.ndarray:
+        """Uniform delays on ``[0, max_delay]``."""
         return rng.uniform(0.0, self.max_delay, size=event_times.shape)
 
 
@@ -91,6 +93,7 @@ class ExponentialDelay(DelayModel):
     max_delay: float = 5.0
 
     def sample(self, rng: np.random.Generator, event_times: np.ndarray) -> np.ndarray:
+        """Exponential delays with the configured mean, truncated."""
         return self._truncate(rng.exponential(self.mean, size=event_times.shape))
 
 
@@ -107,6 +110,7 @@ class ParetoDelay(DelayModel):
     max_delay: float = 1000.0
 
     def sample(self, rng: np.random.Generator, event_times: np.ndarray) -> np.ndarray:
+        """Heavy-tailed Pareto delays, truncated."""
         draws = self.scale * rng.pareto(self.shape, size=event_times.shape)
         return self._truncate(draws)
 
@@ -127,6 +131,7 @@ class MultiHopDelay(DelayModel):
     max_delay: float = 1000.0
 
     def sample(self, rng: np.random.Generator, event_times: np.ndarray) -> np.ndarray:
+        """Sum of per-hop exponential delays (network-path model), truncated."""
         total = np.full(event_times.shape, self.hops * self.propagation, dtype=float)
         for _ in range(self.hops):
             total += rng.exponential(self.hop_mean, size=event_times.shape)
@@ -149,6 +154,7 @@ class BimodalDelay(DelayModel):
     max_delay: float = 1000.0
 
     def sample(self, rng: np.random.Generator, event_times: np.ndarray) -> np.ndarray:
+        """Mixture of a fast mode and a slow congested mode, truncated."""
         slow = rng.random(size=event_times.shape) < self.slow_fraction
         fast_draws = rng.exponential(self.fast_mean, size=event_times.shape)
         slow_draws = self.slow_mean * (0.5 + rng.random(size=event_times.shape))
@@ -177,6 +183,7 @@ class CorrelatedDelay(DelayModel):
     max_delay: float = 500.0
 
     def sample(self, rng: np.random.Generator, event_times: np.ndarray) -> np.ndarray:
+        """Delays with a congestion window of elevated mean, truncated."""
         event_times = np.asarray(event_times, dtype=float)
         if event_times.size == 0:
             return np.zeros(0)
@@ -222,6 +229,7 @@ class RegimeSwitchingDelay(DelayModel):
         return phase % 2
 
     def sample(self, rng: np.random.Generator, event_times: np.ndarray) -> np.ndarray:
+        """Delays switching between calm and congested regimes, truncated."""
         regime = self.regime_of(np.asarray(event_times, dtype=float))
         means = np.where(regime == 0, self.calm_mean, self.congested_mean)
         draws = rng.exponential(1.0, size=event_times.shape) * means

@@ -27,6 +27,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.obs import trace
 from repro.streams.tuples import StreamTuple
 
@@ -55,6 +56,7 @@ class WatermarkGenerator:
 
     @property
     def max_event_seen(self) -> float:
+        """Largest event time observed so far."""
         return self._max_event
 
     @property
@@ -99,6 +101,7 @@ class PeriodicWatermark(WatermarkGenerator):
 
     @property
     def lag(self) -> float:
+        """The configured fixed lag."""
         return self._lag
 
 
@@ -118,11 +121,13 @@ class HeuristicWatermark(WatermarkGenerator):
         self._max_delay = 0.0
 
     def observe(self, t: StreamTuple) -> None:
+        """Track the maximum delay alongside the base accounting."""
         super().observe(t)
         self._max_delay = max(self._max_delay, t.delay)
 
     @property
     def lag(self) -> float:
+        """Maximum observed delay scaled by the margin."""
         return self._max_delay * self.margin
 
 
@@ -139,6 +144,16 @@ class AdaptiveWatermark(WatermarkGenerator):
     far (the :class:`HeuristicWatermark` rule), so the watermark never
     sits at ``max_event_seen`` during cold start flagging ordinary
     disordered tuples as late.
+
+    A sliding sample alone reacts to a delay-distribution *shift* only
+    after the stale regime ages out of the deque — at a burst boundary
+    the quantile stays pinned to the calm regime for up to
+    ``sample_size`` tuples, flagging the whole burst front as late.  The
+    generator therefore watches the median of the most recent
+    ``max(16, sample_size // 8)`` delays against the full-sample median;
+    when they disagree by more than ``shift_ratio`` (either direction)
+    the quantile is taken over the recent slice only, so the lag jumps
+    with the burst and relaxes as soon as it clears.
     """
 
     def __init__(
@@ -146,30 +161,52 @@ class AdaptiveWatermark(WatermarkGenerator):
         quantile: float = 0.99,
         sample_size: int = 2048,
         safety: float = 1.1,
+        shift_ratio: float = 3.0,
     ):
         super().__init__()
         if not 0.0 < quantile <= 1.0:
             raise ValueError("quantile must be in (0, 1]")
         if sample_size < 8:
             raise ValueError("sample_size must be >= 8")
+        if shift_ratio <= 1.0:
+            raise ValueError("shift_ratio must be > 1")
         self.quantile = quantile
         self.safety = safety
+        self.shift_ratio = shift_ratio
+        self._recent_size = max(16, sample_size // 8)
         self._delays: collections.deque[float] = collections.deque(maxlen=sample_size)
         self._max_delay = 0.0
 
     def observe(self, t: StreamTuple) -> None:
+        """Record the tuple's delay in the sliding sample."""
         super().observe(t)
         delay = max(t.delay, 0.0)
         self._delays.append(delay)
         self._max_delay = max(self._max_delay, delay)
 
+    def _shift_detected(self, full: np.ndarray) -> bool:
+        """Whether the recent delay regime disagrees with the full sample."""
+        if len(full) < 2 * self._recent_size:
+            return False
+        recent_med = float(np.median(full[-self._recent_size:]))
+        full_med = float(np.median(full))
+        floor = 1e-9
+        if recent_med > max(full_med, floor) * self.shift_ratio:
+            return True
+        return full_med > max(recent_med, floor) * self.shift_ratio
+
     @property
     def lag(self) -> float:
+        """Delay quantile over the (shift-aware) sliding sample, scaled."""
         if len(self._delays) < 8:
             # Cold start: fall back to the max-delay heuristic until the
             # quantile sample is usable.
             return self._max_delay * self.safety
-        return float(np.quantile(np.asarray(self._delays), self.quantile)) * self.safety
+        full = np.asarray(self._delays)
+        if self._shift_detected(full):
+            obs.counter("watermark.shift_detected").inc()
+            full = full[-self._recent_size:]
+        return float(np.quantile(full, self.quantile)) * self.safety
 
 
 def suggest_omega(generator: WatermarkGenerator, window_length: float) -> float:

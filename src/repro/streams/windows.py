@@ -88,9 +88,11 @@ class TumblingWindows(WindowAssigner):
         return Window(start, start + self.length)
 
     def assign(self, event_time: float) -> list[Window]:
+        """The single tumbling window containing ``event_time``."""
         return [self.window_at(self.window_index(event_time))]
 
     def windows_covering(self, start: float, end: float) -> list[Window]:
+        """Tumbling windows overlapping ``[start, end)``."""
         if end <= start:
             return []
         first = self.window_index(start)
@@ -122,6 +124,7 @@ class SlidingWindows(WindowAssigner):
         self.origin = float(origin)
 
     def assign(self, event_time: float) -> list[Window]:
+        """Every sliding window containing ``event_time``."""
         rel = event_time - self.origin
         last_start_idx = math.floor(rel / self.slide)
         first_start_idx = math.floor((rel - self.length) / self.slide) + 1
@@ -133,6 +136,7 @@ class SlidingWindows(WindowAssigner):
         return out
 
     def windows_covering(self, start: float, end: float) -> list[Window]:
+        """Sliding windows overlapping ``[start, end)``."""
         if end <= start:
             return []
         seen: dict[float, Window] = {}
@@ -160,9 +164,11 @@ class IntervalWindows(WindowAssigner):
         self.after = float(after)
 
     def assign(self, event_time: float) -> list[Window]:
+        """Per-tuple interval window centred on ``event_time``."""
         return [Window(event_time - self.before, event_time + self.after)]
 
     def windows_covering(self, start: float, end: float) -> list[Window]:
         # Interval windows are anchored per event; a covering enumeration is
         # unbounded, so expose the single interval spanning the range.
+        """Interval windows overlapping ``[start, end)``."""
         return [Window(start - self.before, end + self.after)]

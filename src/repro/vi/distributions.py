@@ -39,10 +39,12 @@ class Gaussian:
 
     @property
     def variance(self) -> float:
+        """``1 / precision``."""
         return 1.0 / self.precision
 
     @property
     def std(self) -> float:
+        """Standard deviation."""
         return math.sqrt(self.variance)
 
     def second_moment(self) -> float:
@@ -50,11 +52,13 @@ class Gaussian:
         return self.mean * self.mean + self.variance
 
     def logpdf(self, x: float) -> float:
+        """Log density at ``x``."""
         return 0.5 * (math.log(self.precision) - _LOG_2PI) - 0.5 * self.precision * (
             x - self.mean
         ) ** 2
 
     def entropy(self) -> float:
+        """Differential entropy in nats."""
         return 0.5 * (_LOG_2PI + 1.0 - math.log(self.precision))
 
     def kl_to(self, other: "Gaussian") -> float:
@@ -103,10 +107,12 @@ class Gamma:
 
     @property
     def mean(self) -> float:
+        """``shape / rate``."""
         return self.shape / self.rate
 
     @property
     def variance(self) -> float:
+        """``shape / rate**2``."""
         return self.shape / (self.rate * self.rate)
 
     def mean_log(self) -> float:
@@ -114,6 +120,7 @@ class Gamma:
         return digamma(self.shape) - math.log(self.rate)
 
     def logpdf(self, x: float) -> float:
+        """Log density at ``x``."""
         if x <= 0.0:
             return -math.inf
         return (
@@ -124,6 +131,7 @@ class Gamma:
         )
 
     def entropy(self) -> float:
+        """Differential entropy in nats."""
         return (
             self.shape
             - math.log(self.rate)

@@ -92,9 +92,11 @@ class LongTailPosterior:
 
     @property
     def mu_mean(self) -> float:
+        """Posterior mean of the location parameter ``mu``."""
         return self.q_mu.mean
 
     def mu_credible_interval(self, quantile_z: float = 1.96) -> tuple[float, float]:
+        """Central credible interval for ``mu`` at the given mass."""
         return self.q_mu.interval(quantile_z)
 
 

@@ -55,6 +55,7 @@ class DistortionModelPriors:
             raise ValueError("prior strengths must be positive")
 
     def phi_prior(self) -> Gamma:
+        """The Gamma prior placed on the noise precision ``phi``."""
         return Gamma(self.phi_shape, self.phi_rate)
 
 
@@ -84,6 +85,7 @@ class MeanFieldPosterior:
 
     @property
     def converged(self) -> bool:
+        """Whether the last coordinate sweep moved below the tolerance."""
         return len(self.elbo_trace) >= 2 and math.isclose(
             self.elbo_trace[-1], self.elbo_trace[-2], rel_tol=0.0, abs_tol=1e-9
         )

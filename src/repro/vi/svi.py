@@ -101,10 +101,12 @@ class StreamingSVI:
 
     @property
     def q_mu(self) -> Gaussian:
+        """Current Gaussian variational factor over ``mu``."""
         return self._state.q_mu()
 
     @property
     def q_phi(self) -> Gamma:
+        """Current Gamma variational factor over ``phi``."""
         return self._state.q_phi()
 
     def estimate(self) -> float:

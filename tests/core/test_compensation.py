@@ -80,3 +80,13 @@ class TestProductInterval:
         lo, hi = product_interval(means, stds)
         product = math.prod(means)
         assert lo <= product <= hi
+
+
+class TestProductIntervalOverflow:
+    def test_extreme_relative_spread_saturates_instead_of_raising(self):
+        # Regression: a tiny mean with a huge std used to raise
+        # OverflowError from ``(s / m) ** 2`` (caught by the doc-examples
+        # gate running examples/multicore_scaling.py).  The honest answer
+        # is an unbounded interval, not a crash.
+        lo, hi = product_interval([1e-200, 2.0], [1.0, 0.1])
+        assert lo == -math.inf and hi == math.inf

@@ -1,0 +1,162 @@
+"""Checkpoint/restore round-trips: a split run equals an uninterrupted one.
+
+Property pinned here (ISSUE 5): checkpoint an operator mid-stream at a
+window boundary — through a JSON round-trip, as a deployment would —
+resume a fresh operator from the snapshot over the remaining windows,
+and the concatenated window records are *identical* (exact float
+equality) to the uninterrupted run.  Holds for every PECJ backend, for
+the guard wrapper, for runs under an active fault plan (checkpoint taken
+mid-fault), and for both engine algorithms.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.executor import make_operator
+from repro.bench.workloads import q1_spec
+from repro.core.persistence import checkpoint_operator
+from repro.engine.simulator import ParallelJoinEngine
+from repro.faults.inject import apply_faults, arm_operator
+from repro.faults.plan import FaultEvent, FaultPlan, reference_plan
+from repro.joins.runner import run_operator
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return q1_spec(duration_ms=1500.0, warmup_ms=0.0, name="Q1-ckpt")
+
+
+@pytest.fixture(scope="module")
+def clean_arrays(spec):
+    return spec.build()
+
+
+@pytest.fixture(scope="module")
+def fault_plan(spec):
+    return reference_plan(2.0, spec.t_start, spec.t_end, seed=spec.seed)
+
+
+def window_boundary_mid(spec):
+    idx = int(((spec.t_start + spec.t_end) / 2.0) // spec.window_ms)
+    t_mid = idx * spec.window_ms
+    assert spec.t_start < t_mid < spec.t_end
+    return t_mid
+
+
+def record_rows(result):
+    return [
+        (r.window.start, r.window.end, r.value, r.expected, r.error,
+         getattr(r, "cutoff", None), r.emit_time, r.contributing)
+        for r in result.records
+    ]
+
+
+def run_half(spec, arrays, method, plan, t_start, t_end, resume_state=None):
+    operator = arm_operator(make_operator(method, spec.agg, seed=spec.seed), plan)
+    result = run_operator(
+        operator,
+        arrays,
+        spec.window_ms,
+        spec.omega_ms,
+        t_start=t_start,
+        t_end=t_end,
+        resume_state=resume_state,
+    )
+    return operator, result
+
+
+def assert_split_run_identical(spec, arrays, method, plan):
+    t_mid = window_boundary_mid(spec)
+    _, full = run_half(spec, arrays, method, plan, spec.t_start, spec.t_end)
+    op1, first = run_half(spec, arrays, method, plan, spec.t_start, t_mid)
+    # The snapshot crosses a serialization boundary, as it would on disk.
+    snapshot = json.loads(json.dumps(checkpoint_operator(op1)))
+    op2, second = run_half(
+        spec, arrays, method, plan, t_mid, spec.t_end, resume_state=snapshot
+    )
+    assert record_rows(first) + record_rows(second) == record_rows(full)
+    return op1, op2
+
+
+CASES = ["wmj", "pecj-aema", "pecj-svi", "pecj-mlp", "pecj-aema+guard"]
+
+
+@pytest.mark.parametrize("method", CASES)
+def test_split_run_matches_uninterrupted_clean(spec, clean_arrays, method):
+    assert_split_run_identical(spec, clean_arrays, method, None)
+
+
+@pytest.mark.parametrize("method", CASES)
+def test_split_run_matches_uninterrupted_mid_fault(
+    spec, clean_arrays, fault_plan, method
+):
+    arrays, _ = apply_faults(clean_arrays, fault_plan)
+    assert_split_run_identical(spec, arrays, method, fault_plan)
+
+
+def test_split_run_across_divergence_and_repair(spec, clean_arrays, fault_plan):
+    """Checkpoint *after* a forced divergence was detected and repaired:
+    the saboteur's firing cursor and the guard's controller state are part
+    of the snapshot, so the resumed run neither re-fires the divergence
+    nor forgets it happened."""
+    t_div = spec.t_start + 0.25 * (spec.t_end - spec.t_start)
+    plan = FaultPlan(
+        events=fault_plan.events
+        + (FaultEvent("estimator_divergence", t_div, t_div, mode="nan"),),
+        seed=fault_plan.seed,
+    )
+    arrays, _ = apply_faults(clean_arrays, plan)
+    op1, op2 = assert_split_run_identical(spec, arrays, "pecj-aema+guard", plan)
+    assert op1.guard_summary()["guard_repairs"] >= 1
+
+
+def test_obs_counters_add_up_across_the_split(spec, clean_arrays):
+    """Pruned per-run counters of the two halves sum to the full run's."""
+    t_mid = window_boundary_mid(spec)
+    _, full = run_half(spec, clean_arrays, "pecj-aema", None,
+                       spec.t_start, spec.t_end)
+    op1, first = run_half(spec, clean_arrays, "pecj-aema", None,
+                          spec.t_start, t_mid)
+    snapshot = json.loads(json.dumps(checkpoint_operator(op1)))
+    _, second = run_half(spec, clean_arrays, "pecj-aema", None,
+                         t_mid, spec.t_end, resume_state=snapshot)
+
+    def pruned(metrics):
+        drop = ("wall", "memo", "cache", "build", "evict", "resumed")
+        return {
+            k: v
+            for k, v in metrics["counters"].items()
+            if not any(d in k for d in drop)
+        }
+
+    combined: dict = {}
+    for half in (first, second):
+        for k, v in pruned(half.metrics).items():
+            combined[k] = combined.get(k, 0) + v
+    assert combined == pruned(full.metrics)
+
+
+@pytest.mark.parametrize("algorithm", ["prj", "shj"])
+def test_engine_split_run_matches_uninterrupted(spec, clean_arrays, algorithm):
+    def engine():
+        return ParallelJoinEngine(
+            algorithm,
+            threads=4,
+            agg=spec.agg,
+            pecj=True,
+            omega=spec.omega_ms,
+            window_length=spec.window_ms,
+            seed=spec.seed,
+        )
+
+    t_mid = window_boundary_mid(spec)
+    full = engine().run(clean_arrays, t_start=spec.t_start, t_end=spec.t_end)
+    first_engine = engine()
+    first = first_engine.run(clean_arrays, t_start=spec.t_start, t_end=t_mid)
+    snapshot = json.loads(json.dumps(checkpoint_operator(first_engine.pecj_operator)))
+    second = engine().run(
+        clean_arrays, t_start=t_mid, t_end=spec.t_end, resume_state=snapshot
+    )
+    assert record_rows(first) + record_rows(second) == record_rows(full)

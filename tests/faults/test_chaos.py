@@ -1,0 +1,28 @@
+"""The chaos figure: sharding determinism and degradation shape."""
+
+from repro.bench.experiments import chaos_resilience
+
+
+def test_chaos_rows_identical_serial_vs_sharded():
+    serial = chaos_resilience(scale=0.05)
+    sharded = chaos_resilience(scale=0.05, workers=2)
+    assert serial == sharded
+
+
+def test_chaos_shape(chaos_rows=None):
+    rows = chaos_rows or chaos_resilience(scale=0.05)
+    by = {(r["intensity"], r["method"]): r for r in rows}
+    # Fault-free control: the guard is transparent.
+    assert by[(0.0, "PECJ-aema+guard")]["error"] == by[(0.0, "PECJ-aema")]["error"]
+    # PECJ beats the conservative baseline at every intensity.
+    for intensity in (0.0, 0.5, 1.0, 2.0):
+        assert by[(intensity, "PECJ-aema")]["error"] < by[(intensity, "WMJ")]["error"]
+    # The divergence drill: the guard repairs and stays bounded while the
+    # unguarded operator degrades badly.
+    drilled = by[(2.0, "PECJ-aema+guard (diverged)")]
+    broken = by[(2.0, "PECJ-aema (diverged)")]
+    assert drilled["guard_repairs"] >= 1
+    assert drilled["error"] < broken["error"]
+    # Fault accounting reaches the rows — loss is never silent.
+    assert by[(2.0, "WMJ")]["fault_dropped"] > 0
+    assert by[(2.0, "WMJ")]["fault_delayed"] > 0

@@ -1,0 +1,107 @@
+"""Stream-level fault injection: determinism, accounting, semantics."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import micro_spec
+from repro.faults.inject import apply_faults
+from repro.faults.plan import FaultEvent, FaultPlan, reference_plan
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return micro_spec(num_keys=20, duration_ms=1000.0, warmup_ms=200.0,
+                      rate_r=20.0, rate_s=20.0)
+
+
+@pytest.fixture(scope="module")
+def arrays(spec):
+    return spec.build()
+
+
+def snapshot(a):
+    return tuple(col.copy() for col in (a.event, a.arrival, a.key, a.payload, a.is_r))
+
+
+def test_empty_plan_is_identity(arrays):
+    out, report = apply_faults(arrays, FaultPlan())
+    assert out is arrays
+    assert report.as_extras() == {k: 0 for k in report.as_extras()}
+
+
+def test_injection_is_deterministic_and_never_mutates_input(arrays):
+    plan = reference_plan(2.0, 200.0, 1000.0, seed=5)
+    before = snapshot(arrays)
+    out1, rep1 = apply_faults(arrays, plan)
+    out2, rep2 = apply_faults(arrays, plan)
+    after = snapshot(arrays)
+    for b, a in zip(before, after):
+        np.testing.assert_array_equal(b, a)
+    for c1, c2 in zip(snapshot(out1), snapshot(out2)):
+        np.testing.assert_array_equal(c1, c2)
+    assert rep1 == rep2
+
+
+def test_disorder_burst_delays_only_windowed_tuples(arrays):
+    plan = FaultPlan(
+        events=(FaultEvent("disorder_burst", 300.0, 500.0, magnitude=25.0),)
+    )
+    out, report = apply_faults(arrays, plan)
+    inside = (arrays.event >= 300.0) & (arrays.event < 500.0)
+    assert report.delayed == int(inside.sum())
+    # Affected arrivals only ever move later; everything else is untouched.
+    assert np.all(out.arrival[inside] >= arrays.arrival[inside])
+    np.testing.assert_array_equal(out.arrival[~inside], arrays.arrival[~inside])
+
+
+def test_stall_holds_one_side_until_clearance(arrays):
+    plan = FaultPlan(events=(FaultEvent("stall", 400.0, 450.0, side="s"),))
+    out, report = apply_faults(arrays, plan)
+    held = (
+        (arrays.arrival >= 400.0) & (arrays.arrival < 450.0) & ~arrays.is_r
+    )
+    assert report.stalled == int(held.sum()) > 0
+    assert np.all(out.arrival[held] == 450.0)
+
+
+def test_drop_sets_arrival_inf_and_keeps_the_tuple(arrays):
+    plan = FaultPlan(events=(FaultEvent("drop", 300.0, 700.0, side="r",
+                                        magnitude=0.5),))
+    out, report = apply_faults(arrays, plan)
+    assert len(out) == len(arrays)  # the oracle still counts dropped tuples
+    assert report.dropped == int(np.isinf(out.arrival).sum()) > 0
+    assert np.all(arrays.is_r[np.isinf(out.arrival)])
+
+
+def test_rate_spike_duplicates_and_drought_thins(arrays):
+    spike = FaultPlan(events=(FaultEvent("rate_spike", 300.0, 500.0,
+                                         magnitude=1.5),))
+    out, report = apply_faults(arrays, spike)
+    assert report.duplicated > 0
+    assert len(out) == len(arrays) + report.duplicated
+
+    drought = FaultPlan(events=(FaultEvent("rate_spike", 300.0, 500.0,
+                                           magnitude=0.5),))
+    out, report = apply_faults(arrays, drought)
+    assert report.thinned > 0
+    assert len(out) == len(arrays) - report.thinned
+
+
+def test_accounting_reaches_rows_and_counters(arrays):
+    from repro import obs
+
+    plan = reference_plan(2.0, 200.0, 1000.0)
+    with obs.scoped() as reg:
+        _, report = apply_faults(arrays, plan)
+        snap = reg.snapshot()
+    assert snap["counters"]["faults.tuples_dropped"] == report.dropped
+    assert snap["counters"]["faults.tuples_delayed"] == report.delayed
+    extras = report.as_extras()
+    assert extras["fault_dropped"] == report.dropped
+    assert set(extras) == {
+        "fault_delayed",
+        "fault_stalled",
+        "fault_dropped",
+        "fault_duplicated",
+        "fault_thinned",
+    }

@@ -1,0 +1,98 @@
+"""Fault-plan construction, validation and serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FAULT_PLAN_SCHEMA_VERSION,
+    FaultEvent,
+    FaultPlan,
+    reference_burst_plan,
+    reference_plan,
+)
+
+
+class TestFaultEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultEvent("power_cut", 0.0, 1.0)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            FaultEvent("stall", 5.0, 1.0)
+
+    def test_rejects_bad_side(self):
+        with pytest.raises(ValueError):
+            FaultEvent("drop", 0.0, 1.0, side="q")
+
+    def test_rejects_drop_probability_above_one(self):
+        with pytest.raises(ValueError):
+            FaultEvent("drop", 0.0, 1.0, magnitude=1.5)
+
+    def test_rejects_bad_divergence_mode(self):
+        with pytest.raises(ValueError):
+            FaultEvent("estimator_divergence", 1.0, 1.0, mode="typo")
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = reference_plan(1.5, 100.0, 1000.0, seed=42)
+        back = FaultPlan.loads(plan.dumps())
+        assert back == plan
+        assert back.key() == plan.key()
+
+    def test_rejects_wrong_schema_version(self):
+        blob = json.loads(reference_plan(1.0, 0.0, 100.0).dumps())
+        blob["schema_version"] = FAULT_PLAN_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            FaultPlan.from_json(blob)
+
+    def test_key_is_order_insensitive(self):
+        a = FaultEvent("stall", 10.0, 20.0, side="r")
+        b = FaultEvent("disorder_burst", 0.0, 5.0, magnitude=2.0)
+        assert FaultPlan(events=(a, b)).key() == FaultPlan(events=(b, a)).key()
+
+    def test_sorted_events_follow_kind_then_time(self):
+        plan = reference_plan(2.0, 0.0, 1000.0)
+        kinds = [e.kind for e in plan.sorted_events()]
+        assert kinds == sorted(kinds, key=FAULT_KINDS.index)
+
+    def test_straggler_factor(self):
+        plan = FaultPlan(events=(FaultEvent("straggler", 10.0, 20.0, magnitude=3.0),))
+        assert plan.straggler_factor(5.0) == 1.0
+        assert plan.straggler_factor(15.0) == 3.0
+        assert plan.straggler_factor(20.0) == 1.0
+
+    def test_straggler_multipliers_target_one_thread(self):
+        plan = FaultPlan(
+            events=(FaultEvent("straggler", 0.0, 10.0, magnitude=2.0, mode="3"),)
+        )
+        hit = plan.straggler_multipliers(np.array([5.0]), thread=3)
+        miss = plan.straggler_multipliers(np.array([5.0]), thread=1)
+        assert float(hit[0]) == 2.0
+        assert float(miss[0]) == 1.0
+
+
+class TestReferencePlans:
+    def test_zero_intensity_is_empty(self):
+        assert not reference_plan(0.0, 0.0, 1000.0).events
+
+    def test_reference_plan_covers_stream_faults(self):
+        plan = reference_plan(1.0, 0.0, 1000.0)
+        kinds = {e.kind for e in plan.events}
+        assert kinds == {
+            "disorder_burst",
+            "rate_spike",
+            "stall",
+            "drop",
+            "straggler",
+        }
+
+    def test_burst_plan_sits_in_middle_third(self):
+        plan = reference_burst_plan(0.0, 900.0)
+        (burst,) = plan.events
+        assert burst.kind == "disorder_burst"
+        assert 0.0 < burst.t_start < burst.t_end < 900.0

@@ -152,3 +152,27 @@ def test_output_disorder_bounded_by_slack(events, slack):
         1 for a, b in zip(ordered_part, ordered_part[1:]) if b < a - 1e-9
     )
     assert violations <= buf.asynchronous_releases
+
+
+class TestSetSlack:
+    """Mid-stream slack retuning (the degradation controller's knob)."""
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            KSlackBuffer(10.0).set_slack(-1.0)
+
+    def test_shrink_releases_ready_tuples_immediately(self):
+        buf = KSlackBuffer(slack=10.0)
+        for e in (0.0, 1.0, 3.0, 5.0):
+            assert buf.push(tup(e)) == []  # bound = 5 - 10, nothing ready
+        released = buf.set_slack(2.0)  # bound moves to 3.0
+        assert [t.event_time for t in released] == [0.0, 1.0, 3.0]
+        assert len(buf) == 1  # event 5.0 still buffered
+
+    def test_grow_releases_nothing_and_future_pushes_honor_it(self):
+        buf = KSlackBuffer(slack=2.0)
+        buf.push(tup(0.0))
+        assert buf.set_slack(50.0) == []
+        # With the old slack, event 10.0 would release event 0.0.
+        assert buf.push(tup(10.0)) == []
+        assert len(buf) == 2

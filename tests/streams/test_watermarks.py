@@ -139,3 +139,50 @@ class TestSuggestOmega:
     def test_rejects_bad_window(self):
         with pytest.raises(ValueError):
             suggest_omega(PeriodicWatermark(1.0), 0.0)
+
+
+class TestAdaptiveShiftDetection:
+    """Regression: lag tracking across a delay-regime (burst) boundary.
+
+    A sliding delay sample alone keeps the quantile pinned to the stale
+    regime until the deque turns over; these tests seed-fail without the
+    recent-window shift detector.
+    """
+
+    def test_burst_front_raises_lag_before_deque_turnover(self):
+        # Moderate quantile: 20 burst tuples are invisible to q90 over a
+        # 256-sample deque (they sit above the 90th percentile), but the
+        # recent-window median flips as soon as the burst dominates it.
+        wm = AdaptiveWatermark(quantile=0.9, sample_size=256, safety=1.0)
+        for e in range(256):
+            wm.observe(tup(float(e), delay=1.0))
+        for e in range(256, 276):
+            wm.observe(tup(float(e), delay=40.0))
+        assert wm.lag > 20.0
+
+    def test_relaxes_quickly_after_burst_clears(self):
+        # After the burst ends, the deque stays burst-dominated for up to
+        # sample_size tuples; the shift detector must hand the quantile
+        # to the calm recent window long before that.
+        wm = AdaptiveWatermark(quantile=0.99, sample_size=256, safety=1.0)
+        for e in range(64):
+            wm.observe(tup(float(e), delay=1.0))
+        for e in range(64, 256):
+            wm.observe(tup(float(e), delay=40.0))
+        assert wm.lag > 30.0  # burst regime fully reflected
+        for e in range(256, 304):  # 48 calm tuples << sample_size
+            wm.observe(tup(float(e), delay=1.0))
+        assert wm.lag < 5.0
+
+    def test_stable_regime_matches_plain_quantile(self):
+        wm = AdaptiveWatermark(quantile=0.95, sample_size=128, safety=1.0)
+        rng = np.random.default_rng(7)
+        delays = rng.exponential(3.0, 400)
+        for e, d in enumerate(delays):
+            wm.observe(tup(float(e), delay=float(d)))
+        expected = float(np.quantile(delays[-128:], 0.95))
+        assert wm.lag == pytest.approx(expected)
+
+    def test_rejects_bad_shift_ratio(self):
+        with pytest.raises(ValueError):
+            AdaptiveWatermark(shift_ratio=1.0)

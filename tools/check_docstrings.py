@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for the public API of ``src/repro``.
+
+Walks every module under ``src/repro`` and counts docstrings on public
+definitions: modules, classes, and functions/methods whose name does not
+start with ``_`` (dunders are skipped; ``__init__`` inherits its class's
+contract).  Nested definitions inside functions are ignored — they are
+implementation detail, not API.
+
+Exit status is nonzero when coverage drops below the committed floor, so
+CI fails on any change that adds undocumented public surface::
+
+    python tools/check_docstrings.py            # gate against the floor
+    python tools/check_docstrings.py --list     # show undocumented defs
+    python tools/check_docstrings.py --floor 95 # override the floor
+
+The floor is deliberately a measured baseline, not 100%: it ratchets —
+raise it when coverage rises, never lower it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import pathlib
+import sys
+
+#: Committed coverage floor (percent).  Ratchet upward only.
+FLOOR = 100.0
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def public_defs(tree: ast.Module, module: str) -> list[tuple[str, bool]]:
+    """``(qualified_name, has_docstring)`` for the module's public defs."""
+    out = [(module, ast.get_docstring(tree) is not None)]
+
+    def visit(node: ast.AST, prefix: str, inside_class: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if child.name.startswith("_"):
+                    continue
+                qual = f"{prefix}.{child.name}"
+                out.append((qual, ast.get_docstring(child) is not None))
+                visit(child, qual, inside_class=True)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if child.name.startswith("_"):
+                    continue
+                qual = f"{prefix}.{child.name}"
+                # Trivial property/abstract stubs still need one line of
+                # intent; only ellipsis-only overloads are exempt.
+                out.append((qual, ast.get_docstring(child) is not None))
+                # Do not descend: nested defs are implementation detail.
+
+    visit(tree, module, inside_class=False)
+    return out
+
+
+def scan() -> list[tuple[str, bool]]:
+    """Every public definition under ``src/repro`` with its doc status."""
+    results: list[tuple[str, bool]] = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC.parent)
+        module = ".".join(rel.with_suffix("").parts)
+        if module.endswith(".__init__"):
+            module = module[: -len(".__init__")]
+        tree = ast.parse(path.read_text(), filename=str(path))
+        results.extend(public_defs(tree, module))
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--floor", type=float, default=FLOOR,
+                        help=f"minimum coverage percent (default {FLOOR})")
+    parser.add_argument("--list", action="store_true",
+                        help="list undocumented public definitions")
+    args = parser.parse_args(argv)
+
+    defs = scan()
+    missing = [name for name, ok in defs if not ok]
+    covered = len(defs) - len(missing)
+    pct = 100.0 * covered / len(defs) if defs else 100.0
+    print(f"docstring coverage: {covered}/{len(defs)} public defs "
+          f"({pct:.1f}%, floor {args.floor:.1f}%)")
+    if args.list or pct < args.floor:
+        for name in missing:
+            print(f"  missing: {name}")
+    if pct < args.floor:
+        print("FAIL: coverage below floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

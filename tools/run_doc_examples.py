@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Execute the documentation's code: README snippets and ``examples/``.
+
+Documentation that CI never runs rots silently.  This tool keeps it
+honest:
+
+* every fenced ````python`` block in ``README.md`` is executed (blocks
+  can be skipped by adding ``<!-- doc-examples: skip -->`` on the line
+  directly above the fence);
+* every ``examples/*.py`` script is executed.
+
+Each unit runs in its own interpreter with ``PYTHONPATH=src`` from the
+repository root, exactly as the docs tell a reader to run it.  Any
+nonzero exit fails the tool (and the CI job that wraps it)::
+
+    python tools/run_doc_examples.py            # run everything
+    python tools/run_doc_examples.py --list     # show what would run
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SKIP_MARK = "doc-examples: skip"
+FENCE = re.compile(r"^```python\s*$")
+
+
+def readme_snippets() -> list[tuple[str, str]]:
+    """``(label, source)`` for each runnable README python block."""
+    lines = (ROOT / "README.md").read_text().splitlines()
+    snippets: list[tuple[str, str]] = []
+    i = 0
+    while i < len(lines):
+        if FENCE.match(lines[i]):
+            skip = i > 0 and SKIP_MARK in lines[i - 1]
+            body: list[str] = []
+            i += 1
+            while i < len(lines) and lines[i].rstrip() != "```":
+                body.append(lines[i])
+                i += 1
+            if not skip:
+                label = f"README.md python block #{len(snippets) + 1}"
+                snippets.append((label, "\n".join(body) + "\n"))
+        i += 1
+    return snippets
+
+
+def example_scripts() -> list[pathlib.Path]:
+    """Every runnable script under ``examples/``."""
+    return sorted((ROOT / "examples").glob("*.py"))
+
+
+def run(label: str, argv: list[str]) -> bool:
+    env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+    t0 = time.time()
+    proc = subprocess.run(argv, cwd=ROOT, env=env,
+                          capture_output=True, text=True)
+    status = "ok" if proc.returncode == 0 else f"FAIL ({proc.returncode})"
+    print(f"{status:>9}  {time.time() - t0:6.1f}s  {label}")
+    if proc.returncode != 0:
+        sys.stdout.write(proc.stdout[-2000:])
+        sys.stderr.write(proc.stderr[-4000:])
+    return proc.returncode == 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--list", action="store_true",
+                        help="list the units without executing them")
+    args = parser.parse_args(argv)
+
+    snippets = readme_snippets()
+    scripts = example_scripts()
+    if args.list:
+        for label, _ in snippets:
+            print(label)
+        for path in scripts:
+            print(path.relative_to(ROOT))
+        return 0
+
+    ok = True
+    with tempfile.TemporaryDirectory() as tmp:
+        for idx, (label, source) in enumerate(snippets):
+            path = pathlib.Path(tmp) / f"readme_block_{idx}.py"
+            path.write_text(source)
+            ok &= run(label, [sys.executable, str(path)])
+    for path in scripts:
+        ok &= run(str(path.relative_to(ROOT)), [sys.executable, str(path)])
+    if not ok:
+        print("FAIL: documentation code does not run")
+        return 1
+    print("all documentation code runs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
