@@ -12,10 +12,16 @@ replacement and asserting equivalence before timing:
   allocation through ``make_disordered_pair`` + ``from_batch``) vs the
   zero-object columnar ``make_disordered_arrays``; columns are asserted
   identical first.
+* **estimator** — PECJ's per-bucket reference estimator loop
+  (``vectorized=False``) vs the fused multi-bucket numpy path, on a
+  bucket grid dense enough (20 buckets/window) that the estimator loop
+  dominates; window records are asserted byte-identical first.  Gated
+  single-core at >= 1.3x in full mode.
 * **executor** — a serial fig6 smoke sweep vs the same sweep sharded
-  across worker processes; row tables are asserted byte-identical.
-  Wall-clock speedup is only gated when the machine actually has >= 4
-  CPUs (recorded in the artifact metadata).
+  across shared-memory worker processes; row tables are asserted
+  byte-identical.  Wall-clock speedup is gated whenever the machine has
+  >= 2 CPUs: break-even (1x) at 2 workers on 2 CPUs, 1.8x at the
+  requested worker count on >= 4 CPUs (recorded in artifact metadata).
 
 Timing is best-of-N and a JSON artifact is written for tracking (see
 DESIGN.md for how to read it).
@@ -41,6 +47,7 @@ import numpy as np  # noqa: E402
 
 from repro import obs  # noqa: E402
 from repro.bench.experiments import fig6_end_to_end  # noqa: E402
+from repro.core.pecj import PECJoin  # noqa: E402
 from repro.joins.aggregator import WindowAggregator  # noqa: E402
 from repro.joins.arrays import AggKind, BatchArrays  # noqa: E402
 from repro.joins.baselines import WatermarkJoin  # noqa: E402
@@ -183,6 +190,57 @@ def ingest_workload(label, duration_ms, num_keys, repeats):
     return row
 
 
+def estimator_workload(duration_ms, num_keys, repeats):
+    """Fused multi-bucket estimator path vs the per-bucket reference.
+
+    Runs the full PECJ operator both ways over one disordered batch with
+    a 20-buckets-per-window grid (the configuration where the estimator
+    loop, not the join, dominates) and requires byte-identical window
+    records before timing.
+    """
+    arrays = build_arrays(duration_ms, num_keys)
+    length, omega = 10.0, 10.0
+    t_start, t_end = 50.0, duration_ms - 50.0
+
+    def sweep(vectorized):
+        res = run_operator(
+            PECJoin(buckets_per_window=20, vectorized=vectorized),
+            arrays,
+            length,
+            omega,
+            t_start=t_start,
+            t_end=t_end,
+            warmup_windows=5,
+        )
+        return json.dumps(
+            [
+                [r.window.start, float(r.value), float(r.error), float(r.emit_time)]
+                for r in res.records
+            ]
+        )
+
+    assert sweep(True) == sweep(False), (
+        "estimator: fused path diverged from per-bucket reference"
+    )
+    t_ref = best_of(lambda: sweep(False), repeats)
+    t_fused = best_of(lambda: sweep(True), repeats)
+    n = len(arrays.event)
+    row = {
+        "workload": f"pecj_20bpw_{int(duration_ms)}ms",
+        "tuples": n,
+        "buckets_per_window": 20,
+        "records_identical": True,
+        "reference": {"seconds": t_ref, "tuples_per_s": n / t_ref},
+        "fused": {"seconds": t_fused, "tuples_per_s": n / t_fused},
+        "speedup": t_ref / t_fused,
+    }
+    print(
+        f"estimator/pecj: n={n} | reference {t_ref * 1e3:.2f} ms | "
+        f"fused {t_fused * 1e3:.2f} ms | speedup {row['speedup']:.2f}x"
+    )
+    return row
+
+
 def executor_workload(scale, workers, repeats):
     """Serial vs sharded fig6 sweep; rows must be byte-identical."""
     serial_rows = fig6_end_to_end(scale=scale)
@@ -246,7 +304,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="tiny workload for CI: checks equivalence, skips the speedup gate",
+        help="tiny workload for CI: checks equivalence; of the wall-clock "
+        "gates only the 2-worker executor break-even arms (on >= 2 CPUs)",
     )
     parser.add_argument(
         "--out",
@@ -286,9 +345,19 @@ def main(argv=None) -> int:
         for (label, duration_ms, num_keys, _) in workloads
     ]
 
+    estimator_row = estimator_workload(
+        duration_ms=200.0 if args.smoke else 1000.0,
+        num_keys=2_000,
+        repeats=args.repeats,
+    )
+
+    # On narrow machines the executor section still proves determinism,
+    # but only a 2-worker break-even gate is meaningful; the full
+    # worker-count speedup gate needs >= 4 CPUs.
+    exec_workers = args.workers if cpu_count >= 4 else 2
     executor_row = executor_workload(
         scale=0.02 if args.smoke else 0.1,
-        workers=args.workers,
+        workers=exec_workers,
         repeats=1 if args.smoke else min(args.repeats, 3),
     )
 
@@ -315,6 +384,7 @@ def main(argv=None) -> int:
         },
         "workloads": rows,
         "ingest": ingest_rows,
+        "estimator": estimator_row,
         "executor": executor_row,
         "observability": health,
     }
@@ -347,20 +417,37 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 1
-        # The executor gate needs real parallel hardware; on narrow
-        # machines the section still checks determinism but only
-        # records the (meaningless) wall-clock ratio.
-        if cpu_count >= 4 and executor_row["speedup"] < 1.8:
+        # The fused estimator path must pay on a single core — no
+        # hardware condition on this gate.
+        if estimator_row["speedup"] < 1.3:
             print(
-                f"FAIL: executor speedup {executor_row['speedup']:.2f}x < 1.8x "
-                f"at {args.workers} workers ({cpu_count} CPUs)",
+                f"FAIL: estimator speedup {estimator_row['speedup']:.2f}x < 1.3x",
                 file=sys.stderr,
             )
             return 1
-        if cpu_count < 4:
-            print(
-                f"note: executor speedup gate skipped ({cpu_count} CPU(s) available)"
-            )
+
+    # Executor wall-clock gates arm in both modes, scaled to the
+    # hardware: with >= 4 CPUs the full worker count must reach 1.8x in
+    # full mode; with 2-3 CPUs (e.g. standard CI runners) the 2-worker
+    # sweep must at least break even against serial — the shared-memory
+    # dispatch must not cost more than it buys.  On a single CPU only
+    # determinism is checked.
+    if cpu_count >= 4 and not args.smoke:
+        executor_floor = 1.8
+    elif cpu_count >= 2:
+        executor_floor = 1.0
+    else:
+        executor_floor = None
+        print(
+            f"note: executor speedup gate skipped ({cpu_count} CPU(s) available)"
+        )
+    if executor_floor is not None and executor_row["speedup"] < executor_floor:
+        print(
+            f"FAIL: executor speedup {executor_row['speedup']:.2f}x < "
+            f"{executor_floor}x at {exec_workers} workers ({cpu_count} CPUs)",
+            file=sys.stderr,
+        )
+        return 1
 
     if args.compare is not None:
         rc = compare_artifacts(args.compare, artifact)
@@ -412,7 +499,7 @@ def compare_artifacts(baseline_path: str, current: dict) -> int:
         )
         return 2
     findings: list[dict] = []
-    for section in ("workloads", "ingest", "executor", "observability"):
+    for section in ("workloads", "ingest", "estimator", "executor", "observability"):
         findings.extend(
             compare_trees(
                 section,

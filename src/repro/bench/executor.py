@@ -8,17 +8,25 @@ row of the figure's table.  This module owns how cells execute:
   sharing built :class:`~repro.joins.arrays.BatchArrays` across cells of
   the same workload through a spec-keyed cache — exactly the behaviour
   the inline figure loops used to have;
-* **parallel** (``workers=N``): cells are dealt round-robin to a process
-  pool, each worker holding its own spec-keyed arrays cache, and rows
-  are reassembled in declaration order.  Everything a cell needs is in
-  its :class:`Cell` (workload spec with its seed, method, parameters),
-  so results are bitwise independent of which worker runs it and the
-  parallel row table is byte-identical to the serial one.
+* **parallel** (``workers=N``): the parent builds (and fault-injects)
+  each distinct workload **once**, exports its columns into shared
+  memory (:mod:`repro.joins.shm`), and deals contiguous *chunks* of
+  cells to a persistent warm worker pool.  Workers receive only cell
+  descriptions plus tiny segment manifests, map the columns zero-copy,
+  and send rows back; the parent reassembles them in declaration order.
+  Everything a cell needs is in its :class:`Cell`, so results are
+  bitwise independent of which worker runs it and the parallel row
+  table is byte-identical to the serial one.
 
 Workers run under a scoped :mod:`repro.obs` registry; the scoped
 registries travel back with the rows and merge into the caller's current
 scope through the registry's mergeable counters/histograms, so a traced
 parallel run reports the same counter totals as a serial one.
+
+The worker pool outlives a single :func:`execute_cells` call: repeated
+sweeps (one per figure) reuse the warm workers instead of paying
+process start-up per figure.  :func:`shutdown_pool` tears it down
+explicitly; an ``atexit`` hook is the backstop.
 
 The virtual-time simulation itself stays single-threaded and GIL-bound;
 the parallelism here is across *cells*, which is where the end-to-end
@@ -27,10 +35,14 @@ wall time of a figure sweep actually goes.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
+from collections import OrderedDict
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Sequence
+from multiprocessing import resource_tracker
+from typing import MutableMapping, Sequence
 
 from repro import obs
 from repro.obs import trace
@@ -44,8 +56,35 @@ from repro.joins.arrays import AggKind, BatchArrays
 from repro.joins.base import StreamJoinOperator
 from repro.joins.baselines import KSlackJoin, WatermarkJoin
 from repro.joins.runner import run_operator
+from repro.joins.shm import ArraysManifest, SharedArraysExport, attach_arrays
 
-__all__ = ["Cell", "execute_cells", "run_cell", "make_operator", "standalone_row"]
+__all__ = [
+    "Cell",
+    "CellExecutionError",
+    "ArraysCache",
+    "execute_cells",
+    "run_cell",
+    "make_operator",
+    "standalone_row",
+    "shutdown_pool",
+]
+
+
+class CellExecutionError(RuntimeError):
+    """A cell failed inside the parallel executor.
+
+    Carries the indices (into the submitted cell list) of the cells in
+    the failing chunk — narrowed to the single failing cell when the
+    failure was an ordinary exception, widened to the whole chunk when
+    the worker process died and took the attribution with it.
+    """
+
+    def __init__(self, cell_indices: Sequence[int], message: str):
+        self.cell_indices = tuple(cell_indices)
+        super().__init__(message)
+
+    def __reduce__(self):  # keep the indices across process boundaries
+        return (type(self), (self.cell_indices, self.args[0]))
 
 
 def make_operator(method: str, agg: AggKind, seed: int = 0) -> StreamJoinOperator:
@@ -111,7 +150,42 @@ def spec_key(spec: WorkloadSpec) -> str:
     return repr(spec)
 
 
-def _arrays_for(spec: WorkloadSpec, cache: dict) -> BatchArrays:
+def _cell_cache_key(cell: Cell) -> str:
+    """The arrays-cache key this cell's run will resolve."""
+    if cell.faults is not None and cell.faults.events:
+        return spec_key(cell.spec) + "|faults|" + cell.faults.key()
+    return spec_key(cell.spec)
+
+
+class ArraysCache(OrderedDict):
+    """LRU-bounded arrays cache (plain mapping interface).
+
+    A figure sweep used to hold every built workload *and* every faulted
+    variant for its whole duration; bounding the cache the same way
+    :attr:`BatchArrays.AGGREGATOR_CACHE_CAP` bounds grid indexes keeps
+    peak memory proportional to the cap, not the sweep.  Evictions are
+    counted via ``executor.arrays_evictions``; an evicted workload is
+    simply rebuilt on its next use.
+    """
+
+    #: Cap on cached entries (base and faulted variants count alike).
+    CAP = 8
+
+    def get(self, key, default=None):
+        """Mapping get, marking a hit as most recently used."""
+        if key in self:
+            self.move_to_end(key)
+        return super().get(key, default)
+
+    def __setitem__(self, key, value):
+        super().__setitem__(key, value)
+        self.move_to_end(key)
+        while len(self) > self.CAP:
+            self.popitem(last=False)
+            obs.counter("executor.arrays_evictions").inc()
+
+
+def _arrays_for(spec: WorkloadSpec, cache: MutableMapping) -> BatchArrays:
     key = spec_key(spec)
     arrays = cache.get(key)
     if arrays is None:
@@ -123,7 +197,7 @@ def _arrays_for(spec: WorkloadSpec, cache: dict) -> BatchArrays:
 
 
 def _faulted_arrays_for(
-    spec: WorkloadSpec, faults: FaultPlan | None, cache: dict
+    spec: WorkloadSpec, faults: FaultPlan | None, cache: MutableMapping
 ) -> tuple[BatchArrays, FaultReport | None]:
     """Built workload with the cell's fault plan applied (cached).
 
@@ -131,13 +205,17 @@ def _faulted_arrays_for(
     depends on sharding, so trace emission is deferred to
     :func:`repro.faults.inject.plan_trace`, called per cell — keeping the
     parallel trace byte-identical to the serial one.
+
+    The faulted key is checked *before* the base workload is resolved,
+    so a worker whose cache was pre-seeded with the faulted arrays never
+    needs the base batch at all.
     """
-    base = _arrays_for(spec, cache)
     if faults is None or not faults.events:
-        return base, None
+        return _arrays_for(spec, cache), None
     key = spec_key(spec) + "|faults|" + faults.key()
     hit = cache.get(key)
     if hit is None:
+        base = _arrays_for(spec, cache)
         obs.counter("executor.faulted_arrays_built").inc()
         with trace.tracing(TraceRecorder(enabled=False)):
             hit = cache[key] = apply_faults(base, faults)
@@ -190,13 +268,23 @@ def standalone_row(
 
 
 def _analytical_best_row(
-    spec: WorkloadSpec, omega: float | None, arrays: BatchArrays
+    spec: WorkloadSpec,
+    omega: float | None,
+    arrays: BatchArrays,
+    faults: FaultPlan | None = None,
+    report: FaultReport | None = None,
 ) -> dict:
     """PECJ-analytical as the paper defines it for Section 6.5: the
-    better of the AEMA- and SVI-based instantiations."""
+    better of the AEMA- and SVI-based instantiations.
+
+    The cell's fault plan rides along to both candidate runs: each
+    instantiation must face the same injected faults (and carry the
+    same ``fault_*`` accounting columns) as any other method measured
+    over the faulted workload.
+    """
     rows = [
-        standalone_row(spec, "pecj-aema", omega, arrays),
-        standalone_row(spec, "pecj-svi", omega, arrays),
+        standalone_row(spec, "pecj-aema", omega, arrays, faults, report),
+        standalone_row(spec, "pecj-svi", omega, arrays, faults, report),
     ]
     best = dict(min(rows, key=lambda r: r["error"]))
     best["method"] = "PECJ-analytical"
@@ -233,7 +321,7 @@ def _engine_row(
     }
 
 
-def run_cell(cell: Cell, cache: dict) -> dict:
+def run_cell(cell: Cell, cache: MutableMapping) -> dict:
     """Execute one cell against a (possibly shared) arrays cache."""
     arrays, report = _faulted_arrays_for(cell.spec, cell.faults, cache)
     obs.counter("executor.cells").inc()
@@ -244,7 +332,7 @@ def run_cell(cell: Cell, cache: dict) -> dict:
             cell.spec, cell.method, cell.omega, arrays, cell.faults, report
         )
     elif cell.kind == "analytical_best":
-        row = _analytical_best_row(cell.spec, cell.omega, arrays)
+        row = _analytical_best_row(cell.spec, cell.omega, arrays, cell.faults, report)
     elif cell.kind == "engine":
         if cell.engine is None:
             raise ValueError("engine cell requires engine parameters")
@@ -259,25 +347,72 @@ def run_cell(cell: Cell, cache: dict) -> dict:
     return row
 
 
-def _run_shard(payload: tuple[list[int], list[Cell], bool, str]):
-    """Worker entry: run one shard of cells under a scoped registry.
+# -- worker side ---------------------------------------------------------------
 
-    Trace context travels in the payload (not via fork-inherited globals)
-    so spawn-based pools behave identically: the worker records into its
-    own :class:`TraceRecorder` stamped with the parent's group, and the
-    per-cell ``(cell, seq)`` coordinates make the parent's post-merge
-    sort independent of which worker ran which cell.
+#: Worker-global LRU of attached segments, keyed by segment name.  Kept
+#: across chunks (and across execute_cells calls) so a warm worker never
+#: re-maps a segment it already holds; stale entries (whose segment the
+#: parent has since unlinked) age out through the cap.
+_WORKER_ATTACHMENTS: OrderedDict[str, BatchArrays] = OrderedDict()
+_WORKER_ATTACH_CAP = 8
+
+
+def _attached(manifest: ArraysManifest) -> BatchArrays:
+    arrays = _WORKER_ATTACHMENTS.get(manifest.segment)
+    if arrays is None:
+        arrays = attach_arrays(manifest)
+        _WORKER_ATTACHMENTS[manifest.segment] = arrays
+        while len(_WORKER_ATTACHMENTS) > _WORKER_ATTACH_CAP:
+            # Dropping the reference is enough: any in-flight BatchArrays
+            # keeps its own mapping alive via _shm_ref.
+            _WORKER_ATTACHMENTS.popitem(last=False)
+            obs.counter("executor.worker_attach_evictions").inc()
+    else:
+        _WORKER_ATTACHMENTS.move_to_end(manifest.segment)
+        obs.counter("executor.worker_attach_hits").inc()
+    return arrays
+
+
+def _run_chunk(payload):
+    """Worker entry: run one contiguous chunk of cells.
+
+    The payload carries (indices, cells, manifests, trace_on, group).
+    ``manifests`` maps each arrays-cache key the chunk needs to its
+    shared-memory manifest plus the fault report of pre-injected
+    workloads; the worker seeds its cell cache from attached segments,
+    so it never builds a workload or applies a fault plan itself.
+
+    Trace context travels in the payload (not via fork-inherited
+    globals) so spawn-based pools behave identically: the worker records
+    into its own :class:`TraceRecorder` stamped with the parent's group,
+    and the per-cell ``(cell, seq)`` coordinates make the parent's
+    post-merge sort independent of which worker ran which cell.
     """
-    indices, cells, trace_on, group = payload
+    indices, cells, manifests, trace_on, group = payload
     with obs.scoped() as reg, trace.tracing(TraceRecorder(enabled=trace_on)) as rec:
         rec.set_group(group)
         cache: dict = {}
+        for key, (manifest, report) in manifests.items():
+            arrays = _attached(manifest)
+            cache[key] = arrays if report is None else (arrays, report)
         rows = []
         for idx, cell in zip(indices, cells):
             rec.begin_cell(idx)
-            rows.append(run_cell(cell, cache))
+            try:
+                rows.append(run_cell(cell, cache))
+            except CellExecutionError:
+                raise
+            except Exception as exc:
+                raise CellExecutionError(
+                    (idx,),
+                    f"cell {idx} ({cell.kind!r}, workload {cell.spec.name!r}) "
+                    f"failed: {type(exc).__name__}: {exc}",
+                ) from exc
         rec.begin_cell(-1)
     return indices, rows, reg, rec
+
+
+# -- parent side ---------------------------------------------------------------
 
 
 def _pool_context():
@@ -285,6 +420,66 @@ def _pool_context():
     # the platform default (spawn) where fork is unavailable.
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+#: Persistent warm pool, shared across execute_cells calls (one figure
+#: sweep each).  Grows to the largest worker count requested so far.
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS = 0
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS < workers:
+        shutdown_pool()
+    if _POOL is None:
+        # Make sure the parent's resource-tracker daemon exists before
+        # any worker is forked: a worker whose first shared-memory attach
+        # had to *start* the tracker would own a private daemon that
+        # unlinks the parent's segments when that worker exits.
+        resource_tracker.ensure_running()
+        _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context())
+        _POOL_WORKERS = workers
+        obs.counter("executor.pools_started").inc()
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent worker pool (no-op when none exists).
+
+    Safe to call between sweeps; the next parallel :func:`execute_cells`
+    starts a fresh pool.  Registered via ``atexit`` as a backstop so
+    interpreter shutdown never hangs on warm workers.
+    """
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True, cancel_futures=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
+
+#: Target chunks per worker: enough slack for load balancing across
+#: heterogeneous cells while still batching the per-dispatch overhead.
+_CHUNKS_PER_WORKER = 4
+
+
+def _chunk_bounds(n_cells: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous, balanced ``[start, end)`` chunk bounds over the cells.
+
+    Depends only on (n_cells, workers), never on pool state, so the
+    partition — and everything downstream of it — is deterministic.
+    """
+    n_chunks = min(n_cells, workers * _CHUNKS_PER_WORKER)
+    base, extra = divmod(n_cells, n_chunks)
+    bounds = []
+    start = 0
+    for i in range(n_chunks):
+        end = start + base + (1 if i < extra else 0)
+        bounds.append((start, end))
+        start = end
+    return bounds
 
 
 def execute_cells(
@@ -296,15 +491,24 @@ def execute_cells(
         cells: The figure's cells, in output-row order.
         workers: ``None`` or ``<= 1`` runs serially in-process (the
             default, byte-identical to the historical inline loops);
-            ``N > 1`` shards cells round-robin across ``N`` worker
-            processes.  The row table is byte-identical either way.
+            ``N > 1`` builds each distinct workload once, exports it to
+            shared memory and deals contiguous cell chunks to ``N``
+            warm worker processes.  The row table is byte-identical
+            either way.
+
+    Raises:
+        CellExecutionError: A parallel cell failed.  The first failing
+            chunk (in declaration order) is reported with its cell
+            indices; pending chunks are cancelled, nothing merges, and
+            the workload counters of the failed sweep are not folded
+            into the caller's registry.
     """
     cells = list(cells)
     if not cells:
         return []
     rec = trace.active_recorder()
     if workers is None or workers <= 1:
-        cache: dict = {}
+        cache = ArraysCache()
         rows_serial: list[dict] = []
         for i, cell in enumerate(cells):
             rec.begin_cell(i)
@@ -313,23 +517,79 @@ def execute_cells(
         return rows_serial
 
     workers = min(workers, len(cells))
-    shards = [
-        (list(range(i, len(cells), workers)), cells[i::workers],
-         rec.enabled, rec.group)
-        for i in range(workers)
-    ]
-    obs.counter("executor.shards").inc(len(shards))
-    rows: list[dict | None] = [None] * len(cells)
-    with ProcessPoolExecutor(
-        max_workers=workers, mp_context=_pool_context()
-    ) as pool:
-        # Submission and merge order are both fixed by shard index, so
-        # merged histograms (and everything else) are deterministic.
-        results = [f.result() for f in [pool.submit(_run_shard, s) for s in shards]]
-    parent = obs.get_registry()
-    for indices, shard_rows, reg, shard_rec in results:
-        for idx, row in zip(indices, shard_rows):
-            rows[idx] = row
-        reg.merge_into(parent)
-        rec.merge_from(shard_rec)
-    return rows  # type: ignore[return-value]
+    cache = ArraysCache()
+    exports: dict[str, tuple[SharedArraysExport, FaultReport | None]] = {}
+    try:
+        # Resolve every workload once in the parent (in declaration
+        # order, so build counters match a serial sweep) and export each
+        # distinct arrays object to shared memory.
+        for cell in cells:
+            key = _cell_cache_key(cell)
+            if key in exports:
+                # Touch the cache so LRU order still mirrors cell order.
+                _faulted_arrays_for(cell.spec, cell.faults, cache)
+                continue
+            arrays, report = _faulted_arrays_for(cell.spec, cell.faults, cache)
+            exports[key] = (SharedArraysExport(arrays), report)
+
+        bounds = _chunk_bounds(len(cells), workers)
+        payloads = []
+        for start, end in bounds:
+            chunk_cells = cells[start:end]
+            manifests = {}
+            for cell in chunk_cells:
+                key = _cell_cache_key(cell)
+                if key not in manifests:
+                    export, report = exports[key]
+                    manifests[key] = (export.manifest, report)
+            payloads.append(
+                (list(range(start, end)), chunk_cells, manifests,
+                 rec.enabled, rec.group)
+            )
+
+        pool = _get_pool(workers)
+        try:
+            futures = {pool.submit(_run_chunk, p): i for p, i in
+                       zip(payloads, range(len(payloads)))}
+            wait(futures, return_when=FIRST_EXCEPTION)
+            failed = [f for f in futures if f.done() and f.exception() is not None]
+            if failed:
+                # Fail fast: cancel everything not yet running, report
+                # the earliest failing chunk, merge nothing.
+                for f in futures:
+                    f.cancel()
+                first = min(failed, key=futures.get)
+                exc = first.exception()
+                if isinstance(exc, BrokenProcessPool):
+                    # A worker died (crash, OOM-kill); the pool is
+                    # unusable — discard it so the next call starts clean.
+                    shutdown_pool()
+                if isinstance(exc, CellExecutionError):
+                    raise exc
+                start, end = bounds[futures[first]]
+                raise CellExecutionError(
+                    range(start, end),
+                    f"worker running cells {start}..{end - 1} failed: "
+                    f"{type(exc).__name__}: {exc}",
+                ) from exc
+        except BrokenProcessPool:
+            # The pool lost workers (e.g. a crashed cell); discard it so
+            # the next call starts clean.
+            shutdown_pool()
+            raise
+        else:
+            rows: list[dict | None] = [None] * len(cells)
+            parent = obs.get_registry()
+            # Merge in chunk-index order: deterministic however the
+            # futures completed.
+            for future, _ in sorted(futures.items(), key=lambda kv: kv[1]):
+                indices, chunk_rows, reg, chunk_rec = future.result()
+                for idx, row in zip(indices, chunk_rows):
+                    rows[idx] = row
+                reg.merge_into(parent)
+                rec.merge_from(chunk_rec)
+                obs.counter("executor.shards").inc()
+            return rows  # type: ignore[return-value]
+    finally:
+        for export, _ in exports.values():
+            export.close()

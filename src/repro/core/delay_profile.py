@@ -55,6 +55,12 @@ class DelayProfile:
         self._counts = np.zeros(num_bins)
         self._total = 0.0
         self._max_seen = 0.0
+        # Memoized (cumsum(counts), counts.sum()) pair; every query needs
+        # it and the counts only change on update/grow/decay, so caching
+        # turns the per-bucket CDF rebuild into an O(1) lookup.  The
+        # cached values are exactly what the queries used to recompute,
+        # so answers are bit-identical.
+        self._cdf_cache: tuple[np.ndarray, float] | None = None
 
     # -- learning ---------------------------------------------------------
 
@@ -72,17 +78,26 @@ class DelayProfile:
         hist, _ = np.histogram(delays, bins=self.num_bins, range=(0.0, self._span))
         self._counts += hist
         self._total += float(delays.size)
+        self._cdf_cache = None
 
     def _grow(self) -> None:
         """Double the covered span, merging bin pairs."""
         merged = self._counts.reshape(-1, 2).sum(axis=1)
         self._counts = np.concatenate([merged, np.zeros(self.num_bins // 2)])
         self._span *= 2.0
+        self._cdf_cache = None
 
     def decay_step(self) -> None:
         """Apply one step of exponential forgetting."""
         self._counts *= self.decay
         self._total *= self.decay
+        self._cdf_cache = None
+
+    def _cdf(self) -> tuple[np.ndarray, float]:
+        """Cached ``(cumsum(counts), counts.sum())`` of the histogram."""
+        if self._cdf_cache is None:
+            self._cdf_cache = (np.cumsum(self._counts), float(self._counts.sum()))
+        return self._cdf_cache
 
     # -- queries ----------------------------------------------------------
 
@@ -113,34 +128,44 @@ class DelayProfile:
             return 0.0
         if age >= self._span:
             return 1.0
-        total = self._counts.sum()
+        cdf, total = self._cdf()
         if total <= 0.0:
             return 1.0
         bin_width = self._span / self.num_bins
         pos = age / bin_width
         idx = int(pos)
-        cdf = np.cumsum(self._counts)
         below = cdf[idx - 1] if idx > 0 else 0.0
         frac = pos - idx
         inside = self._counts[idx] * frac if idx < self.num_bins else 0.0
         return float(min(1.0, (below + inside) / total))
 
     def completeness_many(self, ages: np.ndarray) -> np.ndarray:
-        """Vectorised :meth:`completeness` over an array of ages."""
+        """Vectorised :meth:`completeness` over an array of ages.
+
+        Bit-identical to calling :meth:`completeness` per element — every
+        expression mirrors the scalar path op for op, which is what lets
+        the fused PECJ estimator loops batch their per-bucket
+        completeness lookups without perturbing any output.
+        """
         ages = np.asarray(ages, dtype=float)
         if not self.is_warm:
             return np.ones_like(ages)
-        total = self._counts.sum()
+        cdf, total = self._cdf()
         if total <= 0.0:
             return np.ones_like(ages)
         bin_width = self._span / self.num_bins
-        cdf = np.concatenate([[0.0], np.cumsum(self._counts)]) / total
-        pos = np.clip(ages / bin_width, 0.0, self.num_bins)
-        idx = pos.astype(int)
-        frac = pos - idx
-        upper = np.minimum(idx + 1, self.num_bins)
-        vals = cdf[idx] + frac * (cdf[upper] - cdf[idx])
-        return np.where(ages <= 0.0, 0.0, np.minimum(vals, 1.0))
+        pos = ages / bin_width
+        # Truncation matches the scalar int(pos); out-of-range ages are
+        # masked below, the clip only keeps the gathers in bounds.
+        idx = np.clip(pos.astype(np.int64), 0, self.num_bins)
+        below = np.where(idx > 0, cdf[np.maximum(idx, 1) - 1], 0.0)
+        inside = np.where(
+            idx < self.num_bins,
+            self._counts[np.minimum(idx, self.num_bins - 1)] * (pos - idx),
+            0.0,
+        )
+        vals = np.minimum(1.0, (below + inside) / total)
+        return np.where(ages <= 0.0, 0.0, np.where(ages >= self._span, 1.0, vals))
 
     def quantile_age(self, p: float) -> float:
         """Inverse CDF: the age by which a fraction ``p`` has arrived.
@@ -152,11 +177,11 @@ class DelayProfile:
             raise ValueError("p must be in (0, 1]")
         if not self.is_warm:
             return 0.0
-        total = self._counts.sum()
+        raw_cdf, total = self._cdf()
         if total <= 0.0:
             return 0.0
         bin_width = self._span / self.num_bins
-        cdf = np.cumsum(self._counts) / total
+        cdf = raw_cdf / total
         idx = int(np.searchsorted(cdf, p, side="left"))
         if idx >= self.num_bins:
             return self._span
@@ -175,10 +200,10 @@ class DelayProfile:
             raise ValueError("quantile must be in (0, 1]")
         if not self.is_warm:
             return self._max_seen
-        total = self._counts.sum()
+        raw_cdf, total = self._cdf()
         if total <= 0.0:
             return self._max_seen
-        cdf = np.cumsum(self._counts) / total
+        cdf = raw_cdf / total
         idx = int(np.searchsorted(cdf, quantile, side="left"))
         bin_width = self._span / self.num_bins
         return min((idx + 1) * bin_width, self._span)

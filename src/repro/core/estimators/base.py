@@ -64,6 +64,27 @@ class PosteriorEstimator:
         """
         raise NotImplementedError
 
+    def observe_many(
+        self, xs: Sequence[float], z_means: Sequence[float]
+    ) -> None:
+        """Absorb a run of finalized observations, in sequence order.
+
+        The fused multi-window PECJ drain hands every due observation of
+        one virtual-time advance in a single call instead of one
+        :meth:`observe` call per bucket.  The contract is strict
+        equivalence: the posterior after ``observe_many(xs, zs)`` must be
+        bit-identical to calling ``observe(x, z)`` element by element —
+        backends may override only to cut per-call overhead, never to
+        change the arithmetic or its order.
+        """
+        if len(xs) != len(z_means):
+            raise ValueError(
+                f"xs and z_means must align: got {len(xs)} observations "
+                f"but {len(z_means)} distortion means"
+            )
+        for x, z in zip(xs, z_means):
+            self.observe(x, z)
+
     def estimate(self) -> float:
         """Current posterior mean with no window-local evidence."""
         raise NotImplementedError

@@ -79,6 +79,14 @@ class PECJoin(StreamJoinOperator):
             own origin (see :mod:`repro.joins.sliding`).
         estimator_factory: Override backend construction (ablations).
         seed: Seed forwarded to learned backends.
+        vectorized: Fuse the per-bucket estimator loops into vectorized
+            multi-bucket passes (one ``searchsorted`` + cumulative-sum
+            sweep per drain instead of one slice-and-mask per bucket,
+            and one :meth:`~repro.core.estimators.base.PosteriorEstimator.observe_many`
+            call per finalization batch).  Outputs are bit-identical to
+            the per-bucket loop — ``benchmarks/bench_hotpath.py`` asserts
+            so before gating the speedup; ``False`` keeps the reference
+            loop for that equivalence check.
     """
 
     name = "PECJ"
@@ -96,12 +104,14 @@ class PECJoin(StreamJoinOperator):
         origin: float = 0.0,
         estimator_factory: Callable[[], PosteriorEstimator] | None = None,
         seed: int = 0,
+        vectorized: bool = True,
         debug: bool = False,
     ):
         super().__init__(agg)
         if buckets_per_window < 1:
             raise ValueError("buckets_per_window must be >= 1")
         self.backend = backend
+        self.vectorized = vectorized
         self.use_delay_context = use_delay_context
         self.origin = origin
         self.buckets_per_window = buckets_per_window
@@ -176,20 +186,81 @@ class PECJoin(StreamJoinOperator):
         s = int(((~arrays.is_r[sl]) & avail).sum())
         return r, s
 
+    def _bucket_counts_many(
+        self,
+        arrays: BatchArrays,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        now: float,
+    ) -> tuple[list[int], list[int]]:
+        """Per-bucket available-tuple counts for a run of buckets.
+
+        One ``searchsorted`` pair resolves every bucket boundary and one
+        cumulative-sum sweep over the covered slice replaces the
+        per-bucket slice-and-mask of :meth:`_bucket_counts`.  All counts
+        are integer cumulative-sum differences over the same boolean
+        masks the scalar path reduces, so they are exactly equal — the
+        vectorized estimator path inherits byte-identity from here.
+        """
+        lo = np.searchsorted(arrays.event, starts, side="left")
+        hi = np.searchsorted(arrays.event, ends, side="left")
+        hi = np.maximum(hi, lo)
+        base = int(lo[0]) if len(lo) else 0
+        top = int(hi[-1]) if len(hi) else 0
+        if top <= base:
+            zeros = [0] * len(starts)
+            return zeros, list(zeros)
+        avail = arrays.completion[base:top] <= now
+        r_avail = arrays.is_r[base:top] & avail
+        cum_all = np.concatenate(([0], np.cumsum(avail)))
+        cum_r = np.concatenate(([0], np.cumsum(r_avail)))
+        n_r = cum_r[hi - base] - cum_r[lo - base]
+        n_all = cum_all[hi - base] - cum_all[lo - base]
+        return n_r.tolist(), (n_all - n_r).tolist()
+
+    def _finalize_buckets_fused(self, arrays: BatchArrays, first: int, now: float) -> None:
+        """Vectorized twin of the per-bucket finalize loop.
+
+        Buckets ``[first, self._next_bucket)`` are due; their counts come
+        from one :meth:`_bucket_counts_many` sweep and the estimators
+        absorb them in one :meth:`observe_many` call per stream side.
+        ``rate_r`` and ``rate_s`` are independent estimators, so feeding
+        each its whole batch preserves the per-estimator observation
+        order the scalar loop produces.
+        """
+        bs = np.arange(first, self._next_bucket)
+        starts = self.origin + bs * self._bucket_len
+        ends = starts + self._bucket_len
+        n_rs, n_ss = self._bucket_counts_many(arrays, starts, ends, now)
+        cs = self.profile.completeness_many(now - 0.5 * (starts + ends))
+        zs = np.ones_like(cs)
+        pos = cs > 0.0
+        zs[pos] = 1.0 / cs[pos]
+        blen = self._bucket_len
+        self.rate_r.observe_many([n / blen for n in n_rs], zs.tolist())
+        self.rate_s.observe_many([n / blen for n in n_ss], zs.tolist())
+
     def _finalize(self, arrays: BatchArrays, now: float) -> None:
         horizon = self.profile.horizon(self.finalize_quantile)
         # Finalize rate buckets.
-        while self.origin + (self._next_bucket + 1) * self._bucket_len + horizon <= now:
-            b = self._next_bucket
-            start = self.origin + b * self._bucket_len
-            end = start + self._bucket_len
-            age = now - 0.5 * (start + end)
-            c = self.profile.completeness(age)
-            z = 1.0 / c if c > 0.0 else 1.0
-            n_r, n_s = self._bucket_counts(arrays, start, end, now)
-            self.rate_r.observe(n_r / self._bucket_len, z)
-            self.rate_s.observe(n_s / self._bucket_len, z)
-            self._next_bucket += 1
+        if self.vectorized:
+            first = self._next_bucket
+            while self.origin + (self._next_bucket + 1) * self._bucket_len + horizon <= now:
+                self._next_bucket += 1
+            if self._next_bucket > first:
+                self._finalize_buckets_fused(arrays, first, now)
+        else:
+            while self.origin + (self._next_bucket + 1) * self._bucket_len + horizon <= now:
+                b = self._next_bucket
+                start = self.origin + b * self._bucket_len
+                end = start + self._bucket_len
+                age = now - 0.5 * (start + end)
+                c = self.profile.completeness(age)
+                z = 1.0 / c if c > 0.0 else 1.0
+                n_r, n_s = self._bucket_counts(arrays, start, end, now)
+                self.rate_r.observe(n_r / self._bucket_len, z)
+                self.rate_s.observe(n_s / self._bucket_len, z)
+                self._next_bucket += 1
         # Finalize whole windows: ground truth for sigma/alpha (+feedback).
         while self.origin + (self._next_window + 1) * self._wlen + horizon <= now:
             w = self._next_window
@@ -262,6 +333,39 @@ class PECJoin(StreamJoinOperator):
             ratios.append(min(max(f_q / q, 0.0), 2.5))
         return (c_assumed, ratios[0], ratios[1], ratios[2])
 
+    def _window_bucket_sweep(
+        self, arrays: BatchArrays, window: Window, now: float
+    ) -> list[tuple[float, int, int, float]]:
+        """``(start, n_r, n_s, c)`` for each bucket of ``window``.
+
+        Counts are taken over ``[start, min(start + bucket_len,
+        window.end))`` and the completeness ``c`` at the age of the
+        *unclipped* bucket midpoint, as in the scalar loops.  The
+        vectorized path batches every bucket into one
+        :meth:`_bucket_counts_many` call and one
+        :meth:`~repro.core.delay_profile.DelayProfile.completeness_many`
+        lookup; ``vectorized=False`` keeps the per-bucket reference loop
+        the equivalence tests diff against.
+        """
+        first_bucket = int(round((window.start - self.origin) / self._bucket_len))
+        if self.vectorized:
+            bs = np.arange(first_bucket, first_bucket + self.buckets_per_window)
+            starts = self.origin + bs * self._bucket_len
+            ends = starts + self._bucket_len
+            n_rs, n_ss = self._bucket_counts_many(
+                arrays, starts, np.minimum(ends, window.end), now
+            )
+            cs = self.profile.completeness_many(now - 0.5 * (starts + ends))
+            return list(zip(starts.tolist(), n_rs, n_ss, cs.tolist()))
+        out = []
+        for b in range(first_bucket, first_bucket + self.buckets_per_window):
+            start = self.origin + b * self._bucket_len
+            end = start + self._bucket_len
+            n_r, n_s = self._bucket_counts(arrays, start, min(end, window.end), now)
+            age = now - 0.5 * (start + end)
+            out.append((start, n_r, n_s, self.profile.completeness(age)))
+        return out
+
     def _additive_rate_estimates(
         self, arrays: BatchArrays, window: Window, now: float, widx: int
     ) -> tuple[float, float, int, int]:
@@ -295,15 +399,9 @@ class PECJoin(StreamJoinOperator):
         obs_s = 0
         missing_time = 0.0
         c_sum = 0.0
-        first_bucket = int(round((window.start - self.origin) / self._bucket_len))
-        for b in range(first_bucket, first_bucket + self.buckets_per_window):
-            start = self.origin + b * self._bucket_len
-            end = start + self._bucket_len
-            n_r, n_s = self._bucket_counts(arrays, start, min(end, window.end), now)
+        for start, n_r, n_s, c_b in self._window_bucket_sweep(arrays, window, now):
             obs_r += n_r
             obs_s += n_s
-            age = now - 0.5 * (start + end)
-            c_b = self.profile.completeness(age)
             c_sum += c_b
             c_hat = min(max(m_hat * c_b, 0.0), 1.0)
             missing_time += (1.0 - c_hat) * self._bucket_len
@@ -349,15 +447,9 @@ class PECJoin(StreamJoinOperator):
         zs: list[float] = []
         obs_r = 0
         obs_s = 0
-        first_bucket = int(round((window.start - self.origin) / self._bucket_len))
-        for b in range(first_bucket, first_bucket + self.buckets_per_window):
-            start = self.origin + b * self._bucket_len
-            end = start + self._bucket_len
-            n_r, n_s = self._bucket_counts(arrays, start, min(end, window.end), now)
+        for start, n_r, n_s, c in self._window_bucket_sweep(arrays, window, now):
             obs_r += n_r
             obs_s += n_s
-            age = now - 0.5 * (start + end)
-            c = self.profile.completeness(age)
             if c < self.min_completeness:
                 continue
             xs_r.append(n_r / self._bucket_len)

@@ -70,6 +70,7 @@ def restore_profile(profile: DelayProfile, state: dict[str, Any]) -> None:
     profile._counts = counts
     profile._total = float(state["total"])
     profile._max_seen = float(state["max_seen"])
+    profile._cdf_cache = None
 
 
 # -- estimators -----------------------------------------------------------------

@@ -113,6 +113,9 @@ class BatchArrays:
         self.is_r = is_r[order]
         self.completion = self.arrival.copy()
         self._num_keys = int(self.key.max()) + 1 if len(self.key) else 1
+        self._init_caches()
+
+    def _init_caches(self) -> None:
         # Completion-derived caches, invalidated by mark_completion_dirty().
         self._completion_version = 0
         self._completion_order: np.ndarray | None = None
@@ -120,6 +123,38 @@ class BatchArrays:
         self._drain_cache: tuple[int, object] | None = None
         self._cost_signature: tuple | None = None
         self._aggregators: OrderedDict[tuple[float, float], object] = OrderedDict()
+
+    @classmethod
+    def from_sorted_columns(
+        cls,
+        event: np.ndarray,
+        arrival: np.ndarray,
+        key: np.ndarray,
+        payload: np.ndarray,
+        is_r: np.ndarray,
+        num_keys: int,
+    ) -> "BatchArrays":
+        """Adopt already event-sorted, validated columns without copying.
+
+        The shared-memory attach path (:mod:`repro.joins.shm`) maps the
+        five base columns straight out of an exported segment; they were
+        sorted and key-validated when the batch was first built, so the
+        constructor's argsort/copy/validate pass would only waste time
+        and — worse — detach the views from the shared buffer.  The five
+        base columns are adopted as-is (read-only views are fine: nothing
+        writes them after construction); ``completion`` is always a
+        fresh private copy because cost pipelines write it in place.
+        """
+        self = cls.__new__(cls)
+        self.event = event
+        self.arrival = arrival
+        self.key = key
+        self.payload = payload
+        self.is_r = is_r
+        self.completion = np.array(arrival)
+        self._num_keys = int(num_keys)
+        self._init_caches()
+        return self
 
     @classmethod
     def from_batch(cls, batch: StreamBatch) -> "BatchArrays":

@@ -1,0 +1,169 @@
+"""Shared-memory export/attach of :class:`~repro.joins.arrays.BatchArrays`.
+
+The parallel executor used to pickle every workload's five numpy columns
+into each worker task — megabytes per cell, repeated for every cell that
+shares a workload.  This module ships a workload to workers **once**: the
+parent packs the event-sorted columns into one named
+:class:`multiprocessing.shared_memory.SharedMemory` segment and sends only
+a tiny :class:`ArraysManifest` (segment name + dtype/offset table);
+workers map the segment and adopt the columns zero-copy via
+:meth:`BatchArrays.from_sorted_columns`.
+
+Correctness notes, enforced here rather than hoped for:
+
+* **Read-only columns.**  After construction nothing in the codebase
+  writes the five base columns — only ``completion`` is ever rewritten
+  (by ``apply_pipeline_costs``), and the attach path gives each worker a
+  private writable copy of it.  The mapped base views are marked
+  read-only so any future violation fails loudly instead of racing
+  across processes.
+* **Lifecycle.**  The parent owns the segment: :meth:`SharedArraysExport.close`
+  closes and unlinks it (POSIX keeps the backing pages alive for workers
+  that still have it mapped).  Attaching re-registers the name with the
+  :mod:`multiprocessing.resource_tracker`; both fork and spawn workers
+  share the parent's tracker daemon (whose registry is a set, so the
+  re-register is a no-op) and the parent's unlink clears the single
+  entry.  The one hazard is a worker forked *before* the parent's
+  tracker daemon exists — its first register would start a private
+  daemon that unlinks the segment when the worker exits — so the
+  executor calls ``resource_tracker.ensure_running()`` in the parent
+  before creating its pool.
+* **Naming.**  Segments are named ``repro_<pid>_<n>`` so tests (and
+  humans) can scan ``/dev/shm`` for leaks attributable to this process.
+
+The attached object keeps the ``SharedMemory`` handle referenced
+(``_shm_ref``) so the mapping lives exactly as long as the arrays do.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from itertools import count
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro import obs
+from repro.joins.arrays import BatchArrays
+
+__all__ = ["ArraysManifest", "SharedArraysExport", "export_arrays", "attach_arrays"]
+
+#: Column transfer order; every exported segment carries exactly these.
+_COLUMNS = ("event", "arrival", "key", "payload", "is_r")
+
+_SEGMENT_COUNTER = count()
+
+
+def _aligned(offset: int) -> int:
+    """Round ``offset`` up to a 64-byte boundary (cache-line aligned)."""
+    return (offset + 63) & ~63
+
+
+@dataclass(frozen=True)
+class ArraysManifest:
+    """Everything a worker needs to map one exported batch.
+
+    Pickles to a few hundred bytes regardless of batch size — this is
+    what crosses the process boundary instead of the columns themselves.
+
+    Attributes:
+        segment: Shared-memory segment name.
+        length: Number of rows in every column.
+        num_keys: Precomputed key-space size (skips the attach-side
+            ``key.max()`` pass and works for empty batches).
+        columns: ``(name, dtype string, byte offset)`` per column, in
+            :data:`_COLUMNS` order.
+    """
+
+    segment: str
+    length: int
+    num_keys: int
+    columns: tuple[tuple[str, str, int], ...]
+
+
+class SharedArraysExport:
+    """Parent-side handle of one exported batch (owns the segment)."""
+
+    def __init__(self, arrays: BatchArrays, name: str | None = None):
+        cols = {c: np.ascontiguousarray(getattr(arrays, c)) for c in _COLUMNS}
+        layout: list[tuple[str, str, int]] = []
+        offset = 0
+        for cname in _COLUMNS:
+            offset = _aligned(offset)
+            layout.append((cname, cols[cname].dtype.str, offset))
+            offset += cols[cname].nbytes
+        if name is None:
+            name = f"repro_{os.getpid()}_{next(_SEGMENT_COUNTER)}"
+        # A zero-row batch still needs a non-empty segment to map.
+        self._shm = shared_memory.SharedMemory(
+            name=name, create=True, size=max(offset, 1)
+        )
+        for cname, dtype, off in layout:
+            view = np.ndarray(
+                len(arrays), dtype=np.dtype(dtype), buffer=self._shm.buf, offset=off
+            )
+            view[:] = cols[cname]
+        self.manifest = ArraysManifest(
+            segment=name,
+            length=len(arrays),
+            num_keys=arrays.num_keys,
+            columns=tuple(layout),
+        )
+        obs.counter("shm.segments_exported").inc()
+        obs.counter("shm.bytes_exported").inc(max(offset, 1))
+
+    def close(self) -> None:
+        """Release and unlink the segment (idempotent).
+
+        Workers that still hold a mapping keep the pages alive; the name
+        disappears from ``/dev/shm`` immediately.
+        """
+        if self._shm is None:
+            return
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # already unlinked (e.g. double close)
+            pass
+        self._shm = None
+
+    def __del__(self):  # best-effort backstop; close() is the contract
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def export_arrays(arrays: BatchArrays, name: str | None = None) -> SharedArraysExport:
+    """Export ``arrays``' base columns into a named shared-memory segment."""
+    return SharedArraysExport(arrays, name=name)
+
+
+def attach_arrays(manifest: ArraysManifest) -> BatchArrays:
+    """Map an exported batch zero-copy (worker side).
+
+    The five base columns are read-only views into the segment;
+    ``completion`` is a private writable copy per attach (cost pipelines
+    write it in place).  The returned object pins the mapping for its
+    own lifetime.
+    """
+    shm = shared_memory.SharedMemory(name=manifest.segment)
+    views = {}
+    for cname, dtype, off in manifest.columns:
+        view = np.ndarray(
+            manifest.length, dtype=np.dtype(dtype), buffer=shm.buf, offset=off
+        )
+        view.flags.writeable = False
+        views[cname] = view
+    arrays = BatchArrays.from_sorted_columns(
+        views["event"],
+        views["arrival"],
+        views["key"],
+        views["payload"],
+        views["is_r"],
+        num_keys=manifest.num_keys,
+    )
+    arrays._shm_ref = shm
+    obs.counter("shm.segments_attached").inc()
+    return arrays

@@ -5,14 +5,25 @@ processes must produce row tables byte-identical to the serial run, and
 worker-scoped metrics must merge back so counter totals match.
 """
 
+import glob
 import json
+import os
 
 import pytest
 
 from repro import obs
 from repro.obs import trace
-from repro.bench.executor import Cell, execute_cells, run_cell, spec_key
+from repro.bench.executor import (
+    ArraysCache,
+    Cell,
+    CellExecutionError,
+    execute_cells,
+    run_cell,
+    shutdown_pool,
+    spec_key,
+)
 from repro.bench.workloads import micro_spec
+from repro.faults.plan import reference_burst_plan
 
 
 def tiny_spec(**overrides):
@@ -110,13 +121,15 @@ class TestParallelDeterminism:
             execute_cells(tiny_cells(), workers=3)
         serial = reg_s.snapshot()["counters"]
         parallel = reg_p.snapshot()["counters"]
-        executor_private = {
-            "executor.arrays_built",
-            "executor.arrays_cache_hits",
-            "executor.shards",
-        }
+        # Executor plumbing (cache splits across parent and workers,
+        # chunk accounting, segment export/attach) and cache-effectiveness
+        # counters (grid builds, cost-memo hits, completion rewrites)
+        # legitimately differ with the chunk layout; workload counters
+        # must not.
+        private_prefixes = ("executor.", "shm.", "aggregator.builds",
+                            "pipeline.cost_memo", "arrays.")
         for name in set(serial) | set(parallel):
-            if name in executor_private:
+            if name.startswith(private_prefixes):
                 continue
             assert parallel.get(name, 0) == serial.get(name, 0), name
 
@@ -167,3 +180,149 @@ class TestTraceDeterminism:
         with trace.tracing(trace.TraceRecorder(enabled=False)) as rec:
             execute_cells(tiny_cells(), workers=2)
         assert rec.events == []
+
+
+class TestAnalyticalBestFaults:
+    """Regression: analytical_best cells must honour their fault plan.
+
+    The row used to be computed over the faulted arrays but without the
+    plan — no estimator-divergence arming and no ``fault_*`` accounting
+    columns, silently diverging from every other method in a chaos row.
+    """
+
+    def _cell(self, faults=None):
+        return Cell("analytical_best", tiny_spec(seed=5), omega=10.0, faults=faults)
+
+    def test_fault_columns_present(self):
+        plan = reference_burst_plan(150.0, 350.0)
+        row = execute_cells([self._cell(faults=plan)])[0]
+        assert any(k.startswith("fault_") for k in row)
+        assert row["method"] == "PECJ-analytical"
+
+    def test_fault_columns_match_standalone_cell(self):
+        plan = reference_burst_plan(150.0, 350.0)
+        spec = tiny_spec(seed=5)
+        best = execute_cells([self._cell(faults=plan)])[0]
+        standalone = execute_cells(
+            [Cell("standalone", spec, method="pecj-aema", omega=10.0, faults=plan)]
+        )[0]
+        for key in standalone:
+            if key.startswith("fault_"):
+                assert best[key] == standalone[key], key
+
+    def test_faulted_rows_match_parallel(self):
+        plan = reference_burst_plan(150.0, 350.0)
+        serial = execute_cells([self._cell(faults=plan), self._cell()])
+        parallel = execute_cells([self._cell(faults=plan), self._cell()], workers=2)
+        assert json.dumps(serial) == json.dumps(parallel)
+
+
+class TestArraysCacheBound:
+    """Regression: the per-sweep arrays cache must stay bounded."""
+
+    def test_cache_is_lru_bounded_with_eviction_counter(self):
+        cache = ArraysCache()
+        specs = [tiny_spec(seed=s) for s in range(ArraysCache.CAP + 3)]
+        with obs.scoped() as reg:
+            for spec in specs:
+                run_cell(Cell("standalone", spec, method="wmj", omega=10.0), cache)
+        assert len(cache) == ArraysCache.CAP
+        assert reg.counter("executor.arrays_evictions").value == 3
+        assert spec_key(specs[-1]) in cache
+        assert spec_key(specs[0]) not in cache
+
+    def test_hit_refreshes_lru_order(self):
+        cache = ArraysCache()
+        cache["old"] = 1
+        cache["doomed"] = 2
+        assert cache.get("old") == 1  # touch: "doomed" is now the LRU entry
+        for i in range(ArraysCache.CAP - 1):
+            cache[f"filler{i}"] = i
+        assert "old" in cache
+        assert "doomed" not in cache
+
+    def test_faulted_variants_count_against_the_bound(self):
+        cache = ArraysCache()
+        plan = reference_burst_plan(150.0, 350.0)
+        for s in range(ArraysCache.CAP):
+            run_cell(
+                Cell("standalone", tiny_spec(seed=s), method="wmj", omega=10.0,
+                     faults=plan),
+                cache,
+            )
+        assert len(cache) == ArraysCache.CAP
+
+
+class TestFailFast:
+    """Regression: a failing cell must surface with its index, cancel the
+    rest of the sweep, and leave counters consistent (no shard counted
+    for unmerged work)."""
+
+    def test_poisoned_cell_reports_index_and_merges_nothing(self):
+        cells = tiny_cells()
+        cells.insert(2, Cell("mystery", tiny_spec(seed=9)))
+        with obs.scoped() as reg:
+            with pytest.raises(CellExecutionError) as err:
+                execute_cells(cells, workers=2)
+            assert 2 in err.value.cell_indices
+            assert "mystery" in str(err.value)
+            assert reg.counter("executor.shards").value == 0
+            assert reg.counter("executor.cells").value == 0
+
+    def test_pool_survives_a_failed_sweep(self):
+        cells = tiny_cells()
+        cells.append(Cell("mystery", tiny_spec(seed=9)))
+        with pytest.raises(CellExecutionError):
+            execute_cells(cells, workers=2)
+        rows = execute_cells(tiny_cells(), workers=2)
+        assert json.dumps(rows) == json.dumps(execute_cells(tiny_cells()))
+
+    def test_worker_crash_surfaces_and_pool_recovers(self, monkeypatch):
+        import repro.bench.executor as executor_module
+
+        shutdown_pool()  # fork the crashing run_cell into fresh workers
+        real_run_cell = executor_module.run_cell
+
+        def crashing_run_cell(cell, cache):
+            if cell.kind == "engine":
+                os._exit(13)
+            return real_run_cell(cell, cache)
+
+        monkeypatch.setattr(executor_module, "run_cell", crashing_run_cell)
+        with pytest.raises(CellExecutionError) as err:
+            execute_cells(tiny_cells(), workers=2)
+        assert err.value.cell_indices  # attributed to the dead worker's chunk
+        monkeypatch.undo()
+        rows = execute_cells(tiny_cells(), workers=2)
+        assert json.dumps(rows) == json.dumps(execute_cells(tiny_cells()))
+
+
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="needs POSIX /dev/shm")
+class TestSharedMemoryCleanup:
+    """Parallel sweeps must not leak named segments."""
+
+    def _segments(self):
+        return glob.glob(f"/dev/shm/repro_{os.getpid()}_*")
+
+    def test_no_segments_after_normal_sweep(self):
+        execute_cells(tiny_cells(), workers=2)
+        assert self._segments() == []
+
+    def test_no_segments_after_failed_sweep(self):
+        cells = tiny_cells()
+        cells.append(Cell("mystery", tiny_spec(seed=9)))
+        with pytest.raises(CellExecutionError):
+            execute_cells(cells, workers=2)
+        assert self._segments() == []
+
+    def test_no_segments_after_worker_crash(self, monkeypatch):
+        import repro.bench.executor as executor_module
+
+        shutdown_pool()
+        monkeypatch.setattr(
+            executor_module, "run_cell", lambda cell, cache: os._exit(13)
+        )
+        with pytest.raises(CellExecutionError):
+            execute_cells(tiny_cells(), workers=2)
+        monkeypatch.undo()
+        assert self._segments() == []

@@ -5,9 +5,14 @@ These run heavily scaled-down versions of every experiment and assert the
 than absolute numbers.  The benchmark suite runs the full versions.
 """
 
+import json
+
 import pytest
 
+from repro import obs
+from repro.obs import trace
 from repro.bench.experiments import (
+    chaos_resilience,
     fig6_end_to_end,
     fig8_workload_sensitivity,
     fig10_integrated,
@@ -122,3 +127,34 @@ class TestFig11Shapes:
             pecj = by(rows, method="PECJ-PRJ", threads=threads)[0]
             base = by(rows, method="PRJ", threads=threads)[0]
             assert pecj["error"] < 0.3 * base["error"]
+
+
+class TestParallelFigureIdentity:
+    """The in-repo version of the CI serial-vs-parallel figure diffs:
+    rows, trace exports and workload counter totals must be
+    byte-identical between a serial sweep and ``workers=2``."""
+
+    def _traced(self, figure, workers):
+        with obs.scoped() as reg, trace.tracing() as rec:
+            rec.set_group(figure.__name__)
+            rows = figure(scale=0.05, workers=workers)
+        # Executor plumbing and cache-effectiveness counters (aggregator
+        # grid builds, cost-memo hits, completion rewrites) legitimately
+        # depend on how cells share a process-local arrays object, i.e.
+        # on the chunk layout.  Workload counters must not.
+        cache_stats = ("executor.", "shm.", "aggregator.builds",
+                       "pipeline.cost_memo", "arrays.")
+        counters = {
+            name: value
+            for name, value in reg.snapshot()["counters"].items()
+            if not name.startswith(cache_stats)
+        }
+        return rows, rec.to_jsonl(), counters
+
+    @pytest.mark.parametrize("figure", [fig6_end_to_end, chaos_resilience])
+    def test_rows_trace_and_counters_match(self, figure):
+        serial_rows, serial_trace, serial_counters = self._traced(figure, None)
+        par_rows, par_trace, par_counters = self._traced(figure, 2)
+        assert json.dumps(serial_rows) == json.dumps(par_rows)
+        assert serial_trace == par_trace
+        assert serial_counters == par_counters

@@ -34,13 +34,29 @@ class TestLearning:
         values = [p.completeness(a) for a in ages]
         assert all(b >= a for a, b in zip(values, values[1:]))
 
-    def test_vectorised_matches_scalar(self):
+    def test_vectorised_matches_scalar_bitwise(self):
+        """completeness_many is the contract the fused estimator path
+        relies on: bit-equal to per-element completeness(), edges
+        included."""
         rng = np.random.default_rng(2)
         p = warm_profile(rng.exponential(3.0, 5000))
-        ages = np.array([0.0, 0.5, 2.0, 7.7, 100.0])
+        span = p._span
+        ages = np.array(
+            [-1.0, 0.0, 0.5, 2.0, 7.7, span - 1e-9, span, span + 5.0, 100.0]
+        )
         many = p.completeness_many(ages)
-        for a, m in zip(ages, many):
-            assert m == pytest.approx(p.completeness(a), abs=1e-9)
+        scalar = np.array([p.completeness(a) for a in ages])
+        np.testing.assert_array_equal(many, scalar)
+
+    def test_vectorised_matches_scalar_after_decay_and_growth(self):
+        rng = np.random.default_rng(3)
+        p = warm_profile(rng.exponential(3.0, 2000))
+        p.decay_step()
+        p.update(rng.uniform(0.0, 40.0, 500))  # forces span growth
+        ages = rng.uniform(-2.0, 50.0, 200)
+        many = p.completeness_many(ages)
+        scalar = np.array([p.completeness(a) for a in ages])
+        np.testing.assert_array_equal(many, scalar)
 
     def test_span_grows_to_cover_large_delays(self):
         p = DelayProfile(initial_span=8.0)

@@ -1,0 +1,138 @@
+"""Tests for shared-memory export/attach of BatchArrays."""
+
+import json
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.pecj import PECJoin
+from repro.joins.runner import run_operator
+from repro.joins.shm import attach_arrays, export_arrays
+from repro.streams.datasets import make_dataset
+from repro.streams.disorder import UniformDelay
+from repro.streams.sources import make_disordered_arrays
+
+
+def micro_arrays(seed=5):
+    return make_disordered_arrays(
+        make_dataset("micro", num_keys=10),
+        UniformDelay(5.0),
+        800.0,
+        20.0,
+        20.0,
+        seed=seed,
+    )
+
+
+def run_records(arrays):
+    res = run_operator(
+        PECJoin(), arrays, 10.0, 10.0, t_start=50.0, t_end=750.0, warmup_windows=10
+    )
+    return json.dumps(
+        [[r.window.start, float(r.value), float(r.error)] for r in res.records]
+    )
+
+
+class TestRoundTrip:
+    def test_attached_columns_equal_source(self):
+        arrays = micro_arrays()
+        export = export_arrays(arrays)
+        try:
+            attached = attach_arrays(export.manifest)
+            for col in ("event", "arrival", "key", "payload", "is_r"):
+                np.testing.assert_array_equal(
+                    getattr(attached, col), getattr(arrays, col)
+                )
+            assert attached.num_keys == arrays.num_keys
+            assert len(attached) == len(arrays)
+        finally:
+            export.close()
+
+    def test_run_over_attached_matches_fresh(self):
+        arrays = micro_arrays()
+        export = export_arrays(arrays)
+        try:
+            attached = attach_arrays(export.manifest)
+            assert run_records(attached) == run_records(micro_arrays())
+        finally:
+            export.close()
+
+    def test_base_columns_read_only_completion_writable(self):
+        export = export_arrays(micro_arrays())
+        try:
+            attached = attach_arrays(export.manifest)
+            with pytest.raises(ValueError):
+                attached.event[0] = 0.0
+            attached.completion[0] = 123.0  # private copy: must not raise
+            assert attached.completion[0] == 123.0
+        finally:
+            export.close()
+
+    def test_empty_batch_round_trips(self):
+        arrays = micro_arrays()
+        empty = type(arrays)(
+            np.empty(0),
+            np.empty(0),
+            np.empty(0, dtype=np.int64),
+            np.empty(0),
+            np.empty(0, dtype=bool),
+        )
+        export = export_arrays(empty)
+        try:
+            attached = attach_arrays(export.manifest)
+            assert len(attached) == 0
+        finally:
+            export.close()
+
+
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="needs POSIX /dev/shm")
+class TestLifecycle:
+    def test_segment_named_and_unlinked_on_close(self):
+        export = export_arrays(micro_arrays())
+        path = f"/dev/shm/{export.manifest.segment}"
+        assert export.manifest.segment.startswith(f"repro_{os.getpid()}_")
+        assert os.path.exists(path)
+        export.close()
+        assert not os.path.exists(path)
+
+    def test_close_is_idempotent(self):
+        export = export_arrays(micro_arrays())
+        export.close()
+        export.close()
+
+    def test_attached_arrays_survive_unlink(self):
+        """POSIX keeps the pages alive while mapped: the parent may
+        unlink as soon as workers hold the manifest's segment."""
+        arrays = micro_arrays()
+        export = export_arrays(arrays)
+        attached = attach_arrays(export.manifest)
+        export.close()
+        np.testing.assert_array_equal(attached.event, arrays.event)
+
+
+def _child_run(manifest, queue):
+    attached = attach_arrays(manifest)
+    queue.put(run_records(attached))
+
+
+class TestCrossProcess:
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="needs fork start method",
+    )
+    def test_child_process_run_matches_parent(self):
+        arrays = micro_arrays()
+        export = export_arrays(arrays)
+        try:
+            ctx = multiprocessing.get_context("fork")
+            queue = ctx.Queue()
+            child = ctx.Process(target=_child_run, args=(export.manifest, queue))
+            child.start()
+            child_records = queue.get(timeout=60)
+            child.join(timeout=60)
+            assert child.exitcode == 0
+            assert child_records == run_records(arrays)
+        finally:
+            export.close()
