@@ -55,6 +55,7 @@ from repro.bench.experiments import (
     smoke_observability,
 )
 from repro.bench.reporting import format_table
+from repro.bench.serve_bench import serve_sustained
 
 _FIGURES = {
     "smoke": (smoke_observability, ["workload", "method", "error", "p95_latency_ms"]),
@@ -65,6 +66,14 @@ _FIGURES = {
     "fig10": (fig10_integrated, ["dataset", "method", "error", "p95_latency_ms"]),
     "fig11": (fig11_scaling, ["threads", "method", "error", "p95_latency_ms", "throughput_ktps"]),
     "chaos": (chaos_resilience, ["intensity", "method", "error", "p95_latency_ms"]),
+    "serve": (
+        serve_sustained,
+        [
+            "tenants", "intensity", "events", "qps", "p95_ms", "p99_ms",
+            "queries_rejected", "shed_queue", "shed_starved", "peak_workers",
+            "scale_ups", "scale_downs",
+        ],
+    ),
 }
 
 

@@ -1,0 +1,67 @@
+"""The ``serve`` figure: sustained multi-tenant serving under chaos.
+
+The batch figures grade *accuracy*; this one grades *service*: a
+:class:`~repro.serve.service.JoinService` sweeps a small grid of
+tenancy × chaos intensity, each cell one end-to-end run over the
+plan-driven load trace (:func:`repro.faults.plan.serve_load_plan` —
+rate spike, overlapping disorder burst, drought).  Rows carry the
+serving layer's accounting — admitted/rejected/shed queries, virtual
+QPS, p95/p99 virtual-time latency, autoscaler activity — so the CI
+compare gate catches a quota leak, a shedding regression or an
+autoscaler that stopped reacting just as it catches an error
+regression in the batch figures.
+
+The ingest *rate* is deliberately not scaled down with ``--scale``:
+autoscaling and admission pressure only exist above a worker's
+capacity, so scale shrinks the run's duration (and with it tenant
+count stays the driver of query pressure).
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import serve_load_plan
+from repro.serve.admission import TenantQuota
+from repro.serve.service import ServeConfig, run_service
+
+__all__ = ["serve_sustained"]
+
+#: (tenants, chaos intensity) grid of the figure.
+_CELLS = ((24, 0.0), (24, 2.0), (96, 0.0), (96, 2.0))
+
+
+def serve_sustained(scale: float = 1.0, workers: int | None = None) -> list[dict]:
+    """Rows of the ``serve`` figure (one per tenancy × intensity cell).
+
+    Args:
+        scale: Fraction of the full-run duration (floored so every cell
+            still spans several autoscale intervals).
+        workers: Accepted for CLI uniformity and ignored — a service
+            run is one shared-state event loop, not independent cells;
+            rows are identical for any value, which keeps the
+            serial-vs-parallel determinism gate green.
+    """
+    del workers  # one shared-state loop per cell; nothing to shard
+    duration_ms = max(1500.0 * scale, 400.0)
+    rows: list[dict] = []
+    for tenants, intensity in _CELLS:
+        config = ServeConfig(
+            tenants=tenants,
+            n_shards=4,
+            num_keys=64,
+            window_ms=50.0,
+            omega_ms=10.0,
+            duration_ms=duration_ms,
+            warmup_ms=min(200.0, 0.25 * duration_ms),
+            rate_per_ms=150.0,
+            mean_query_interval_ms=50.0,
+            quota=TenantQuota(rate_per_s=18.0, burst=3.0),
+            min_workers=1,
+            max_workers=6,
+            autoscale_interval_ms=50.0,
+            migrate_at_ms=0.5 * duration_ms,
+            seed=7,
+        )
+        plan = serve_load_plan(intensity, 0.0, duration_ms, seed=7)
+        report = run_service(config, plan if plan else None)
+        rows.append({"tenants": tenants, "intensity": intensity, **report})
+    return rows

@@ -65,12 +65,25 @@ class DelayProfile:
     # -- learning ---------------------------------------------------------
 
     def update(self, delays: np.ndarray) -> None:
-        """Absorb a batch of observed delays (ms, >= 0)."""
+        """Absorb a batch of observed delays (ms, >= 0).
+
+        Every delay must be non-negative — the whole batch is validated
+        (and rejected without mutating any state) before a single count
+        is absorbed.  Checking only the maximum used to let a mixed-sign
+        batch through: ``np.histogram(range=(0, span))`` silently dropped
+        the negative delays from ``_counts`` while ``_total`` still
+        counted them, so the profile's weight disagreed with its
+        histogram mass and every arrived-fraction answer derived from the
+        polluted state was biased low.  Callers that observe raw
+        ``arrival - event`` gaps (which clock skew can drive below zero)
+        clamp to zero first — a tuple that arrived *early* has simply
+        arrived.
+        """
         delays = np.asarray(delays, dtype=float)
         if delays.size == 0:
             return
         dmax = float(delays.max())
-        if dmax < 0:
+        if float(delays.min()) < 0:
             raise ValueError("delays must be non-negative")
         self._max_seen = max(self._max_seen, dmax)
         while dmax >= self._span:

@@ -43,6 +43,7 @@ from repro.faults.plan import (
     FaultPlan,
     reference_burst_plan,
     reference_plan,
+    serve_load_plan,
 )
 
 __all__ = [
@@ -58,4 +59,5 @@ __all__ = [
     "plan_trace",
     "reference_burst_plan",
     "reference_plan",
+    "serve_load_plan",
 ]

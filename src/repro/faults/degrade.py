@@ -93,8 +93,17 @@ class DegradationController:
 
     def __init__(self, config: DegradeConfig):
         self.config = config
-        self._widen_step = config.widen_step_ms or 0.0
-        self._max_widen = config.max_widen_ms or 0.0
+        # ``None`` tunables mean "derive from omega"; until someone calls
+        # :meth:`resolve_budget` the widening budget is *unresolved*, and
+        # :meth:`update_widen` refuses to run rather than silently
+        # leaving starvation unhandled (widening frozen at zero and the
+        # shed guard disarmed).  An explicit 0.0 is a resolved budget:
+        # widening deliberately disabled, starved windows shed at once.
+        self._widen_step = 0.0 if config.widen_step_ms is None else config.widen_step_ms
+        self._max_widen = 0.0 if config.max_widen_ms is None else config.max_widen_ms
+        self._budget_resolved = (
+            config.widen_step_ms is not None and config.max_widen_ms is not None
+        )
         self.reset()
 
     def reset(self) -> None:
@@ -116,6 +125,7 @@ class DegradationController:
             self._widen_step = omega / 4.0
         if self.config.max_widen_ms is None:
             self._max_widen = omega
+        self._budget_resolved = True
 
     def assess(
         self,
@@ -174,10 +184,25 @@ class DegradationController:
         Starved windows grow the widening by one step toward the cap;
         fed windows shrink it back.  A window that is still starved at
         the cap is shed (compensation gives up on the quality target for
-        it) — callers account it.
+        it) — callers account it.  A zero cap (widening explicitly
+        disabled) sheds every starved window immediately — starvation is
+        never silently unhandled.
+
+        Raises:
+            RuntimeError: The config left ``widen_step_ms`` or
+                ``max_widen_ms`` as ``None`` and nobody called
+                :meth:`resolve_budget` — without it the budget would
+                silently stay frozen at zero *and* the shed guard would
+                never fire.
         """
+        if not self._budget_resolved:
+            raise RuntimeError(
+                "widening budget unresolved: DegradeConfig left "
+                "widen_step_ms/max_widen_ms as None; call "
+                "resolve_budget(omega) before update_widen()"
+            )
         if starved:
-            if self.widen_ms >= self._max_widen > 0.0:
+            if self.widen_ms >= self._max_widen:
                 self.shed_windows += 1
                 obs.counter("degrade.shed_windows").inc()
                 return True

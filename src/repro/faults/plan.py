@@ -60,6 +60,7 @@ __all__ = [
     "FaultPlan",
     "reference_burst_plan",
     "reference_plan",
+    "serve_load_plan",
 ]
 
 #: Recognised event kinds, in the canonical order injection applies them.
@@ -198,6 +199,45 @@ class FaultPlan:
         return any(e.kind == kind for e in self.events)
 
     # -- engine hooks --------------------------------------------------------
+
+    def rate_factor(self, t: float) -> float:
+        """Combined ingest-rate multiplier of every rate spike active at ``t``.
+
+        The serving layer (:mod:`repro.serve`) drives its shared-ingest
+        pump from this: a ``rate_spike`` event with magnitude 3 triples
+        the simulated arrival rate for its interval, a magnitude-0.5
+        drought halves it.  Batch injection (:func:`repro.faults.inject.
+        apply_faults`) keeps interpreting the same events by duplicating
+        or thinning an already-materialised stream; the two views agree
+        on the plan's semantics.
+        """
+        factor = 1.0
+        for e in self.events:
+            if e.kind == "rate_spike" and e.covers(t):
+                factor *= e.magnitude
+        return factor
+
+    def rate_factors(self, times: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`rate_factor` over an array of virtual times."""
+        out = np.ones(len(times))
+        for e in self.by_kind("rate_spike"):
+            mask = (times >= e.t_start) & (times < e.t_end)
+            out[mask] *= e.magnitude
+        return out
+
+    def extra_delay_means(self, times: np.ndarray) -> np.ndarray:
+        """Per-time mean extra delay (ms) of active disorder bursts.
+
+        The serve ingest pump samples each affected tuple's extra delay
+        as ``Exp(mean)`` with this mean — the same distribution batch
+        injection uses — so a plan stresses the service's delay profile
+        the way it stresses a batch sweep.
+        """
+        out = np.zeros(len(times))
+        for e in self.by_kind("disorder_burst"):
+            mask = (times >= e.t_start) & (times < e.t_end)
+            out[mask] += e.magnitude
+        return out
 
     def straggler_factor(self, t: float) -> float:
         """Combined cost multiplier of every straggler active at ``t``.
@@ -341,6 +381,53 @@ def reference_plan(
             "straggler",
             *_segment(t_lo, t_hi, 0.55, 0.75),
             magnitude=1.0 + intensity,
+        ),
+    )
+    return FaultPlan(events=events, seed=seed)
+
+
+def serve_load_plan(
+    intensity: float,
+    t_lo: float,
+    t_hi: float,
+    base_delay_ms: float = 4.0,
+    seed: int = 0,
+) -> FaultPlan:
+    """The serving bench's load trace at a given chaos intensity.
+
+    A sustained multi-tenant service feels load as *rate*, so the trace
+    leads with rate events over disjoint segments of ``[t_lo, t_hi)``:
+
+    * a rate spike of factor ``1 + intensity`` over [25%, 50%) — the
+      admission/autoscaling stressor;
+    * a disorder burst of ``3 * base_delay_ms * intensity`` mean extra
+      delay over [30%, 55%) — arriving data thins exactly when load
+      peaks, starving windows and exercising widening/shedding;
+    * a drought to factor ``max(1 - 0.4 * intensity, 0.25)`` over
+      [70%, 85%) — the scale-*down* stressor.
+
+    ``intensity <= 0`` returns an empty plan (the steady-state row).
+    """
+    if intensity <= 0.0:
+        return FaultPlan(events=(), seed=seed)
+    events = (
+        FaultEvent(
+            "rate_spike",
+            *_segment(t_lo, t_hi, 0.25, 0.50),
+            side="both",
+            magnitude=1.0 + intensity,
+        ),
+        FaultEvent(
+            "disorder_burst",
+            *_segment(t_lo, t_hi, 0.30, 0.55),
+            side="both",
+            magnitude=3.0 * base_delay_ms * intensity,
+        ),
+        FaultEvent(
+            "rate_spike",
+            *_segment(t_lo, t_hi, 0.70, 0.85),
+            side="both",
+            magnitude=max(1.0 - 0.4 * intensity, 0.25),
         ),
     )
     return FaultPlan(events=events, seed=seed)

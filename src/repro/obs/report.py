@@ -35,6 +35,12 @@ def summarize_run(snapshot: dict) -> dict:
       from the engine simulator (empty for standalone-only runs);
     * ``pecj`` — per-backend estimator health counters (blend calls and
       clamp events), empty when no PECJ ran.
+
+    When the snapshot contains ``serve.*`` counters a ``serve`` block is
+    added with the serving layer's headline accounting (admission,
+    shedding, autoscaling).  The key is *conditional* — absent from
+    batch-only runs — so reports committed before the serving layer
+    existed still compare clean against fresh ones.
     """
     counters = snapshot.get("counters", {})
     gauges = snapshot.get("gauges", {})
@@ -58,7 +64,7 @@ def summarize_run(snapshot: dict) -> dict:
         if name.startswith("pecj.")
     }
 
-    return {
+    out = {
         "aggregator": {
             "grid_hits": hits,
             "fallback_unbound": unbound,
@@ -76,6 +82,14 @@ def summarize_run(snapshot: dict) -> dict:
         "engine_time_ms": engine_time,
         "pecj": pecj,
     }
+    serve = {
+        name[len("serve."):]: value
+        for name, value in counters.items()
+        if name.startswith("serve.")
+    }
+    if serve:
+        out["serve"] = serve
+    return out
 
 
 def summarize_trace(events: list[TraceEvent]) -> dict:

@@ -1,0 +1,89 @@
+"""Per-tenant admission control: token-bucket quotas on the virtual clock.
+
+A multi-tenant service cannot let one chatty tenant starve the rest, so
+every query passes an admission gate before it touches operator state.
+The gate is a classic token bucket per tenant, refilled continuously on
+the service's *virtual* clock — no wall-clock reads, so admission
+decisions are a pure function of the submission schedule and replay
+byte-identically.
+
+Rejections are the service's first (cheapest) load-shedding layer:
+an over-quota query costs one dictionary lookup and a counter bump,
+never a queue slot or a shard touch.  Counters:
+
+* ``serve.admission.admitted`` — queries that passed the gate;
+* ``serve.admission.rejected`` — queries refused for lack of tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import obs
+
+__all__ = ["TenantQuota", "AdmissionController"]
+
+
+@dataclass(frozen=True, slots=True)
+class TenantQuota:
+    """A tenant's query budget.
+
+    Attributes:
+        rate_per_s: Sustained admitted-query rate (queries per virtual
+            second) — the bucket's refill rate.
+        burst: Bucket depth — how many queries a tenant may submit
+            back-to-back after saving up.
+    """
+
+    rate_per_s: float = 50.0
+    burst: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0.0:
+            raise ValueError("rate_per_s must be > 0")
+        if self.burst < 1.0:
+            raise ValueError("burst must be >= 1 (a full bucket must admit)")
+
+
+class AdmissionController:
+    """Token-bucket admission gate shared by every tenant of a service.
+
+    Buckets are created lazily on a tenant's first query, full — a new
+    tenant starts with its whole burst available.  The controller never
+    reads a wall clock: callers pass the virtual ``now_ms`` and refill
+    is computed from elapsed virtual time.
+
+    Args:
+        quota: The per-tenant budget applied to every tenant.
+    """
+
+    def __init__(self, quota: TenantQuota):
+        self.quota = quota
+        self._tokens: dict[int, float] = {}
+        self._last_ms: dict[int, float] = {}
+        self.admitted = 0
+        self.rejected = 0
+
+    def admit(self, tenant: int, now_ms: float) -> bool:
+        """Charge one query to ``tenant``'s bucket at virtual ``now_ms``.
+
+        Returns True (and spends a token) when the tenant is within
+        quota; False otherwise.  Either way the decision is counted.
+        """
+        q = self.quota
+        tokens = self._tokens.get(tenant)
+        if tokens is None:
+            tokens = q.burst
+        else:
+            elapsed = now_ms - self._last_ms[tenant]
+            tokens = min(q.burst, tokens + elapsed * q.rate_per_s / 1000.0)
+        self._last_ms[tenant] = now_ms
+        if tokens >= 1.0:
+            self._tokens[tenant] = tokens - 1.0
+            self.admitted += 1
+            obs.counter("serve.admission.admitted").inc()
+            return True
+        self._tokens[tenant] = tokens
+        self.rejected += 1
+        obs.counter("serve.admission.rejected").inc()
+        return False

@@ -1,0 +1,124 @@
+"""Vertical autoscaling of the service's simulated worker pool.
+
+The serving layer's capacity knob is the number of simulated eager
+workers draining ingest and query work.  This module decides when to
+turn it: the engine cost model (:class:`repro.engine.cost_model.
+EngineCostModel`) prices the interval's work in virtual milliseconds,
+utilisation is that demand over the pool's capacity, and a small
+hysteresis (scale up fast, down slow) keeps the pool from flapping
+around a noisy load signal — the same shape production autoscalers use
+over operator performance models.
+
+Counters/gauges:
+
+* ``serve.autoscaler.scale_ups`` / ``serve.autoscaler.scale_downs`` —
+  resize decisions taken;
+* ``serve.workers.last`` — pool size after the latest decision.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.engine.cost_model import EngineCostModel
+
+__all__ = ["VerticalAutoscaler"]
+
+
+class VerticalAutoscaler:
+    """Utilisation-driven worker-pool sizing with hysteresis.
+
+    Args:
+        cost_model: Prices the observed work (defaults to the engine's
+            calibrated model).
+        min_workers: Pool floor (never scales below).
+        max_workers: Pool ceiling (never scales above).
+        high_util: Utilisation above this for ``up_patience``
+            consecutive observations grows the pool by one.
+        low_util: Utilisation below this for ``down_patience``
+            consecutive observations shrinks the pool by one.
+        up_patience: Consecutive hot observations before growing —
+            kept short: under-provisioning costs latency immediately.
+        down_patience: Consecutive cold observations before shrinking —
+            kept longer: giving capacity back too eagerly causes flap.
+        algorithm: Eager join algorithm whose per-tuple cost prices
+            ingest work (``"shj"``/``"hsj"``/``"spj"``).
+    """
+
+    def __init__(
+        self,
+        cost_model: EngineCostModel | None = None,
+        min_workers: int = 1,
+        max_workers: int = 8,
+        high_util: float = 0.75,
+        low_util: float = 0.25,
+        up_patience: int = 1,
+        down_patience: int = 3,
+        algorithm: str = "shj",
+    ):
+        if not 1 <= min_workers <= max_workers:
+            raise ValueError("need 1 <= min_workers <= max_workers")
+        if not 0.0 <= low_util < high_util:
+            raise ValueError("need 0 <= low_util < high_util")
+        self.cost_model = cost_model or EngineCostModel()
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.high_util = high_util
+        self.low_util = low_util
+        self.up_patience = up_patience
+        self.down_patience = down_patience
+        self.algorithm = algorithm
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.last_util = 0.0
+        self._hot_streak = 0
+        self._cold_streak = 0
+
+    def demand_ms(self, tuples: int, queries: int, workers: int) -> float:
+        """Virtual milliseconds of work in an interval's load.
+
+        Ingest is priced at the eager per-tuple cost *at the current
+        pool size* (cache thrashing grows with workers, exactly why
+        scaling up has diminishing returns), queries at the per-window
+        compensation cost.
+        """
+        per_tuple = self.cost_model.eager_tuple_ms(
+            self.algorithm, workers, with_pecj=True
+        )
+        return tuples * per_tuple + queries * self.cost_model.pecj_compensate_ms
+
+    def observe(
+        self, tuples: int, queries: int, workers: int, interval_ms: float
+    ) -> int:
+        """Fold one interval's load into the hysteresis; returns the new size.
+
+        Args:
+            tuples: Ingest tuples processed during the interval.
+            queries: Queries answered during the interval.
+            workers: Current pool size.
+            interval_ms: Virtual length of the interval.
+        """
+        capacity = workers * interval_ms
+        util = self.demand_ms(tuples, queries, workers) / capacity
+        self.last_util = util
+        new = workers
+        if util > self.high_util:
+            self._hot_streak += 1
+            self._cold_streak = 0
+            if self._hot_streak >= self.up_patience and workers < self.max_workers:
+                new = workers + 1
+                self._hot_streak = 0
+                self.scale_ups += 1
+                obs.counter("serve.autoscaler.scale_ups").inc()
+        elif util < self.low_util:
+            self._cold_streak += 1
+            self._hot_streak = 0
+            if self._cold_streak >= self.down_patience and workers > self.min_workers:
+                new = workers - 1
+                self._cold_streak = 0
+                self.scale_downs += 1
+                obs.counter("serve.autoscaler.scale_downs").inc()
+        else:
+            self._hot_streak = 0
+            self._cold_streak = 0
+        obs.gauge("serve.workers.last").set(float(new))
+        return new

@@ -1,0 +1,322 @@
+"""Key-sharded operator state for the serving layer.
+
+Each shard owns a disjoint key range of the shared join state: appended
+column buffers of both streams' tuples, a per-shard
+:class:`~repro.core.delay_profile.DelayProfile` learned from the
+shard's own arrivals, and (lazily) a
+:class:`~repro.joins.arrays.BatchArrays` rebuilt from the buffers so
+queries ride the existing prefix-aggregate grid index
+(:meth:`BatchArrays.aggregator`) instead of rescanning.
+
+Queries are answered with *PECJ-lite* compensation: the observed window
+aggregate is inflated by the profile's completeness CDF — the paper's
+reverse-linear ``1/c(a)`` distortion (Eq. 6) applied per sub-interval
+age — using the closed forms of :func:`repro.core.compensation.
+compensate` with the observed selectivity and payload mean as plug-in
+posteriors.  It is deliberately the cheap instantiation: a serving
+layer answering thousands of tenant queries per virtual second cannot
+afford a full estimator stack per shard, and the profile is the part
+that transfers across queries.
+
+Shards checkpoint to plain JSON-compatible dicts (reusing
+:func:`repro.core.persistence.profile_state`) and restore into a fresh
+shard, which is what tenant migration in :mod:`repro.serve.service`
+round-trips.
+
+Counters: ``serve.shard.ingested``, ``serve.shard.rebuilds``,
+``serve.shard.evicted``, ``serve.shard.queries``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro import obs
+from repro.core.compensation import compensate
+from repro.core.delay_profile import DelayProfile
+from repro.core.persistence import profile_state, restore_profile
+from repro.joins.arrays import AggKind, BatchArrays
+
+__all__ = ["ShardAnswer", "ShardStore"]
+
+_STATE_VERSION = 1
+
+#: Sub-intervals a window is split into when averaging completeness —
+#: matches the bucket granularity PECJ's batch operator compensates at.
+_AGE_BUCKETS = 8
+
+#: Floor on the mean completeness used to inflate observed counts; below
+#: this the profile is effectively saying "almost nothing has arrived"
+#: and ``1/c`` amplification becomes noise-dominated garbage.
+_MIN_COMPLETENESS = 0.05
+
+
+@dataclass(frozen=True, slots=True)
+class ShardAnswer:
+    """One shard's answer to a window query.
+
+    Attributes:
+        value: The compensated output ``O`` (equals ``observed`` when
+            the profile is cold or compensation is off).
+        observed: The conservative observed-only aggregate — the
+            WMJ-equivalent answer, what fallback and shedding return.
+        n_r: Observed R-side tuples in the window view.
+        n_s: Observed S-side tuples in the window view.
+        starved: Whether a side had no observed tuples at all (the
+            signal the degradation controller widens or sheds on).
+        completeness: The mean completeness ``c̄`` used to inflate the
+            observed counts (1.0 when cold).
+    """
+
+    value: float
+    observed: float
+    n_r: int
+    n_s: int
+    starved: bool
+    completeness: float
+
+
+class ShardStore:
+    """Operator state of one key shard.
+
+    Ingest appends to chunked column buffers (cheap, no sorting); the
+    queryable :class:`BatchArrays` is rebuilt lazily on the first query
+    after new arrivals, at which point tuples older than the retention
+    horizon are evicted so a long-running service holds bounded state.
+
+    Args:
+        shard_id: The shard's index (labels trace events).
+        num_keys: Global key-space size (shards see a subset but the
+            bincount aggregation needs the global width).
+        agg: Aggregation answered by :meth:`query`.
+        window_ms: Window length of the query grid.
+        retention_ms: Tuples whose event time falls further than this
+            behind the newest arrival are dropped on rebuild.  Must
+            comfortably exceed the window length plus the widest
+            availability budget or queries would silently lose history.
+        profile: Delay profile to adopt (default: a fresh one).
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        num_keys: int,
+        agg: AggKind,
+        window_ms: float,
+        retention_ms: float,
+        profile: DelayProfile | None = None,
+    ):
+        if retention_ms < 2.0 * window_ms:
+            raise ValueError("retention_ms must cover at least two windows")
+        self.shard_id = shard_id
+        self.num_keys = num_keys
+        self.agg = agg
+        self.window_ms = window_ms
+        self.retention_ms = retention_ms
+        self.profile = profile or DelayProfile()
+        self._chunks: list[tuple[np.ndarray, ...]] = []
+        self._arrays: BatchArrays | None = None
+        self._dirty = False
+        self._max_arrival = 0.0
+        self.ingested = 0
+        self.evicted = 0
+        self.queries = 0
+
+    def __len__(self) -> int:
+        total = sum(len(c[0]) for c in self._chunks)
+        if self._arrays is not None:
+            total += len(self._arrays)
+        return total
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(
+        self,
+        event: np.ndarray,
+        arrival: np.ndarray,
+        key: np.ndarray,
+        payload: np.ndarray,
+        is_r: np.ndarray,
+    ) -> None:
+        """Absorb a batch of arrived tuples (columnar, any order).
+
+        Delays are learned as ``max(arrival - event, 0)`` — the profile
+        rejects negative delays outright, and a tuple that arrived
+        early has simply arrived.
+        """
+        if len(event) == 0:
+            return
+        self._chunks.append(
+            (
+                np.asarray(event, dtype=float),
+                np.asarray(arrival, dtype=float),
+                np.asarray(key, dtype=np.int64),
+                np.asarray(payload, dtype=float),
+                np.asarray(is_r, dtype=bool),
+            )
+        )
+        self.profile.update(np.maximum(np.asarray(arrival, dtype=float) - event, 0.0))
+        self._max_arrival = max(self._max_arrival, float(np.max(arrival)))
+        self.ingested += len(event)
+        self._dirty = True
+        obs.counter("serve.shard.ingested").inc(len(event))
+
+    def _rebuild(self) -> BatchArrays:
+        """Merge buffered chunks into the queryable arrays, evicting old state."""
+        if not self._dirty and self._arrays is not None:
+            return self._arrays
+        cols: list[list[np.ndarray]] = [[], [], [], [], []]
+        if self._arrays is not None:
+            prior = self._arrays
+            for i, col in enumerate(
+                (prior.event, prior.arrival, prior.key, prior.payload, prior.is_r)
+            ):
+                cols[i].append(col)
+        for chunk in self._chunks:
+            for i, col in enumerate(chunk):
+                cols[i].append(col)
+        if not cols[0]:
+            cols = [
+                [np.empty(0)],
+                [np.empty(0)],
+                [np.empty(0, dtype=np.int64)],
+                [np.empty(0)],
+                [np.empty(0, dtype=bool)],
+            ]
+        event = np.concatenate(cols[0])
+        keep = event >= self._max_arrival - self.retention_ms
+        dropped = int(len(keep) - keep.sum())
+        if dropped:
+            self.evicted += dropped
+            obs.counter("serve.shard.evicted").inc(dropped)
+        self._arrays = BatchArrays(
+            event[keep],
+            np.concatenate(cols[1])[keep],
+            np.concatenate(cols[2])[keep],
+            np.concatenate(cols[3])[keep],
+            np.concatenate(cols[4])[keep],
+        )
+        # Key aggregation must span the global key space even when this
+        # shard happens to hold a narrow slice of it.
+        self._arrays._num_keys = self.num_keys
+        self._chunks.clear()
+        self._dirty = False
+        obs.counter("serve.shard.rebuilds").inc()
+        return self._arrays
+
+    # -- queries -----------------------------------------------------------
+
+    def query(
+        self, start: float, end: float, available_by: float, compensate_output: bool = True
+    ) -> ShardAnswer:
+        """Answer a window join query over the shard's observed state.
+
+        Args:
+            start, end: Window bounds in event time (grid-aligned
+                windows ride the cached prefix-aggregate index; off-grid
+                ranges fall back to a scan).
+            available_by: Virtual time bounding which arrivals the
+                answer may see (the query's availability budget,
+                widening included).
+            compensate_output: Inflate the observed aggregate by the
+                delay profile's completeness (False answers
+                observed-only — the fallback path).
+        """
+        arrays = self._rebuild()
+        self.queries += 1
+        obs.counter("serve.shard.queries").inc()
+        if len(arrays) == 0:
+            return ShardAnswer(0.0, 0.0, 0, 0, True, 1.0)
+        aggregator = arrays.aggregator(end - start)
+        observed_agg = aggregator.try_at(start, end, available_by, clock="arrival")
+        if observed_agg is None:
+            observed_agg = arrays.aggregate(start, end, available_by, clock="arrival")
+        observed = observed_agg.value(self.agg)
+        starved = observed_agg.n_r == 0 or observed_agg.n_s == 0
+        if not compensate_output or not self.profile.is_warm or starved:
+            return ShardAnswer(
+                observed, observed, observed_agg.n_r, observed_agg.n_s, starved, 1.0
+            )
+        mids = start + (np.arange(_AGE_BUCKETS) + 0.5) * (end - start) / _AGE_BUCKETS
+        ages = available_by - mids
+        c_bar = float(np.mean(np.clip(self.profile.completeness_many(ages), 0.0, 1.0)))
+        c_bar = max(c_bar, _MIN_COMPLETENESS)
+        estimate = compensate(
+            self.agg,
+            observed_agg.n_r / c_bar,
+            observed_agg.n_s / c_bar,
+            observed_agg.selectivity,
+            observed_agg.alpha_r,
+        )
+        return ShardAnswer(
+            estimate.value,
+            observed,
+            observed_agg.n_r,
+            observed_agg.n_s,
+            starved,
+            c_bar,
+        )
+
+    # -- checkpoint / migration --------------------------------------------
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Snapshot the shard as a JSON-compatible dict.
+
+        The snapshot captures the post-eviction merged columns (so a
+        restored shard answers queries identically), the learned delay
+        profile, and the lifetime counters — everything a successor
+        needs to take over the shard mid-run.
+        """
+        arrays = self._rebuild()
+        return {
+            "version": _STATE_VERSION,
+            "shard_id": self.shard_id,
+            "num_keys": self.num_keys,
+            "agg": self.agg.value,
+            "window_ms": self.window_ms,
+            "retention_ms": self.retention_ms,
+            "max_arrival": self._max_arrival,
+            "ingested": self.ingested,
+            "evicted": self.evicted,
+            "columns": {
+                "event": arrays.event.tolist(),
+                "arrival": arrays.arrival.tolist(),
+                "key": arrays.key.tolist(),
+                "payload": arrays.payload.tolist(),
+                "is_r": arrays.is_r.tolist(),
+            },
+            "profile": profile_state(self.profile),
+        }
+
+    @classmethod
+    def restore(cls, state: dict[str, Any]) -> "ShardStore":
+        """Rebuild a shard from a :meth:`checkpoint` snapshot."""
+        if state.get("version") != _STATE_VERSION:
+            raise ValueError(f"unsupported shard snapshot version {state.get('version')!r}")
+        shard = cls(
+            shard_id=int(state["shard_id"]),
+            num_keys=int(state["num_keys"]),
+            agg=AggKind(state["agg"]),
+            window_ms=float(state["window_ms"]),
+            retention_ms=float(state["retention_ms"]),
+        )
+        cols = state["columns"]
+        if cols["event"]:
+            shard._chunks.append(
+                (
+                    np.asarray(cols["event"], dtype=float),
+                    np.asarray(cols["arrival"], dtype=float),
+                    np.asarray(cols["key"], dtype=np.int64),
+                    np.asarray(cols["payload"], dtype=float),
+                    np.asarray(cols["is_r"], dtype=bool),
+                )
+            )
+            shard._dirty = True
+        restore_profile(shard.profile, state["profile"])
+        shard._max_arrival = float(state["max_arrival"])
+        shard.ingested = int(state["ingested"])
+        shard.evicted = int(state["evicted"])
+        return shard

@@ -69,6 +69,40 @@ class TestLearning:
         with pytest.raises(ValueError):
             p.update(np.array([-1.0]))
 
+    def test_rejects_mixed_sign_batch(self):
+        """Regression: only ``delays.max()`` used to be validated, so a
+        mixed-sign batch slipped through — ``np.histogram(range=(0,
+        span))`` silently dropped the negative delays from ``_counts``
+        while ``_total`` still counted them, leaving the profile's
+        weight permanently ahead of its histogram mass and biasing the
+        completeness CDF it feeds compensation."""
+        p = DelayProfile(min_weight=10.0)
+        with pytest.raises(ValueError):
+            p.update(np.array([-3.0, 1.0, 2.0, 4.0]))
+
+    def test_rejected_batch_mutates_nothing(self):
+        """A rejected batch must not half-apply: no weight, no counts,
+        no max-seen update, no span growth."""
+        p = DelayProfile(min_weight=10.0, initial_span=8.0)
+        p.update(np.full(20, 2.0))
+        before = (p.weight, float(p._counts.sum()), p.max_delay_seen, p._span)
+        with pytest.raises(ValueError):
+            # 50.0 would have grown the span had validation come second.
+            p.update(np.array([-1.0, 50.0]))
+        after = (p.weight, float(p._counts.sum()), p.max_delay_seen, p._span)
+        assert after == before
+
+    def test_cdf_denominator_equals_weight(self):
+        """The invariant the mixed-sign leak broke: every delay the
+        profile counted is also in the histogram, so the CDF denominator
+        and the profile weight agree (before any forgetting)."""
+        rng = np.random.default_rng(7)
+        p = warm_profile(rng.uniform(0.0, 5.0, 500))
+        p.update(rng.uniform(0.0, 40.0, 250))  # forces span growth too
+        cdf, total = p._cdf()
+        assert total == pytest.approx(p.weight)
+        assert float(cdf[-1]) == pytest.approx(p.weight)
+
     def test_forgetting_tracks_regime_change(self):
         """After enough decay, old delays stop dominating the CDF."""
         p = DelayProfile(decay=0.9, min_weight=10.0)

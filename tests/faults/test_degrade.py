@@ -12,6 +12,7 @@ import pytest
 
 from repro.bench.executor import make_operator
 from repro.bench.workloads import q1_spec
+from repro.faults.degrade import DegradationController, DegradeConfig
 from repro.faults.inject import apply_faults, arm_operator
 from repro.faults.plan import FaultEvent, FaultPlan, reference_burst_plan
 from repro.joins.runner import run_operator
@@ -59,6 +60,45 @@ def divergence_plan(spec, burst_plan, mode):
         + (FaultEvent("estimator_divergence", t_mid, t_mid, mode=mode),),
         seed=burst_plan.seed,
     )
+
+
+class TestWidenBudgetResolution:
+    """Regression: ``None`` widening tunables used to resolve to 0.0 at
+    construction, so a controller whose caller forgot ``resolve_budget``
+    never widened *and* never shed (the old shed guard required a
+    positive cap) — starvation was silently unhandled."""
+
+    def test_unresolved_budget_refuses_to_run(self):
+        ctl = DegradationController(DegradeConfig())
+        with pytest.raises(RuntimeError, match="resolve_budget"):
+            ctl.update_widen(starved=True)
+
+    def test_resolved_budget_widens_then_sheds_at_cap(self):
+        ctl = DegradationController(DegradeConfig())
+        ctl.resolve_budget(8.0)  # step = 2ms, cap = 8ms
+        sheds = [ctl.update_widen(starved=True) for _ in range(6)]
+        assert sheds == [False, False, False, False, True, True]
+        assert ctl.widen_ms == pytest.approx(8.0)
+        assert ctl.shed_windows == 2
+        assert ctl.update_widen(starved=False) is False
+        assert ctl.widen_ms == pytest.approx(6.0)
+
+    def test_explicit_budget_needs_no_resolution(self):
+        ctl = DegradationController(DegradeConfig(widen_step_ms=1.0, max_widen_ms=2.0))
+        assert ctl.update_widen(starved=True) is False
+        assert ctl.widen_ms == pytest.approx(1.0)
+
+    def test_explicit_zero_cap_sheds_starved_windows_immediately(self):
+        """A zero budget means widening is deliberately off — starved
+        windows must still be accounted, not silently swallowed."""
+        ctl = DegradationController(DegradeConfig(widen_step_ms=0.0, max_widen_ms=0.0))
+        assert ctl.update_widen(starved=True) is True
+        assert ctl.shed_windows == 1
+
+    def test_partial_explicit_budget_still_needs_resolution(self):
+        ctl = DegradationController(DegradeConfig(widen_step_ms=1.0))
+        with pytest.raises(RuntimeError):
+            ctl.update_widen(starved=False)
 
 
 class TestReferenceBurst:

@@ -12,6 +12,7 @@ from repro.faults.plan import (
     FaultPlan,
     reference_burst_plan,
     reference_plan,
+    serve_load_plan,
 )
 
 
@@ -96,3 +97,56 @@ class TestReferencePlans:
         (burst,) = plan.events
         assert burst.kind == "disorder_burst"
         assert 0.0 < burst.t_start < burst.t_end < 900.0
+
+
+class TestRateHooks:
+    """The continuous-time view the serving layer pumps ingest from."""
+
+    def test_rate_factor_multiplies_overlapping_spikes(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent("rate_spike", 0.0, 100.0, magnitude=2.0),
+                FaultEvent("rate_spike", 50.0, 150.0, magnitude=3.0),
+            )
+        )
+        assert plan.rate_factor(25.0) == 2.0
+        assert plan.rate_factor(75.0) == 6.0
+        assert plan.rate_factor(125.0) == 3.0
+        assert plan.rate_factor(150.0) == 1.0
+
+    def test_rate_factors_vectorises_scalar(self):
+        plan = serve_load_plan(1.5, 0.0, 1000.0, seed=3)
+        times = np.linspace(0.0, 1000.0, 97)
+        many = plan.rate_factors(times)
+        scalar = np.array([plan.rate_factor(t) for t in times])
+        np.testing.assert_array_equal(many, scalar)
+
+    def test_extra_delay_means_sum_active_bursts(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent("disorder_burst", 0.0, 100.0, magnitude=4.0),
+                FaultEvent("disorder_burst", 50.0, 100.0, magnitude=6.0),
+            )
+        )
+        out = plan.extra_delay_means(np.array([25.0, 75.0, 100.0]))
+        np.testing.assert_array_equal(out, [4.0, 10.0, 0.0])
+
+
+class TestServeLoadPlan:
+    def test_zero_intensity_is_empty(self):
+        assert not serve_load_plan(0.0, 0.0, 1000.0).events
+
+    def test_spike_burst_then_drought(self):
+        plan = serve_load_plan(1.0, 0.0, 1000.0, base_delay_ms=5.0)
+        spikes = plan.by_kind("rate_spike")
+        assert [e.magnitude for e in spikes] == [2.0, 0.6]
+        assert spikes[0].t_end <= spikes[1].t_start  # spike before drought
+        (burst,) = plan.by_kind("disorder_burst")
+        assert burst.magnitude == pytest.approx(15.0)
+        # The burst overlaps the spike: load peaks while data thins.
+        assert burst.t_start < spikes[0].t_end
+
+    def test_drought_floor(self):
+        plan = serve_load_plan(10.0, 0.0, 1000.0)
+        drought = plan.by_kind("rate_spike")[-1]
+        assert drought.magnitude == pytest.approx(0.25)

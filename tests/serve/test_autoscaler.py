@@ -1,0 +1,55 @@
+"""Vertical autoscaler: hysteresis, bounds, cost-model pricing."""
+
+import pytest
+
+from repro.engine.cost_model import EngineCostModel
+from repro.serve.autoscaler import VerticalAutoscaler
+
+
+def hot_load(scaler, workers, interval_ms=50.0):
+    """Tuple count that prices to ~2x the pool's interval capacity."""
+    per_tuple = scaler.cost_model.eager_tuple_ms("shj", workers, with_pecj=True)
+    return int(2.0 * workers * interval_ms / per_tuple)
+
+
+class TestAutoscaler:
+    def test_validates_bounds(self):
+        with pytest.raises(ValueError):
+            VerticalAutoscaler(min_workers=4, max_workers=2)
+        with pytest.raises(ValueError):
+            VerticalAutoscaler(low_util=0.9, high_util=0.5)
+
+    def test_scales_up_under_overload(self):
+        scaler = VerticalAutoscaler(min_workers=1, max_workers=4)
+        new = scaler.observe(hot_load(scaler, 1), 0, workers=1, interval_ms=50.0)
+        assert new == 2
+        assert scaler.scale_ups == 1
+        assert scaler.last_util > scaler.high_util
+
+    def test_scale_down_needs_patience(self):
+        scaler = VerticalAutoscaler(min_workers=1, max_workers=4, down_patience=3)
+        workers = 3
+        sizes = [
+            (workers := scaler.observe(0, 0, workers, 50.0)) for _ in range(4)
+        ]
+        # Two idle intervals tolerated, the third shrinks, streak resets.
+        assert sizes == [3, 3, 2, 2]
+        assert scaler.scale_downs == 1
+
+    def test_respects_ceiling_and_floor(self):
+        scaler = VerticalAutoscaler(min_workers=1, max_workers=2, down_patience=1)
+        assert scaler.observe(hot_load(scaler, 2), 0, workers=2, interval_ms=50.0) == 2
+        assert scaler.observe(0, 0, workers=1, interval_ms=50.0) == 1
+
+    def test_moderate_load_holds_steady(self):
+        scaler = VerticalAutoscaler(min_workers=1, max_workers=4, down_patience=1)
+        per_tuple = scaler.cost_model.eager_tuple_ms("shj", 2, with_pecj=True)
+        mid = int(0.5 * 2 * 50.0 / per_tuple)
+        assert scaler.observe(mid, 0, workers=2, interval_ms=50.0) == 2
+        assert scaler.scale_ups == scaler.scale_downs == 0
+
+    def test_queries_contribute_demand(self):
+        cost = EngineCostModel(pecj_compensate_ms=5.0)
+        scaler = VerticalAutoscaler(cost, min_workers=1, max_workers=4)
+        # 30 queries at 5ms each = 150ms of work in a 50ms interval.
+        assert scaler.observe(0, 30, workers=1, interval_ms=50.0) == 2

@@ -1,0 +1,156 @@
+"""Service-level behaviour: accounting, determinism, migration, shedding."""
+
+import asyncio
+import dataclasses
+
+import pytest
+
+from repro.faults import serve_load_plan
+from repro.faults.degrade import DegradeConfig
+from repro.serve import JoinService, ServeConfig, TenantQuota, run_service
+
+BASE = ServeConfig(
+    tenants=16,
+    n_shards=4,
+    num_keys=32,
+    duration_ms=600.0,
+    warmup_ms=100.0,
+    rate_per_ms=20.0,
+    mean_query_interval_ms=40.0,
+    seed=11,
+)
+
+
+class TestConfigValidation:
+    def test_rejects_zero_tenants(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(BASE, tenants=0)
+
+    def test_rejects_tick_longer_than_run(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(BASE, tick_ms=50.0, duration_ms=20.0)
+
+    def test_rejects_autoscale_shorter_than_tick(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(BASE, autoscale_interval_ms=1.0)
+
+
+class TestAccounting:
+    def test_every_query_is_accounted(self):
+        service = JoinService(BASE)
+        report = asyncio.run(service.run())
+        assert report["queries_submitted"] > 0
+        assert (
+            report["queries_submitted"]
+            == report["queries_admitted"] + report["queries_rejected"]
+        )
+        # Admitted work never vanishes: completed or shed, nothing else.
+        assert (
+            report["queries_admitted"]
+            == report["queries_completed"] + report["shed_queue"]
+        )
+        assert all(len(q) == 0 for q in service.tenant_queues)
+
+    def test_runs_are_deterministic(self):
+        plan = serve_load_plan(1.0, 0.0, BASE.duration_ms, seed=11)
+        assert run_service(BASE, plan) == run_service(BASE, plan)
+
+    def test_default_degrade_config_budget_is_resolved(self):
+        """The service is a DegradationController construction site: the
+        default config leaves widening tunables as ``None`` and the
+        service must resolve them against omega or every starved query
+        would raise."""
+        service = JoinService(BASE)
+        for ctl in service.controllers:
+            assert ctl.update_widen(starved=False) is False  # would raise unresolved
+
+
+class TestMigration:
+    def test_migration_is_transparent(self):
+        plan = serve_load_plan(1.0, 0.0, BASE.duration_ms, seed=11)
+        stayed = run_service(BASE, plan)
+        moved = run_service(
+            dataclasses.replace(BASE, migrate_at_ms=300.0), plan
+        )
+        diff = {k for k in stayed if stayed[k] != moved[k]}
+        assert diff == {"migrations"}
+        assert moved["migrations"] == BASE.n_shards
+
+
+class TestShedding:
+    def test_tenant_queue_overflow_sheds(self):
+        config = dataclasses.replace(
+            BASE,
+            mean_query_interval_ms=0.4,  # ~12 due per tenant per 5ms tick
+            tenant_queue_cap=2,
+            quota=TenantQuota(rate_per_s=100_000.0, burst=64.0),
+        )
+        report = run_service(config)
+        assert report["shed_queue"] > 0
+        assert (
+            report["queries_admitted"]
+            == report["queries_completed"] + report["shed_queue"]
+        )
+
+    def test_quota_pressure_rejects_not_deadlocks(self):
+        config = dataclasses.replace(
+            BASE, quota=TenantQuota(rate_per_s=5.0, burst=1.0)
+        )
+        plan = serve_load_plan(2.0, 0.0, BASE.duration_ms, seed=11)
+        report = run_service(config, plan)
+        assert report["queries_rejected"] > 0
+        assert report["queries_completed"] > 0
+
+    def test_starved_windows_widen_then_shed(self):
+        """At a trickle ingest rate single-sided windows appear; the
+        controllers widen to the cap and shed the rest — visibly."""
+        config = dataclasses.replace(
+            BASE,
+            rate_per_ms=0.05,
+            window_ms=20.0,
+            mean_query_interval_ms=15.0,
+            duration_ms=800.0,
+        )
+        service = JoinService(config)
+        report = asyncio.run(service.run())
+        assert report["shed_starved"] > 0
+        assert any(ctl.shed_windows > 0 for ctl in service.controllers)
+
+
+class TestWorkerFailure:
+    def test_worker_failure_raises_instead_of_deadlocking(self):
+        """Regression: a worker dying on an exception used to strand the
+        dispatcher against its full bounded queue forever; now the
+        failure surfaces at the next barrier."""
+        service = JoinService(BASE)
+
+        def boom(*args, **kwargs):
+            raise ValueError("boom")
+
+        service.shards[0].query = boom
+        with pytest.raises(RuntimeError, match="serve worker failed"):
+            asyncio.run(asyncio.wait_for(service.run(), timeout=60))
+
+
+class TestAutoscaling:
+    def test_spike_grows_pool_then_drought_shrinks_it(self):
+        config = dataclasses.replace(
+            BASE,
+            tenants=24,
+            duration_ms=1000.0,
+            rate_per_ms=300.0,
+            max_workers=6,
+        )
+        plan = serve_load_plan(2.0, 0.0, config.duration_ms, seed=11)
+        report = run_service(config, plan)
+        assert report["peak_workers"] > 1
+        assert report["scale_ups"] >= 1
+        assert report["scale_downs"] >= 1
+
+    def test_fairness_under_shared_load(self):
+        report = run_service(dataclasses.replace(BASE, duration_ms=1500.0))
+        assert report["fairness_min_completed"] > 0
+        assert (
+            report["fairness_max_completed"]
+            <= 4 * report["fairness_min_completed"]
+        )

@@ -1,0 +1,143 @@
+"""Shard state: ingest, PECJ-lite compensation, eviction, checkpoint."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.joins.arrays import AggKind, BatchArrays
+from repro.serve.shards import ShardStore
+
+
+def make_shard(**kwargs):
+    defaults = dict(
+        shard_id=0, num_keys=16, agg=AggKind.COUNT, window_ms=50.0, retention_ms=400.0
+    )
+    defaults.update(kwargs)
+    return ShardStore(**defaults)
+
+
+def uniform_batch(rng, n, t_lo, t_hi, mean_delay=4.0, num_keys=16):
+    event = rng.uniform(t_lo, t_hi, n)
+    arrival = event + rng.exponential(mean_delay, n)
+    key = rng.integers(0, num_keys, n)
+    payload = rng.uniform(0.0, 2.0, n)
+    is_r = rng.random(n) < 0.5
+    return event, arrival, key, payload, is_r
+
+
+class TestIngestAndQuery:
+    def test_observed_matches_batcharrays_oracle(self):
+        rng = np.random.default_rng(0)
+        shard = make_shard()
+        cols = uniform_batch(rng, 2000, 0.0, 200.0)
+        shard.ingest(*cols)
+        reference = BatchArrays(*(np.array(c) for c in cols))
+        reference._num_keys = 16
+        ans = shard.query(50.0, 100.0, available_by=150.0)
+        expected = reference.aggregate(50.0, 100.0, 150.0, clock="arrival")
+        assert ans.observed == expected.value(AggKind.COUNT)
+        assert (ans.n_r, ans.n_s) == (expected.n_r, expected.n_s)
+
+    def test_compensation_inflates_toward_oracle(self):
+        """With a warm profile and held-back arrivals, the compensated
+        answer lands nearer the complete-window truth than observed."""
+        rng = np.random.default_rng(1)
+        shard = make_shard(retention_ms=2000.0)
+        cols = uniform_batch(rng, 20000, 0.0, 1000.0, mean_delay=10.0)
+        shard.ingest(*cols)
+        reference = BatchArrays(*(np.array(c) for c in cols))
+        reference._num_keys = 16
+        truth = reference.aggregate(900.0, 950.0).value(AggKind.COUNT)
+        ans = shard.query(900.0, 950.0, available_by=955.0)
+        assert ans.observed < truth  # arrivals really were withheld
+        assert ans.completeness < 1.0
+        assert abs(ans.value - truth) < abs(ans.observed - truth)
+
+    def test_compensation_off_returns_observed(self):
+        rng = np.random.default_rng(2)
+        shard = make_shard(retention_ms=2000.0)
+        shard.ingest(*uniform_batch(rng, 5000, 0.0, 500.0, mean_delay=10.0))
+        ans = shard.query(400.0, 450.0, available_by=452.0, compensate_output=False)
+        assert ans.value == ans.observed
+
+    def test_starved_window_is_flagged(self):
+        rng = np.random.default_rng(3)
+        shard = make_shard()
+        event, arrival, key, payload, _ = uniform_batch(rng, 200, 0.0, 50.0)
+        one_sided = np.ones(200, dtype=bool)  # R only: the S side starves
+        shard.ingest(event, arrival, key, payload, one_sided)
+        ans = shard.query(0.0, 50.0, available_by=100.0)
+        assert ans.starved
+        assert ans.value == ans.observed == 0.0
+
+    def test_empty_shard_answers_zero(self):
+        ans = make_shard().query(0.0, 50.0, available_by=100.0)
+        assert ans.value == 0.0
+        assert ans.starved
+
+    def test_negative_clock_skew_is_clamped(self):
+        shard = make_shard()
+        event = np.array([10.0, 20.0])
+        arrival = np.array([9.0, 25.0])  # first tuple "arrived early"
+        shard.ingest(event, arrival, np.array([1, 2]), np.ones(2), np.array([True, False]))
+        assert shard.profile.weight == 2.0
+
+    def test_retention_validation(self):
+        with pytest.raises(ValueError):
+            make_shard(retention_ms=60.0)
+
+
+class TestEviction:
+    def test_old_events_evicted_on_rebuild(self):
+        rng = np.random.default_rng(4)
+        shard = make_shard(retention_ms=400.0)
+        for lo in range(0, 2000, 100):
+            shard.ingest(*uniform_batch(rng, 300, float(lo), float(lo + 100)))
+            shard.query(float(lo), float(lo + 50), available_by=float(lo + 100))
+        assert shard.evicted > 0
+        # Live state stays bounded by the retention horizon.
+        assert len(shard) < 300 * 7
+
+    def test_recent_windows_survive_eviction(self):
+        rng = np.random.default_rng(5)
+        shard = make_shard(retention_ms=400.0)
+        shard.ingest(*uniform_batch(rng, 2000, 0.0, 1000.0))
+        ans = shard.query(900.0, 950.0, available_by=1100.0)
+        assert ans.n_r + ans.n_s > 0
+
+
+class TestCheckpoint:
+    def test_round_trip_preserves_answers(self):
+        rng = np.random.default_rng(6)
+        shard = make_shard(retention_ms=2000.0)
+        shard.ingest(*uniform_batch(rng, 5000, 0.0, 500.0))
+        snapshot = json.loads(json.dumps(shard.checkpoint()))
+        restored = ShardStore.restore(snapshot)
+        for start in (0.0, 150.0, 400.0):
+            a = shard.query(start, start + 50.0, available_by=start + 60.0)
+            b = restored.query(start, start + 50.0, available_by=start + 60.0)
+            assert a == b
+
+    def test_restored_shard_keeps_learning(self):
+        """Migration is mid-run: the successor must keep ingesting and
+        answer like the never-migrated shard."""
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        plain = make_shard(retention_ms=2000.0)
+        moved = make_shard(retention_ms=2000.0)
+        plain.ingest(*uniform_batch(rng_a, 3000, 0.0, 300.0))
+        moved.ingest(*uniform_batch(rng_b, 3000, 0.0, 300.0))
+        moved = ShardStore.restore(json.loads(json.dumps(moved.checkpoint())))
+        plain.ingest(*uniform_batch(rng_a, 3000, 300.0, 600.0))
+        moved.ingest(*uniform_batch(rng_b, 3000, 300.0, 600.0))
+        a = plain.query(500.0, 550.0, available_by=560.0)
+        b = moved.query(500.0, 550.0, available_by=560.0)
+        assert a == b
+        assert moved.ingested == plain.ingested
+
+    def test_rejects_unknown_snapshot_version(self):
+        snapshot = make_shard().checkpoint()
+        snapshot["version"] = 99
+        with pytest.raises(ValueError):
+            ShardStore.restore(snapshot)

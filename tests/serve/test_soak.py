@@ -1,0 +1,100 @@
+"""Serve soak: ~1M virtual events, hundreds of tenants, chaos spike.
+
+The tentpole acceptance drill: one long service run under the chaos
+load trace must sustain end-to-end — no bounded-queue deadlock (the
+whole run sits under an ``asyncio.wait_for`` wall-clock guard), every
+admitted query accounted (completed or shed, never lost), quota
+fairness across tenants, and a shard checkpoint that migrates and
+resumes to identical answers.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults import serve_load_plan
+from repro.serve import JoinService, ServeConfig, ShardStore, TenantQuota
+
+SOAK = ServeConfig(
+    tenants=512,
+    n_shards=8,
+    num_keys=128,
+    window_ms=50.0,
+    omega_ms=10.0,
+    duration_ms=2500.0,
+    warmup_ms=250.0,
+    rate_per_ms=400.0,
+    mean_query_interval_ms=120.0,
+    quota=TenantQuota(rate_per_s=12.0, burst=3.0),
+    min_workers=1,
+    max_workers=8,
+    migrate_at_ms=1250.0,
+    seed=2024,
+)
+
+
+@pytest.fixture(scope="module")
+def soak():
+    """One shared soak run: the service instance and its report."""
+    service = JoinService(SOAK, serve_load_plan(2.0, 0.0, SOAK.duration_ms, seed=2024))
+
+    async def guarded():
+        # The wall-clock guard is the no-deadlock assertion: a stuck
+        # bounded queue would hang forever, not fail an assert.
+        return await asyncio.wait_for(service.run(), timeout=300.0)
+
+    report = asyncio.run(guarded())
+    return service, report
+
+
+class TestSoak:
+    def test_sustains_a_million_events(self, soak):
+        _, report = soak
+        assert report["events"] >= 1_000_000
+        assert report["queries_completed"] > 2_000
+        assert report["qps"] > 800.0
+
+    def test_accounting_is_airtight(self, soak):
+        service, report = soak
+        assert (
+            report["queries_submitted"]
+            == report["queries_admitted"] + report["queries_rejected"]
+        )
+        assert (
+            report["queries_admitted"]
+            == report["queries_completed"] + report["shed_queue"]
+        )
+        assert all(len(q) == 0 for q in service.tenant_queues)
+        assert int(service.tenant_completed.sum()) == report["queries_completed"]
+
+    def test_spike_sheds_and_scales_rather_than_stalling(self, soak):
+        _, report = soak
+        assert report["queries_rejected"] > 0  # quota bit during the spike
+        assert report["peak_workers"] > 1
+        assert report["scale_ups"] >= 1
+        assert report["p99_ms"] < SOAK.duration_ms  # latency bounded, not runaway
+
+    def test_quota_fairness_across_tenants(self, soak):
+        service, report = soak
+        completed = service.tenant_completed
+        assert report["fairness_min_completed"] > 0
+        # Homogeneous tenants under a shared quota finish within a
+        # narrow band: no tenant starves, none monopolises.
+        mean = completed.mean()
+        assert completed.min() >= mean / 3.0
+        assert completed.max() <= 2.0 * mean
+        spread = completed.std() / mean
+        assert spread < 0.5
+
+    def test_shard_checkpoint_migrates_to_identical_answers(self, soak):
+        service, _ = soak
+        shard = service.shards[3]
+        restored = ShardStore.restore(json.loads(json.dumps(shard.checkpoint())))
+        end = float(np.floor(SOAK.duration_ms / SOAK.window_ms) * SOAK.window_ms)
+        for w_start in np.arange(end - 5 * SOAK.window_ms, end, SOAK.window_ms):
+            a = shard.query(w_start, w_start + SOAK.window_ms, end + 50.0)
+            b = restored.query(w_start, w_start + SOAK.window_ms, end + 50.0)
+            assert a == b
+        assert restored.profile.weight == shard.profile.weight
