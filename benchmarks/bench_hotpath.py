@@ -22,6 +22,13 @@ replacement and asserting equivalence before timing:
   byte-identical.  Wall-clock speedup is gated whenever the machine has
   >= 2 CPUs: break-even (1x) at 2 workers on 2 CPUs, 1.8x at the
   requested worker count on >= 4 CPUs (recorded in artifact metadata).
+* **serve_hotpath** — the serving shard's ingest-to-answer loop at
+  growing retention: full-rebuild :class:`repro.serve.shards.ShardStore`
+  (re-sort + re-aggregate per touched tick) vs the incremental
+  sorted-run + delta-grid mode, same deterministic tick stream, COUNT
+  answers asserted bit-identical first.  Gated >= 3x at the largest
+  retention point in full mode — the gap that must widen with retention
+  is the whole point of the run structure.
 
 Timing is best-of-N and a JSON artifact is written for tracking (see
 DESIGN.md for how to read it).
@@ -47,6 +54,11 @@ import numpy as np  # noqa: E402
 
 from repro import obs  # noqa: E402
 from repro.bench.experiments import fig6_end_to_end  # noqa: E402
+from repro.bench.serve_bench import (  # noqa: E402
+    _HOTPATH_TICK_MS,
+    hotpath_drive,
+    hotpath_tick_stream,
+)
 from repro.core.pecj import PECJoin  # noqa: E402
 from repro.joins.aggregator import WindowAggregator  # noqa: E402
 from repro.joins.arrays import AggKind, BatchArrays  # noqa: E402
@@ -268,6 +280,56 @@ def executor_workload(scale, workers, repeats):
     return row
 
 
+#: Retention points (ms) of the serve_hotpath section.  Per-tick arrival
+#: volume is constant, so the full-rebuild cost grows with retention
+#: while the incremental cost should not.
+SERVE_FULL_RETENTIONS = (800.0, 3200.0, 12800.0)
+SERVE_SMOKE_RETENTIONS = (400.0, 1600.0)
+
+
+def serve_hotpath_workload(retention_ms, repeats):
+    """Ingest-to-answer loop, full-rebuild vs incremental shard state.
+
+    The stream spans 1.5x the retention so the largest points reach
+    eviction steady state.  COUNT answers are all-integer, so the
+    equivalence assert is bit-for-bit; the timed passes then run each
+    mode over the identical pre-generated chunks.
+    """
+    ticks = int(1.5 * retention_ms / _HOTPATH_TICK_MS)
+    chunks = hotpath_tick_stream(ticks)
+    n = sum(len(c[0]) for c in chunks)
+
+    inc_shard, inc_answers = hotpath_drive("runs", retention_ms, chunks)
+    ref_shard, ref_answers = hotpath_drive("full", retention_ms, chunks)
+    assert inc_answers == ref_answers, (
+        f"serve_hotpath retention={retention_ms}: incremental answers "
+        "diverged from the full-rebuild reference"
+    )
+    assert inc_shard.evicted == ref_shard.evicted
+
+    t_full = best_of(lambda: hotpath_drive("full", retention_ms, chunks), repeats)
+    t_runs = best_of(lambda: hotpath_drive("runs", retention_ms, chunks), repeats)
+    row = {
+        "retention_ms": retention_ms,
+        "ticks": ticks,
+        "tuples": n,
+        "queries": len(inc_answers),
+        "live_at_end": len(inc_shard),
+        "answers_identical": True,
+        "runs": len(inc_shard._runs),
+        "compactions": inc_shard._runs.compactions,
+        "full": {"seconds": t_full, "tuples_per_s": n / t_full},
+        "incremental": {"seconds": t_runs, "tuples_per_s": n / t_runs},
+        "speedup": t_full / t_runs,
+    }
+    print(
+        f"serve_hotpath/retention={retention_ms:g}ms: n={n} ticks={ticks} | "
+        f"full {t_full * 1e3:.1f} ms | incremental {t_runs * 1e3:.1f} ms | "
+        f"speedup {row['speedup']:.2f}x"
+    )
+    return row
+
+
 def observability_sweep(duration_ms, num_keys, length):
     """Drive one real runner sweep under :mod:`repro.obs` and summarize.
 
@@ -361,6 +423,12 @@ def main(argv=None) -> int:
         repeats=1 if args.smoke else min(args.repeats, 3),
     )
 
+    serve_retentions = SERVE_SMOKE_RETENTIONS if args.smoke else SERVE_FULL_RETENTIONS
+    serve_rows = [
+        serve_hotpath_workload(retention_ms, repeats=min(args.repeats, 2))
+        for retention_ms in serve_retentions
+    ]
+
     _, duration_ms, num_keys, length = workloads[0]
     health = observability_sweep(duration_ms, num_keys, length)
     agg = health["aggregator"]
@@ -386,6 +454,7 @@ def main(argv=None) -> int:
         "ingest": ingest_rows,
         "estimator": estimator_row,
         "executor": executor_row,
+        "serve_hotpath": serve_rows,
         "observability": health,
     }
     with open(args.out, "w") as fh:
@@ -422,6 +491,17 @@ def main(argv=None) -> int:
         if estimator_row["speedup"] < 1.3:
             print(
                 f"FAIL: estimator speedup {estimator_row['speedup']:.2f}x < 1.3x",
+                file=sys.stderr,
+            )
+            return 1
+        # At the largest retention the full rebuild re-sorts and
+        # re-aggregates the whole retained state every tick; the run
+        # structure must beat it by 3x or it is not paying its way.
+        serve_headline = serve_rows[-1]
+        if serve_headline["speedup"] < 3.0:
+            print(
+                f"FAIL: serve_hotpath speedup {serve_headline['speedup']:.2f}x "
+                f"< 3x at retention {serve_headline['retention_ms']:g} ms",
                 file=sys.stderr,
             )
             return 1
@@ -499,7 +579,14 @@ def compare_artifacts(baseline_path: str, current: dict) -> int:
         )
         return 2
     findings: list[dict] = []
-    for section in ("workloads", "ingest", "estimator", "executor", "observability"):
+    for section in (
+        "workloads",
+        "ingest",
+        "estimator",
+        "executor",
+        "serve_hotpath",
+        "observability",
+    ):
         findings.extend(
             compare_trees(
                 section,

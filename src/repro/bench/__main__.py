@@ -55,7 +55,7 @@ from repro.bench.experiments import (
     smoke_observability,
 )
 from repro.bench.reporting import format_table
-from repro.bench.serve_bench import serve_sustained
+from repro.bench.serve_bench import serve_hotpath, serve_sustained
 
 _FIGURES = {
     "smoke": (smoke_observability, ["workload", "method", "error", "p95_latency_ms"]),
@@ -72,6 +72,13 @@ _FIGURES = {
             "tenants", "intensity", "events", "qps", "p95_ms", "p99_ms",
             "queries_rejected", "shed_queue", "shed_starved", "peak_workers",
             "scale_ups", "scale_downs",
+        ],
+    ),
+    "serve_hotpath": (
+        serve_hotpath,
+        [
+            "retention_ms", "ticks", "ingested", "evicted", "live", "queries",
+            "answers_equal", "runs", "compactions", "delta_appends",
         ],
     ),
 }

@@ -1,4 +1,6 @@
-"""The ``serve`` figure: sustained multi-tenant serving under chaos.
+"""The ``serve`` figures: sustained multi-tenant serving under chaos
+(``serve``) and the shard storage hot path at growing retention
+(``serve_hotpath``).
 
 The batch figures grade *accuracy*; this one grades *service*: a
 :class:`~repro.serve.service.JoinService` sweeps a small grid of
@@ -19,11 +21,15 @@ count stays the driver of query pressure).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.faults.plan import serve_load_plan
+from repro.joins.arrays import AggKind
 from repro.serve.admission import TenantQuota
 from repro.serve.service import ServeConfig, run_service
+from repro.serve.shards import ShardStore
 
-__all__ = ["serve_sustained"]
+__all__ = ["serve_hotpath", "serve_sustained"]
 
 #: (tenants, chaos intensity) grid of the figure.
 _CELLS = ((24, 0.0), (24, 2.0), (96, 0.0), (96, 2.0))
@@ -64,4 +70,116 @@ def serve_sustained(scale: float = 1.0, workers: int | None = None) -> list[dict
         plan = serve_load_plan(intensity, 0.0, duration_ms, seed=7)
         report = run_service(config, plan if plan else None)
         rows.append({"tenants": tenants, "intensity": intensity, **report})
+    return rows
+
+
+#: Retention points of the ``serve_hotpath`` figure (ms).  Per-tick work
+#: is constant, so any cost growth across this sweep is retained-state
+#: cost — exactly what the incremental runs mode is supposed to flatten.
+_HOTPATH_RETENTIONS = (400.0, 1600.0, 6400.0)
+_HOTPATH_TICK_MS = 25.0
+_HOTPATH_WINDOW_MS = 50.0
+_HOTPATH_PER_TICK = 120
+_HOTPATH_NUM_KEYS = 64
+
+
+def hotpath_tick_stream(ticks: int, seed: int = 11) -> list[tuple[np.ndarray, ...]]:
+    """The deterministic per-tick ingest chunks of the hotpath figure.
+
+    One service tick's worth of arrivals each: arrival times inside the
+    tick (sorted, as the service's ingest loop delivers them), gamma
+    disorder on event times.  Shared by the figure rows and the timing
+    benchmark so both measure the same stream.
+    """
+    rng = np.random.default_rng(seed)
+    chunks = []
+    for tick in range(ticks):
+        clock = (tick + 1) * _HOTPATH_TICK_MS
+        arrival = np.sort(clock - rng.uniform(0.0, _HOTPATH_TICK_MS, _HOTPATH_PER_TICK))
+        event = np.maximum(arrival - rng.gamma(2.0, 8.0, _HOTPATH_PER_TICK), 0.0)
+        chunks.append(
+            (
+                event,
+                arrival,
+                rng.integers(0, _HOTPATH_NUM_KEYS, _HOTPATH_PER_TICK).astype(np.int64),
+                rng.uniform(0.0, 2.0, _HOTPATH_PER_TICK),
+                rng.random(_HOTPATH_PER_TICK) < 0.5,
+            )
+        )
+    return chunks
+
+
+def hotpath_drive(
+    mode: str, retention_ms: float, chunks: list[tuple[np.ndarray, ...]]
+) -> tuple[ShardStore, list[tuple[int, int, float]]]:
+    """Ingest-to-answer loop of one shard in one storage mode.
+
+    Every tick ingests one chunk and answers a COUNT query over the
+    latest closed window — the serving layer's steady-state rhythm.
+    Returns the shard and the per-tick answers ``(n_r, n_s, value)``.
+    """
+    shard = ShardStore(
+        0,
+        _HOTPATH_NUM_KEYS,
+        AggKind.COUNT,
+        _HOTPATH_WINDOW_MS,
+        retention_ms,
+        rebuild=mode,
+    )
+    answers = []
+    for tick, chunk in enumerate(chunks):
+        clock = (tick + 1) * _HOTPATH_TICK_MS
+        shard.ingest(*chunk)
+        start = (clock // _HOTPATH_WINDOW_MS - 1) * _HOTPATH_WINDOW_MS
+        if start < 0:
+            continue
+        ans = shard.query(start, start + _HOTPATH_WINDOW_MS, clock)
+        answers.append((ans.n_r, ans.n_s, ans.value))
+    return shard, answers
+
+
+def serve_hotpath(scale: float = 1.0, workers: int | None = None) -> list[dict]:
+    """Rows of the ``serve_hotpath`` figure (one per retention point).
+
+    Runs the incremental (``rebuild="runs"``) and full-rebuild shard in
+    lockstep over the same deterministic tick stream at each retention
+    point and reports the structural accounting: run/compaction/delta
+    counts for the incremental mode, rebuild counts for the reference,
+    and the equality of their answers (COUNT answers are all-integer, so
+    ``answers_equal`` is an exact bit-for-bit check).  Rows carry no
+    wall-clock numbers — they are byte-identical across machines and
+    worker counts; ``benchmarks/bench_hotpath.py`` does the timing.
+
+    Args:
+        scale: Fraction of the full tick count per retention point
+            (floored so even tiny scales span several windows).
+        workers: Accepted for CLI uniformity and ignored — the sweep is
+            one shard ingesting sequentially; rows are identical for
+            any value, which keeps the determinism gate green.
+    """
+    del workers  # sequential single-shard sweep; nothing to shard
+    rows: list[dict] = []
+    for retention_ms in _HOTPATH_RETENTIONS:
+        ticks = max(int(1.5 * retention_ms / _HOTPATH_TICK_MS * scale), 40)
+        chunks = hotpath_tick_stream(ticks)
+        inc, inc_answers = hotpath_drive("runs", retention_ms, chunks)
+        ref, ref_answers = hotpath_drive("full", retention_ms, chunks)
+        rows.append(
+            {
+                "retention_ms": retention_ms,
+                "ticks": ticks,
+                "ingested": inc.ingested,
+                "evicted": inc.evicted,
+                "live": len(inc),
+                "queries": inc.queries,
+                "answers_equal": inc_answers == ref_answers,
+                "evictions_equal": inc.evicted == ref.evicted,
+                "count_checksum": float(sum(a[2] for a in inc_answers)),
+                "runs": len(inc._runs),
+                "compactions": inc._runs.compactions,
+                "delta_appends": inc._grid.appends,
+                "grid_windows": len(inc._grid),
+                "full_rebuilds": ref.queries,  # one rebuild per dirty query
+            }
+        )
     return rows

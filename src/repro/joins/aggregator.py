@@ -44,7 +44,7 @@ import numpy as np
 from repro import obs
 from repro.joins.arrays import BatchArrays, WindowAggregate
 
-__all__ = ["WindowAggregator"]
+__all__ = ["DeltaAppendError", "DeltaGrid", "WindowAggregator"]
 
 _EMPTY = WindowAggregate(0, 0, 0.0, 0.0)
 
@@ -311,3 +311,296 @@ class WindowAggregator:
                 f"(length={self.window_length}, origin={self.origin})"
             )
         return agg
+
+
+class DeltaAppendError(ValueError):
+    """An appended chunk is not clock-monotone against the grid's state.
+
+    :meth:`DeltaGrid.delta_append` requires each touched window's new
+    tuples to start at or after that window's last appended clock value
+    (prefix aggregates only ever *extend*).  The serving layer's ingest
+    is arrival-ordered so this never fires in steady state; callers
+    that cannot guarantee it (restores, adversarial tests) catch this
+    and rebuild the grid from their run storage.  The grid is left
+    unmodified when this is raised.
+    """
+
+
+class _DeltaWindow:
+    """Growable per-window delta state of one :class:`DeltaGrid` window.
+
+    Holds the dense per-key join state (``c_r``/``c_s``/``sum_rv``) the
+    O(1)-per-tuple insertion kernel rolls forward, plus the clock-sorted
+    inclusive prefix columns queries binary-search.  Arrays grow by
+    doubling, so appending is amortized O(1) per tuple.
+    """
+
+    __slots__ = ("c_r", "c_s", "sum_rv", "n", "clock", "p_matches", "p_sum", "p_nr", "p_ns")
+
+    def __init__(self, num_keys: int):
+        self.c_r = np.zeros(num_keys, dtype=np.int64)
+        self.c_s = np.zeros(num_keys, dtype=np.int64)
+        self.sum_rv = np.zeros(num_keys)
+        self.n = 0
+        self.clock = np.empty(0)
+        self.p_matches = np.empty(0, dtype=np.int64)
+        self.p_sum = np.empty(0)
+        self.p_nr = np.empty(0, dtype=np.int64)
+        self.p_ns = np.empty(0, dtype=np.int64)
+
+    def _reserve(self, extra: int) -> None:
+        need = self.n + extra
+        cap = len(self.clock)
+        if need <= cap:
+            return
+        new_cap = max(2 * cap, need, 16)
+        for name in ("clock", "p_matches", "p_sum", "p_nr", "p_ns"):
+            old = getattr(self, name)
+            grown = np.empty(new_cap, dtype=old.dtype)
+            grown[: self.n] = old[: self.n]
+            setattr(self, name, grown)
+
+    @property
+    def nbytes(self) -> int:
+        return int(
+            self.c_r.nbytes
+            + self.c_s.nbytes
+            + self.sum_rv.nbytes
+            + self.clock.nbytes
+            + self.p_matches.nbytes
+            + self.p_sum.nbytes
+            + self.p_nr.nbytes
+            + self.p_ns.nbytes
+        )
+
+
+class DeltaGrid:
+    """Mergeable, append-only prefix aggregates of one tumbling grid.
+
+    Where :class:`_GridIndex` builds its prefix columns in one batch
+    sweep and must be rebuilt from scratch whenever the batch grows,
+    ``DeltaGrid`` *extends* per-window prefix state chunk by chunk: each
+    appended chunk only builds its own small deltas — O(new tuples +
+    touched windows) — seeded from the accumulated per-key counts, so a
+    pair spanning two chunks is charged exactly once, in the chunk that
+    holds the later tuple.  After any append sequence, a window's
+    prefix at clock cut ``t`` equals what a from-scratch
+    :class:`_GridIndex` over the union would report: integer columns
+    (``n_r``/``n_s``/``matches``) bit for bit, the float payload sum to
+    within summation-order rounding.
+
+    The availability clock must be nondecreasing per window across
+    appends (:class:`DeltaAppendError` otherwise); within a chunk any
+    order is fine — each window segment is clock-sorted during the
+    append.  This is the aggregation engine behind
+    :class:`repro.serve.shards.ShardStore`'s incremental mode; the
+    generic batch path keeps using :class:`WindowAggregator`.
+
+    Args:
+        num_keys: Dense width of the per-key count state (appending a
+            key ``>= num_keys`` raises ``ValueError``).
+        length: Grid window length.
+        origin: Event-time offset of the grid.
+    """
+
+    def __init__(self, num_keys: int, length: float, origin: float = 0.0):
+        if length <= 0:
+            raise ValueError("length must be positive")
+        if num_keys < 1:
+            raise ValueError("num_keys must be positive")
+        self.num_keys = int(num_keys)
+        self.length = float(length)
+        self.origin = float(origin)
+        self.appends = 0
+        self._windows: dict[int, _DeltaWindow] = {}
+
+    # -- grid geometry (same semantics as WindowAggregator) ------------------
+
+    def window_index(self, start: float) -> int:
+        """Grid index of the window starting at ``start``."""
+        return int(round((start - self.origin) / self.length))
+
+    def covers(self, start: float, end: float) -> bool:
+        """Whether ``[start, end)`` is exactly one window of this grid."""
+        tol = 1e-9 * max(self.length, 1.0)
+        idx = self.window_index(start)
+        return (
+            abs(self.origin + idx * self.length - start) <= tol
+            and abs((end - start) - self.length) <= tol
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Memory held by all window states (the grid's working set)."""
+        return sum(w.nbytes for w in self._windows.values())
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    # -- appends --------------------------------------------------------------
+
+    def delta_append(
+        self,
+        event: np.ndarray,
+        clock: np.ndarray,
+        key: np.ndarray,
+        payload: np.ndarray,
+        is_r: np.ndarray,
+    ) -> int:
+        """Fold one event-sorted chunk into the grid; touched windows.
+
+        ``event`` must be sorted ascending (a
+        :class:`repro.serve.runs.SortedRun` provides this for free);
+        window membership then uses the exact ``searchsorted`` edge
+        semantics of :class:`_GridIndex`, so boundary tuples land in the
+        same window as the reference.  The whole validation pass runs
+        before any state is touched: on :class:`DeltaAppendError` the
+        grid is unchanged.
+        """
+        n = len(event)
+        if n == 0:
+            return 0
+        if int(key.max()) >= self.num_keys:
+            raise ValueError(
+                f"key {int(key.max())} outside dense key space [0, {self.num_keys})"
+            )
+        w_lo = math.floor((float(event[0]) - self.origin) / self.length) - 1
+        w_hi = math.floor((float(event[-1]) - self.origin) / self.length) + 1
+        edges = self.origin + np.arange(w_lo, w_hi + 2, dtype=np.float64) * self.length
+        bounds = np.searchsorted(event, edges, side="left").astype(np.int64)
+        if bounds[0] != 0 or bounds[-1] != n:
+            raise AssertionError("grid padding failed to cover the chunk")
+        # Pass 1: order every touched segment by clock and validate
+        # monotonicity against existing window state — all or nothing.
+        segments: list[tuple[int, int, int, np.ndarray]] = []
+        for i in range(len(bounds) - 1):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            if hi <= lo:
+                continue
+            idx = w_lo + i
+            order = np.argsort(clock[lo:hi], kind="stable")
+            win = self._windows.get(idx)
+            if win is not None and win.n:
+                if float(clock[lo + int(order[0])]) < float(win.clock[win.n - 1]):
+                    raise DeltaAppendError(
+                        f"window {idx}: chunk clock "
+                        f"{float(clock[lo + int(order[0])])} precedes the "
+                        f"window's last appended clock "
+                        f"{float(win.clock[win.n - 1])}"
+                    )
+            segments.append((idx, lo, hi, order))
+        # Pass 2: apply.
+        for idx, lo, hi, order in segments:
+            win = self._windows.get(idx)
+            if win is None:
+                win = self._windows[idx] = _DeltaWindow(self.num_keys)
+            self._append_segment(
+                win,
+                key[lo:hi][order],
+                payload[lo:hi][order],
+                is_r[lo:hi][order],
+                clock[lo:hi][order],
+            )
+        self.appends += 1
+        return len(segments)
+
+    def _append_segment(
+        self,
+        win: _DeltaWindow,
+        key: np.ndarray,
+        payload: np.ndarray,
+        is_r: np.ndarray,
+        clock: np.ndarray,
+    ) -> None:
+        """Roll one clock-sorted window segment into the prefix state."""
+        m = len(key)
+        pos = np.arange(m, dtype=np.int64)
+        # Grouped exclusive prefixes by key, in clock order — the same
+        # kernel as _GridIndex, seeded with the accumulated counts.
+        if self.num_keys * m < 2**62:
+            regroup = np.argsort(key * m + pos)
+        else:  # pragma: no cover - needs an astronomically wide key space
+            regroup = np.lexsort((pos, key))
+        kk = key[regroup]
+        new_group = np.empty(m, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = kk[1:] != kk[:-1]
+        group_first = np.flatnonzero(new_group)
+        base = group_first[np.cumsum(new_group) - 1]
+        rr = is_r[regroup]
+        pp = payload[regroup]
+        rr_int = rr.astype(np.int64)
+        cum_r = np.cumsum(rr_int)
+        excl_r = cum_r - rr_int
+        r_before = excl_r - excl_r[base]
+        s_before = (pos - base) - r_before
+        rv = np.where(rr, pp, 0.0)
+        cum_v = np.cumsum(rv)
+        excl_v = cum_v - rv
+        rv_before = excl_v - excl_v[base]
+        prior_r = win.c_r[kk]
+        prior_s = win.c_s[kk]
+        prior_rv = win.sum_rv[kk]
+        d_matches_g = np.where(rr, prior_s + s_before, prior_r + r_before)
+        d_sum_g = np.where(rr, pp * (prior_s + s_before), prior_rv + rv_before)
+        d_matches = np.empty(m, dtype=np.int64)
+        d_matches[regroup] = d_matches_g
+        d_sum = np.empty(m)
+        d_sum[regroup] = d_sum_g
+        # Advance the per-key state by the whole segment.
+        r_keys = key[is_r]
+        s_keys = key[~is_r]
+        win.c_r += np.bincount(r_keys, minlength=self.num_keys).astype(np.int64)
+        win.c_s += np.bincount(s_keys, minlength=self.num_keys).astype(np.int64)
+        win.sum_rv += np.bincount(
+            r_keys, weights=payload[is_r], minlength=self.num_keys
+        )
+        # Extend the inclusive prefix columns.
+        win._reserve(m)
+        j = win.n
+        nr_seg = is_r.astype(np.int64)
+        base_m = int(win.p_matches[j - 1]) if j else 0
+        base_s = float(win.p_sum[j - 1]) if j else 0.0
+        base_nr = int(win.p_nr[j - 1]) if j else 0
+        base_ns = int(win.p_ns[j - 1]) if j else 0
+        win.clock[j : j + m] = clock
+        win.p_matches[j : j + m] = np.cumsum(d_matches) + base_m
+        win.p_sum[j : j + m] = np.cumsum(d_sum) + base_s
+        win.p_nr[j : j + m] = np.cumsum(nr_seg) + base_nr
+        win.p_ns[j : j + m] = (pos + 1) - np.cumsum(nr_seg) + base_ns
+        win.n = j + m
+
+    # -- queries --------------------------------------------------------------
+
+    def query(self, idx: int, available_by: float | None) -> WindowAggregate:
+        """Aggregate of grid window ``idx`` over its available prefix."""
+        win = self._windows.get(idx)
+        if win is None or win.n == 0:
+            return _EMPTY
+        if available_by is None:
+            j = win.n
+        else:
+            j = int(
+                np.searchsorted(win.clock[: win.n], available_by, side="right")
+            )
+        if j == 0:
+            return _EMPTY
+        return WindowAggregate(
+            int(win.p_nr[j - 1]),
+            int(win.p_ns[j - 1]),
+            float(win.p_matches[j - 1]),
+            float(win.p_sum[j - 1]),
+        )
+
+    def drop_below(self, min_idx: int) -> int:
+        """Drop whole window states with index below ``min_idx``.
+
+        The retention analog of run eviction: a window entirely behind
+        the horizon can never be grid-answered again, so its state is
+        released in one dict deletion — survivors untouched.  Returns
+        the number of windows dropped.
+        """
+        stale = [idx for idx in self._windows if idx < min_idx]
+        for idx in stale:
+            del self._windows[idx]
+        return len(stale)

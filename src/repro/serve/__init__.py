@@ -19,16 +19,20 @@ tenancy and chaos intensity through the same path.
 
 from repro.serve.admission import AdmissionController, TenantQuota
 from repro.serve.autoscaler import VerticalAutoscaler
+from repro.serve.runs import RunStack, SortedRun, merge_sorted_runs
 from repro.serve.service import JoinService, ServeConfig, run_service
 from repro.serve.shards import ShardAnswer, ShardStore
 
 __all__ = [
     "AdmissionController",
     "JoinService",
+    "RunStack",
     "ServeConfig",
     "ShardAnswer",
     "ShardStore",
+    "SortedRun",
     "TenantQuota",
     "VerticalAutoscaler",
+    "merge_sorted_runs",
     "run_service",
 ]

@@ -1,12 +1,31 @@
 """Key-sharded operator state for the serving layer.
 
-Each shard owns a disjoint key range of the shared join state: appended
-column buffers of both streams' tuples, a per-shard
-:class:`~repro.core.delay_profile.DelayProfile` learned from the
-shard's own arrivals, and (lazily) a
-:class:`~repro.joins.arrays.BatchArrays` rebuilt from the buffers so
-queries ride the existing prefix-aggregate grid index
-(:meth:`BatchArrays.aggregator`) instead of rescanning.
+Each shard owns a disjoint key range of the shared join state.  Two
+storage modes answer the same queries:
+
+* ``rebuild="runs"`` (default, the hot path): every ingest chunk becomes
+  an event-sorted :class:`~repro.serve.runs.SortedRun` (one
+  O(chunk log chunk) sort at ingest) stacked in a size-tiered
+  :class:`~repro.serve.runs.RunStack` with amortized two-pointer
+  compaction, while a mergeable
+  :class:`~repro.joins.aggregator.DeltaGrid` extends per-window prefix
+  aggregates in O(new tuples + touched windows) per chunk.  A query is
+  a binary search into the window's prefix state; retention eviction
+  advances per-run frontiers and drops whole expired runs — the shard
+  never re-sorts or re-aggregates data it has already absorbed.
+* ``rebuild="full"`` (the reference): concatenate all retained columns,
+  re-argsort them in the ``BatchArrays`` constructor and rebuild the
+  prefix-aggregate grid from scratch on the first query after new
+  arrivals — O(state · log state) per touched tick.  Kept as the
+  equivalence oracle: ``tests/serve/test_shards_incremental.py`` pins
+  incremental answers exactly equal to this mode across randomized
+  ingest/query/evict/checkpoint/migrate interleavings, and
+  ``benchmarks/bench_hotpath.py`` gates the speedup.
+
+Both modes agree bit for bit on integer accounting (``n_r``/``n_s``/
+match counts — and therefore on every COUNT answer and on ``evicted``/
+``len``); float payload sums agree to summation-order rounding
+(~1 ulp per addend), the same caveat the batch aggregator carries.
 
 Queries are answered with *PECJ-lite* compensation: the observed window
 aggregate is inflated by the profile's completeness CDF — the paper's
@@ -19,16 +38,23 @@ afford a full estimator stack per shard, and the profile is the part
 that transfers across queries.
 
 Shards checkpoint to plain JSON-compatible dicts (reusing
-:func:`repro.core.persistence.profile_state`) and restore into a fresh
-shard, which is what tenant migration in :mod:`repro.serve.service`
-round-trips.
+:func:`repro.core.persistence.profile_state`) with columns packed as
+base64 little-endian arrays (snapshot schema v2; the v1 ``.tolist()``
+format restores transparently), which is what tenant migration in
+:mod:`repro.serve.service` round-trips.
 
-Counters: ``serve.shard.ingested``, ``serve.shard.rebuilds``,
-``serve.shard.evicted``, ``serve.shard.queries``.
+Counters: ``serve.shard.ingested``, ``serve.shard.evicted``,
+``serve.shard.queries``, ``serve.shard.rebuilds`` (full mode only),
+``serve.shard.compactions``, ``serve.shard.delta_appends``,
+``serve.shard.grid_rebuilds``, ``serve.shard.scan_fallbacks``.
+Gauge: ``serve.shard.runs``.  Histogram: ``serve.shard.ckpt_bytes``.
 """
 
 from __future__ import annotations
 
+import base64
+import json
+import math
 from dataclasses import dataclass
 from typing import Any
 
@@ -38,11 +64,26 @@ from repro import obs
 from repro.core.compensation import compensate
 from repro.core.delay_profile import DelayProfile
 from repro.core.persistence import profile_state, restore_profile
-from repro.joins.arrays import AggKind, BatchArrays
+from repro.joins.aggregator import DeltaAppendError, DeltaGrid
+from repro.joins.arrays import AggKind, BatchArrays, WindowAggregate
+from repro.serve.runs import RunStack, SortedRun
 
 __all__ = ["ShardAnswer", "ShardStore"]
 
-_STATE_VERSION = 1
+_STATE_VERSION = 2
+
+#: Snapshot versions :meth:`ShardStore.restore` understands.  Version 1
+#: is the pre-runs ``.tolist()`` column format.
+_KNOWN_STATE_VERSIONS = frozenset({1, _STATE_VERSION})
+
+#: Column dtypes of a v2 snapshot, little-endian for portability.
+_COLUMN_DTYPES = {
+    "event": "<f8",
+    "arrival": "<f8",
+    "key": "<i8",
+    "payload": "<f8",
+    "is_r": "|b1",
+}
 
 #: Sub-intervals a window is split into when averaging completeness —
 #: matches the bucket granularity PECJ's batch operator compensates at.
@@ -52,6 +93,20 @@ _AGE_BUCKETS = 8
 #: this the profile is effectively saying "almost nothing has arrived"
 #: and ``1/c`` amplification becomes noise-dominated garbage.
 _MIN_COMPLETENESS = 0.05
+
+_EMPTY_AGG = WindowAggregate(0, 0, 0.0, 0.0)
+
+
+def _encode_column(values: np.ndarray, dtype: str) -> str:
+    """Pack one column as base64 little-endian bytes (JSON-safe)."""
+    return base64.b64encode(
+        np.ascontiguousarray(values, dtype=dtype).tobytes()
+    ).decode("ascii")
+
+
+def _decode_column(data: str, dtype: str) -> np.ndarray:
+    """Invert :func:`_encode_column` into an owned, writable array."""
+    return np.frombuffer(base64.b64decode(data), dtype=dtype).copy()
 
 
 @dataclass(frozen=True, slots=True)
@@ -79,25 +134,27 @@ class ShardAnswer:
     completeness: float
 
 
+_EMPTY_ANSWER = ShardAnswer(0.0, 0.0, 0, 0, True, 1.0)
+
+
 class ShardStore:
     """Operator state of one key shard.
-
-    Ingest appends to chunked column buffers (cheap, no sorting); the
-    queryable :class:`BatchArrays` is rebuilt lazily on the first query
-    after new arrivals, at which point tuples older than the retention
-    horizon are evicted so a long-running service holds bounded state.
 
     Args:
         shard_id: The shard's index (labels trace events).
         num_keys: Global key-space size (shards see a subset but the
-            bincount aggregation needs the global width).
+            bincount aggregation needs the global width); ingested keys
+            must lie in ``[0, num_keys)``.
         agg: Aggregation answered by :meth:`query`.
         window_ms: Window length of the query grid.
         retention_ms: Tuples whose event time falls further than this
-            behind the newest arrival are dropped on rebuild.  Must
+            behind the newest arrival are dropped (run-granular in
+            incremental mode, on rebuild in full mode).  Must
             comfortably exceed the window length plus the widest
             availability budget or queries would silently lose history.
         profile: Delay profile to adopt (default: a fresh one).
+        rebuild: ``"runs"`` for the incremental sorted-run state
+            (default), ``"full"`` for the full-rebuild reference mode.
     """
 
     def __init__(
@@ -108,28 +165,35 @@ class ShardStore:
         window_ms: float,
         retention_ms: float,
         profile: DelayProfile | None = None,
+        rebuild: str = "runs",
     ):
         if retention_ms < 2.0 * window_ms:
             raise ValueError("retention_ms must cover at least two windows")
+        if rebuild not in ("runs", "full"):
+            raise ValueError(f"unknown rebuild mode {rebuild!r}")
         self.shard_id = shard_id
         self.num_keys = num_keys
         self.agg = agg
         self.window_ms = window_ms
         self.retention_ms = retention_ms
         self.profile = profile or DelayProfile()
+        self.rebuild = rebuild
+        # Full-rebuild reference state.
         self._chunks: list[tuple[np.ndarray, ...]] = []
         self._arrays: BatchArrays | None = None
         self._dirty = False
+        # Incremental sorted-run state.
+        self._runs = RunStack()
+        self._grid = DeltaGrid(num_keys, window_ms)
+        self._grid_dirty = False
         self._max_arrival = 0.0
         self.ingested = 0
         self.evicted = 0
         self.queries = 0
 
     def __len__(self) -> int:
-        total = sum(len(c[0]) for c in self._chunks)
-        if self._arrays is not None:
-            total += len(self._arrays)
-        return total
+        """Live tuples (lifetime ingested minus lifetime evicted), O(1)."""
+        return self.ingested - self.evicted
 
     # -- ingest ------------------------------------------------------------
 
@@ -145,24 +209,46 @@ class ShardStore:
 
         Delays are learned as ``max(arrival - event, 0)`` — the profile
         rejects negative delays outright, and a tuple that arrived
-        early has simply arrived.
+        early has simply arrived.  Keys outside ``[0, num_keys)`` are
+        rejected before any state is touched.
         """
         if len(event) == 0:
             return
-        self._chunks.append(
-            (
-                np.asarray(event, dtype=float),
-                np.asarray(arrival, dtype=float),
-                np.asarray(key, dtype=np.int64),
-                np.asarray(payload, dtype=float),
-                np.asarray(is_r, dtype=bool),
+        event = np.asarray(event, dtype=float)
+        arrival = np.asarray(arrival, dtype=float)
+        key = np.asarray(key, dtype=np.int64)
+        payload = np.asarray(payload, dtype=float)
+        is_r = np.asarray(is_r, dtype=bool)
+        if int(key.min()) < 0 or int(key.max()) >= self.num_keys:
+            raise ValueError(
+                f"shard {self.shard_id}: keys must lie in [0, {self.num_keys}), "
+                f"got [{int(key.min())}, {int(key.max())}]"
             )
-        )
-        self.profile.update(np.maximum(np.asarray(arrival, dtype=float) - event, 0.0))
+        if self.rebuild == "full":
+            self._chunks.append((event, arrival, key, payload, is_r))
+            self._dirty = True
+        else:
+            run = SortedRun.from_chunk(event, arrival, key, payload, is_r)
+            merges = self._runs.append(run)
+            if merges:
+                obs.counter("serve.shard.compactions").inc(merges)
+            if not self._grid_dirty:
+                try:
+                    self._grid.delta_append(
+                        run.event, run.arrival, run.key, run.payload, run.is_r
+                    )
+                    obs.counter("serve.shard.delta_appends").inc()
+                except DeltaAppendError:
+                    # Out-of-order arrivals (never the service's tick
+                    # path): rebuild the grid lazily from the runs.
+                    self._grid_dirty = True
+            obs.gauge("serve.shard.runs").set(float(len(self._runs)))
+        self.profile.update(np.maximum(arrival - event, 0.0))
         self._max_arrival = max(self._max_arrival, float(np.max(arrival)))
         self.ingested += len(event)
-        self._dirty = True
         obs.counter("serve.shard.ingested").inc(len(event))
+
+    # -- full-rebuild reference path ---------------------------------------
 
     def _rebuild(self) -> BatchArrays:
         """Merge buffered chunks into the queryable arrays, evicting old state."""
@@ -207,6 +293,95 @@ class ShardStore:
         obs.counter("serve.shard.rebuilds").inc()
         return self._arrays
 
+    # -- incremental sorted-run path ---------------------------------------
+
+    @property
+    def horizon(self) -> float:
+        """Retention cutoff: events older than this are (to be) evicted."""
+        return self._max_arrival - self.retention_ms
+
+    def _advance_horizon(self) -> float:
+        """Expire state behind the horizon; reference-identical counting.
+
+        Newly expired tuples are exactly those the reference's
+        rebuild-time ``event >= horizon`` filter would drop now, so the
+        ``evicted`` counter (and ``len``) agree across modes after
+        every query.  Run eviction is frontier bumps + whole-run drops;
+        grid windows fully behind the horizon release their state in
+        one dict deletion (with one window of float-fuzz slack — the
+        query path re-checks ``start >= horizon`` regardless).
+        """
+        horizon = self.horizon
+        newly = self._runs.advance_horizon(horizon)
+        if newly:
+            self.evicted += newly
+            obs.counter("serve.shard.evicted").inc(newly)
+            obs.gauge("serve.shard.runs").set(float(len(self._runs)))
+        self._grid.drop_below(
+            math.floor((horizon - self._grid.origin) / self._grid.length) - 1
+        )
+        return horizon
+
+    def _ensure_grid(self) -> DeltaGrid:
+        """The delta grid, rebuilt from the runs after disorder."""
+        if self._grid_dirty:
+            self._grid = DeltaGrid(self.num_keys, self.window_ms)
+            cols = self._runs.merged_columns()
+            if len(cols[0]):
+                self._grid.delta_append(*cols)
+            self._grid_dirty = False
+            obs.counter("serve.shard.grid_rebuilds").inc()
+        return self._grid
+
+    def _scan(
+        self, start: float, end: float, available_by: float | None, horizon: float
+    ) -> WindowAggregate:
+        """Reference-exact rescan over the live runs (the slow path).
+
+        Used for off-grid windows and for the single window straddling
+        the retention horizon, where the grid's prefix state would
+        include tuples the reference has already evicted.
+        """
+        num_keys = self.num_keys
+        c_r = np.zeros(num_keys, dtype=np.int64)
+        c_s = np.zeros(num_keys, dtype=np.int64)
+        sum_rv = np.zeros(num_keys)
+        n_r = 0
+        n_s = 0
+        lo_bound = max(start, horizon)
+        for run in self._runs.runs:
+            sl = run.live_slice(lo_bound, end)
+            if sl.stop <= sl.start:
+                continue
+            k = run.key[sl]
+            r = run.is_r[sl]
+            p = run.payload[sl]
+            if available_by is not None:
+                avail = run.arrival[sl] <= available_by
+                k = k[avail]
+                r = r[avail]
+                p = p[avail]
+            if len(k) == 0:
+                continue
+            n_r += int(r.sum())
+            n_s += int(len(k) - r.sum())
+            c_r += np.bincount(k[r], minlength=num_keys)
+            c_s += np.bincount(k[~r], minlength=num_keys)
+            sum_rv += np.bincount(k[r], weights=p[r], minlength=num_keys)
+        if n_r == 0 or n_s == 0:
+            return WindowAggregate(n_r, n_s, 0.0, 0.0)
+        return WindowAggregate(n_r, n_s, float(c_r @ c_s), float(sum_rv @ c_s))
+
+    def _query_runs(
+        self, start: float, end: float, available_by: float | None, horizon: float
+    ) -> WindowAggregate:
+        """Observed aggregate of ``[start, end)`` off the run structure."""
+        grid = self._ensure_grid()
+        if grid.covers(start, end) and start >= horizon:
+            return grid.query(grid.window_index(start), available_by)
+        obs.counter("serve.shard.scan_fallbacks").inc()
+        return self._scan(start, end, available_by, horizon)
+
     # -- queries -----------------------------------------------------------
 
     def query(
@@ -225,15 +400,23 @@ class ShardStore:
                 delay profile's completeness (False answers
                 observed-only — the fallback path).
         """
-        arrays = self._rebuild()
         self.queries += 1
         obs.counter("serve.shard.queries").inc()
-        if len(arrays) == 0:
-            return ShardAnswer(0.0, 0.0, 0, 0, True, 1.0)
-        aggregator = arrays.aggregator(end - start)
-        observed_agg = aggregator.try_at(start, end, available_by, clock="arrival")
-        if observed_agg is None:
-            observed_agg = arrays.aggregate(start, end, available_by, clock="arrival")
+        if self.rebuild == "full":
+            arrays = self._rebuild()
+            if len(arrays) == 0:
+                return _EMPTY_ANSWER
+            aggregator = arrays.aggregator(end - start)
+            observed_agg = aggregator.try_at(start, end, available_by, clock="arrival")
+            if observed_agg is None:
+                observed_agg = arrays.aggregate(
+                    start, end, available_by, clock="arrival"
+                )
+        else:
+            horizon = self._advance_horizon()
+            if len(self) == 0:
+                return _EMPTY_ANSWER
+            observed_agg = self._query_runs(start, end, available_by, horizon)
         observed = observed_agg.value(self.agg)
         starved = observed_agg.n_r == 0 or observed_agg.n_s == 0
         if not compensate_output or not self.profile.is_warm or starved:
@@ -263,60 +446,100 @@ class ShardStore:
     # -- checkpoint / migration --------------------------------------------
 
     def checkpoint(self) -> dict[str, Any]:
-        """Snapshot the shard as a JSON-compatible dict.
+        """Snapshot the shard as a JSON-compatible dict (schema v2).
 
         The snapshot captures the post-eviction merged columns (so a
         restored shard answers queries identically), the learned delay
-        profile, and the lifetime counters — everything a successor
-        needs to take over the shard mid-run.
+        profile, and the lifetime counters — ``ingested``, ``evicted``
+        *and* ``queries``, so a migrated shard's accounting identities
+        keep holding — everything a successor needs to take over the
+        shard mid-run.  Columns are packed as base64 little-endian
+        arrays; the serialized size lands in the
+        ``serve.shard.ckpt_bytes`` histogram.  In incremental mode the
+        columns come from a two-pointer merge of the live runs — no
+        re-sort — and the run structure itself is *not* serialized: a
+        restore adopts the merged columns as one run, which compaction
+        then grows normally.
         """
-        arrays = self._rebuild()
-        return {
+        if self.rebuild == "full":
+            arrays = self._rebuild()
+            cols = (arrays.event, arrays.arrival, arrays.key, arrays.payload, arrays.is_r)
+        else:
+            self._advance_horizon()
+            cols = self._runs.merged_columns()
+        snapshot = {
             "version": _STATE_VERSION,
             "shard_id": self.shard_id,
             "num_keys": self.num_keys,
             "agg": self.agg.value,
             "window_ms": self.window_ms,
             "retention_ms": self.retention_ms,
+            "rebuild": self.rebuild,
             "max_arrival": self._max_arrival,
             "ingested": self.ingested,
             "evicted": self.evicted,
+            "queries": self.queries,
             "columns": {
-                "event": arrays.event.tolist(),
-                "arrival": arrays.arrival.tolist(),
-                "key": arrays.key.tolist(),
-                "payload": arrays.payload.tolist(),
-                "is_r": arrays.is_r.tolist(),
+                name: _encode_column(col, _COLUMN_DTYPES[name])
+                for name, col in zip(_COLUMN_DTYPES, cols)
             },
             "profile": profile_state(self.profile),
         }
+        obs.observe(
+            "serve.shard.ckpt_bytes", float(len(json.dumps(snapshot)))
+        )
+        return snapshot
 
     @classmethod
     def restore(cls, state: dict[str, Any]) -> "ShardStore":
-        """Rebuild a shard from a :meth:`checkpoint` snapshot."""
-        if state.get("version") != _STATE_VERSION:
-            raise ValueError(f"unsupported shard snapshot version {state.get('version')!r}")
+        """Rebuild a shard from a :meth:`checkpoint` snapshot.
+
+        Understands snapshot schema v2 (base64-packed columns, mode and
+        ``queries`` counter recorded) and the legacy v1 ``.tolist()``
+        format, which restores into the default incremental mode with
+        ``queries`` starting at 0 (v1 never recorded it).
+        """
+        version = state.get("version")
+        if version not in _KNOWN_STATE_VERSIONS:
+            raise ValueError(f"unsupported shard snapshot version {version!r}")
         shard = cls(
             shard_id=int(state["shard_id"]),
             num_keys=int(state["num_keys"]),
             agg=AggKind(state["agg"]),
             window_ms=float(state["window_ms"]),
             retention_ms=float(state["retention_ms"]),
+            rebuild=str(state.get("rebuild", "runs")),
         )
-        cols = state["columns"]
-        if cols["event"]:
-            shard._chunks.append(
-                (
-                    np.asarray(cols["event"], dtype=float),
-                    np.asarray(cols["arrival"], dtype=float),
-                    np.asarray(cols["key"], dtype=np.int64),
-                    np.asarray(cols["payload"], dtype=float),
-                    np.asarray(cols["is_r"], dtype=bool),
-                )
+        raw = state["columns"]
+        if version == 1:
+            cols = (
+                np.asarray(raw["event"], dtype=float),
+                np.asarray(raw["arrival"], dtype=float),
+                np.asarray(raw["key"], dtype=np.int64),
+                np.asarray(raw["payload"], dtype=float),
+                np.asarray(raw["is_r"], dtype=bool),
             )
-            shard._dirty = True
+        else:
+            cols = tuple(
+                _decode_column(raw[name], dtype)
+                for name, dtype in _COLUMN_DTYPES.items()
+            )
+        if len(cols[0]):
+            if shard.rebuild == "full":
+                shard._chunks.append(cols)
+                shard._dirty = True
+            else:
+                # from_chunk re-sorts defensively: snapshots written by
+                # this code are already event-sorted (stable argsort is
+                # then a no-op pass), but hand-built v1 dicts may not be.
+                run = SortedRun.from_chunk(*cols)
+                shard._runs.append(run)
+                shard._grid.delta_append(
+                    run.event, run.arrival, run.key, run.payload, run.is_r
+                )
         restore_profile(shard.profile, state["profile"])
         shard._max_arrival = float(state["max_arrival"])
         shard.ingested = int(state["ingested"])
         shard.evicted = int(state["evicted"])
+        shard.queries = int(state.get("queries", 0))
         return shard

@@ -135,9 +135,109 @@ class TestCheckpoint:
         b = moved.query(500.0, 550.0, available_by=560.0)
         assert a == b
         assert moved.ingested == plain.ingested
+        # The full accounting identity survives migration: lifetime
+        # ingested/evicted/queries all round-trip, so len() (ingested -
+        # evicted) agrees too.
+        assert moved.evicted == plain.evicted
+        assert moved.queries == plain.queries
+        assert len(moved) == len(plain)
+
+    def test_queries_counter_round_trips(self):
+        """A restored shard resumes the lifetime query count instead of
+        resetting it — the regression that motivated snapshot v2."""
+        rng = np.random.default_rng(8)
+        shard = make_shard(retention_ms=2000.0)
+        shard.ingest(*uniform_batch(rng, 1000, 0.0, 200.0))
+        for start in (0.0, 50.0, 100.0):
+            shard.query(start, start + 50.0, available_by=250.0)
+        assert shard.queries == 3
+        restored = ShardStore.restore(json.loads(json.dumps(shard.checkpoint())))
+        assert restored.queries == 3
+        restored.query(0.0, 50.0, available_by=250.0)
+        assert restored.queries == 4
 
     def test_rejects_unknown_snapshot_version(self):
         snapshot = make_shard().checkpoint()
         snapshot["version"] = 99
         with pytest.raises(ValueError):
             ShardStore.restore(snapshot)
+
+    def test_v2_snapshot_packs_columns_as_base64(self):
+        rng = np.random.default_rng(9)
+        shard = make_shard(retention_ms=2000.0)
+        shard.ingest(*uniform_batch(rng, 500, 0.0, 100.0))
+        snapshot = shard.checkpoint()
+        assert snapshot["version"] == 2
+        assert all(isinstance(col, str) for col in snapshot["columns"].values())
+        # Base64 packing beats the v1 float repr format by a wide margin.
+        event = np.frombuffer(
+            __import__("base64").b64decode(snapshot["columns"]["event"]), dtype="<f8"
+        )
+        assert len(event) == len(shard)
+        packed = len(json.dumps(snapshot["columns"]))
+        listed = len(json.dumps({"event": event.tolist()})) * 5
+        assert packed < listed
+
+    def test_v1_legacy_snapshot_restores(self):
+        """Snapshots written before the base64 format (version 1,
+        ``.tolist()`` columns, no ``queries``/``rebuild`` fields) must
+        keep restoring after the version bump."""
+        rng = np.random.default_rng(10)
+        shard = make_shard(retention_ms=2000.0)
+        cols = uniform_batch(rng, 800, 0.0, 150.0)
+        shard.ingest(*cols)
+        modern = shard.checkpoint()
+        legacy = dict(modern, version=1)
+        del legacy["queries"]
+        del legacy["rebuild"]
+        order = np.argsort(np.asarray(cols[0]), kind="stable")
+        live = np.asarray(cols[0])[order] >= shard._max_arrival - shard.retention_ms
+        legacy["columns"] = {
+            "event": np.asarray(cols[0], dtype=float)[order][live].tolist(),
+            "arrival": np.asarray(cols[1], dtype=float)[order][live].tolist(),
+            "key": np.asarray(cols[2], dtype=np.int64)[order][live].tolist(),
+            "payload": np.asarray(cols[3], dtype=float)[order][live].tolist(),
+            "is_r": np.asarray(cols[4], dtype=bool)[order][live].tolist(),
+        }
+        restored = ShardStore.restore(json.loads(json.dumps(legacy)))
+        assert restored.queries == 0  # v1 never recorded it
+        a = shard.query(50.0, 100.0, available_by=200.0)
+        b = restored.query(50.0, 100.0, available_by=200.0)
+        assert a == b
+
+
+class TestIngestContract:
+    def test_len_is_constant_time_accounting(self):
+        """len() is ingested - evicted — no array walk, and it stays
+        correct immediately after ingest, before any rebuild."""
+        rng = np.random.default_rng(11)
+        shard = make_shard()
+        shard.ingest(*uniform_batch(rng, 250, 0.0, 50.0))
+        assert len(shard) == 250
+        shard.ingest(*uniform_batch(rng, 250, 50.0, 100.0))
+        assert len(shard) == 500 == shard.ingested - shard.evicted
+
+    def test_ingest_accepts_plain_lists(self):
+        shard = make_shard()
+        shard.ingest([10.0, 20.0], [12.0, 21.0], [1, 2], [0.5, 0.25], [True, False])
+        assert len(shard) == 2
+        ans = shard.query(0.0, 50.0, available_by=100.0)
+        assert ans.n_r == ans.n_s == 1
+
+    def test_out_of_range_keys_rejected_before_mutation(self):
+        shard = make_shard(num_keys=8)
+        with pytest.raises(ValueError):
+            shard.ingest(
+                np.array([1.0]), np.array([2.0]), np.array([8]), np.array([1.0]),
+                np.array([True]),
+            )
+        with pytest.raises(ValueError):
+            shard.ingest(
+                np.array([1.0]), np.array([2.0]), np.array([-1]), np.array([1.0]),
+                np.array([True]),
+            )
+        assert len(shard) == 0 and shard.ingested == 0
+
+    def test_rejects_unknown_rebuild_mode(self):
+        with pytest.raises(ValueError):
+            make_shard(rebuild="partial")
