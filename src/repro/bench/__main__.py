@@ -7,6 +7,7 @@ Usage::
     python -m repro.bench fig6 --trace report.json
     python -m repro.bench fig6 --trace-events fig6_trace.json
     python -m repro.bench fig6 --workers 4
+    python -m repro.bench slo --openmetrics om.txt --audit-jsonl audit.jsonl
     python -m repro.bench all
     python -m repro.bench compare baseline.json current.json
 
@@ -56,6 +57,7 @@ from repro.bench.experiments import (
 )
 from repro.bench.reporting import format_table
 from repro.bench.serve_bench import serve_hotpath, serve_sustained
+from repro.bench.slo_bench import slo_sweep
 
 _FIGURES = {
     "smoke": (smoke_observability, ["workload", "method", "error", "p95_latency_ms"]),
@@ -79,6 +81,14 @@ _FIGURES = {
         [
             "retention_ms", "ticks", "ingested", "evicted", "live", "queries",
             "answers_equal", "runs", "compactions", "delta_appends",
+        ],
+    ),
+    "slo": (
+        slo_sweep,
+        [
+            "tenants", "intensity", "tier", "latency_bad", "completeness_bad",
+            "shed_bad", "rejection_bad", "rejection_budget", "fired",
+            "resolved", "audit_events",
         ],
     ),
 }
@@ -141,6 +151,20 @@ def main(argv: list[str] | None = None) -> int:
         help="write the raw row tables as JSON to PATH (used by the "
         "serial-vs-parallel determinism gate)",
     )
+    parser.add_argument(
+        "--openmetrics",
+        metavar="PATH",
+        default=None,
+        help="(slo figure only) write the last cell's OpenMetrics "
+        "exposition text to PATH",
+    )
+    parser.add_argument(
+        "--audit-jsonl",
+        metavar="PATH",
+        default=None,
+        help="(slo figure only) write every cell's control-plane audit "
+        "log to PATH as JSONL",
+    )
     args = parser.parse_args(argv)
     scale = 1.0 if args.scale == "full" else float(args.scale)
     if args.workers is not None and args.workers < 1:
@@ -160,9 +184,15 @@ def main(argv: list[str] | None = None) -> int:
         for name in names:
             fn, columns = _FIGURES[name]
             rec.set_group(name)
+            kwargs = {}
+            if name == "slo":
+                if args.openmetrics is not None:
+                    kwargs["openmetrics_path"] = args.openmetrics
+                if args.audit_jsonl is not None:
+                    kwargs["audit_path"] = args.audit_jsonl
             t0 = time.time()
             with obs.scoped() as reg:
-                rows = fn(scale, workers=args.workers)
+                rows = fn(scale, workers=args.workers, **kwargs)
             elapsed = time.time() - t0
             all_rows[name] = rows
             print(format_table(rows, columns, title=f"{name} (scale={scale:g}, {elapsed:.0f}s)"))

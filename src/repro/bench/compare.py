@@ -12,11 +12,15 @@ Each numeric leaf is checked under a tolerance keyed by its field name
 (see ``TOLERANCES``); a deviation beyond tolerance is a **regression**
 when it moves in the metric's bad direction and a **drift** otherwise —
 both fail the gate, because on a deterministic virtual-time harness an
-unexplained improvement is as suspicious as a slowdown.  Structural
-changes (figures, rows or fields appearing/disappearing) also fail.
+unexplained improvement is as suspicious as a slowdown.  Disappearing
+structure (figures, rows or fields removed) also fails; **additive**
+structure (a new top-level block such as ``slo``, a new summary key) is
+reported as ``added`` but passes, so a baseline committed before a layer
+existed keeps gating the parts it does cover.
 
-Exit codes: ``0`` within tolerance, ``1`` regression or drift,
-``2`` unreadable input or unknown report schema version.
+Exit codes: ``0`` within tolerance (additions allowed), ``1``
+regression or drift, ``2`` unreadable input or unknown report schema
+version.
 """
 
 from __future__ import annotations
@@ -40,8 +44,10 @@ __all__ = [
 ]
 
 #: Report schema versions this gate knows how to compare.  Version 1 is
-#: the pre-versioned report shape (no ``schema_version`` field).
-KNOWN_SCHEMA_VERSIONS = frozenset({1, SNAPSHOT_SCHEMA_VERSION})
+#: the pre-versioned report shape (no ``schema_version`` field);
+#: version 2 reports (pre-``slo``) read cleanly under version 3's
+#: additive-block rule, so committed v2 baselines keep working.
+KNOWN_SCHEMA_VERSIONS = frozenset({1, 2, SNAPSHOT_SCHEMA_VERSION})
 
 #: Keys whose values are wall-clock noise, never compared.
 _IGNORED_KEYS = frozenset({"elapsed_s", "schema_version", "workers"})
@@ -264,9 +270,13 @@ def main(argv: list[str] | None = None) -> int:
             f"({args.current} vs {args.baseline})",
         )
     )
+    failing = [f for f in findings if f["status"] != "added"]
+    if not failing:
+        print(f"compare: OK — {len(findings)} additive finding(s) only")
+        return 0
     worst = (
         "regression"
-        if any(f["status"] == "regression" for f in findings)
+        if any(f["status"] == "regression" for f in failing)
         else "drift"
     )
     print(f"compare: FAIL ({worst})")

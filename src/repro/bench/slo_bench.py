@@ -1,0 +1,130 @@
+"""The ``slo`` figure: per-tenant-class SLO budgets and alerts under chaos.
+
+The ``serve`` figure grades the service's *accounting* (admissions,
+sheds, autoscaling); this one grades its *objectives*: the same tenancy
+× chaos-intensity grid runs with live telemetry and each cell reports,
+per tenant class, the SLO error budgets, peak burn rates and alert
+fire/resolve counts the :class:`~repro.obs.SloTracker` produced.  Every
+row is a pure function of config and seed — alert timelines ride the
+virtual clock — so the CI compare gate can pin them against
+``baselines/slo_smoke.json`` and diff serial vs ``--workers 2`` runs
+byte for byte.
+
+The figure can also export the operator-facing artifacts of its last
+cell: the OpenMetrics exposition text and the control-plane audit JSONL
+(one per-cell header line then the cell's sorted log).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.faults.plan import serve_load_plan
+from repro.obs.slo import OBJECTIVES, TENANT_CLASSES
+from repro.serve.admission import TenantQuota
+from repro.serve.service import JoinService, ServeConfig
+
+__all__ = ["slo_sweep"]
+
+#: (tenants, chaos intensity) grid — the ``serve`` figure's, so the two
+#: figures describe the same runs from two angles.
+_CELLS = ((24, 0.0), (24, 2.0), (96, 0.0), (96, 2.0))
+
+
+def _cell_config(tenants: int, duration_ms: float) -> ServeConfig:
+    return ServeConfig(
+        tenants=tenants,
+        n_shards=4,
+        num_keys=64,
+        window_ms=50.0,
+        omega_ms=10.0,
+        duration_ms=duration_ms,
+        warmup_ms=min(200.0, 0.25 * duration_ms),
+        rate_per_ms=150.0,
+        mean_query_interval_ms=50.0,
+        quota=TenantQuota(rate_per_s=18.0, burst=3.0),
+        min_workers=1,
+        max_workers=6,
+        autoscale_interval_ms=50.0,
+        migrate_at_ms=0.5 * duration_ms,
+        seed=7,
+    )
+
+
+def slo_sweep(
+    scale: float = 1.0,
+    workers: int | None = None,
+    openmetrics_path: str | None = None,
+    audit_path: str | None = None,
+) -> list[dict]:
+    """Rows of the ``slo`` figure (one per cell × tenant class).
+
+    Each row carries the class's per-objective accounting — samples,
+    bad samples, remaining error budget, peak fast-window burn — plus
+    the class's alert fire/resolve totals and the cell's audit-log
+    size.  Budgets can go negative (overspent); that is data, not an
+    error.
+
+    Args:
+        scale: Fraction of the full-run duration (floored so every cell
+            still spans several autoscale intervals).
+        workers: Accepted for CLI uniformity and ignored — a service
+            run is one shared-state event loop, not independent cells;
+            rows are identical for any value, which keeps the
+            serial-vs-parallel determinism gate green.
+        openmetrics_path: If set, write the last cell's OpenMetrics
+            exposition text here.
+        audit_path: If set, write every cell's audit log here as JSONL
+            (a ``{"cell": ...}`` line before each cell's log).
+    """
+    del workers  # one shared-state loop per cell; nothing to shard
+    duration_ms = max(1500.0 * scale, 400.0)
+    rows: list[dict] = []
+    last_service: JoinService | None = None
+    audit_blocks: list[str] = []
+    for tenants, intensity in _CELLS:
+        config = _cell_config(tenants, duration_ms)
+        plan = serve_load_plan(intensity, 0.0, duration_ms, seed=7)
+        service = JoinService(config, plan if plan else None)
+        asyncio.run(service.run())
+        last_service = service
+        summary = service.slo.summary()
+        for cls in TENANT_CLASSES:
+            table = summary.get(cls, {})
+            row: dict = {"tenants": tenants, "intensity": intensity, "tier": cls}
+            fired = resolved = 0
+            for objective in OBJECTIVES:
+                entry = table.get(objective)
+                row[f"{objective}_samples"] = entry["samples"] if entry else 0
+                row[f"{objective}_bad"] = entry["bad"] if entry else 0
+                row[f"{objective}_budget"] = (
+                    entry["budget_remaining"] if entry else 1.0
+                )
+                row[f"{objective}_max_burn"] = (
+                    entry["max_burn_fast"] if entry else 0.0
+                )
+                fired += entry["fired"] if entry else 0
+                resolved += entry["resolved"] if entry else 0
+            row["fired"] = fired
+            row["resolved"] = resolved
+            row["transitions"] = sum(
+                1 for t in service.slo.transitions if t["tier"] == cls
+            )
+            row["audit_events"] = len(service.audit)
+            rows.append(row)
+        audit_blocks.append(
+            json.dumps(
+                {"cell": {"tenants": tenants, "intensity": intensity}},
+                sort_keys=True,
+            )
+            + "\n"
+            + service.audit.to_jsonl()
+        )
+    if openmetrics_path is not None and last_service is not None:
+        with open(openmetrics_path, "w", encoding="utf-8") as fh:
+            fh.write(last_service.openmetrics())
+    if audit_path is not None:
+        with open(audit_path, "w", encoding="utf-8") as fh:
+            fh.write("".join(audit_blocks))
+    return rows

@@ -23,12 +23,18 @@ Usage around tracing (virtual-time events/spans)::
     rec.export_chrome("trace.json")   # Perfetto / chrome://tracing
 
 See :mod:`repro.obs.registry` for the instrument semantics,
-:mod:`repro.obs.trace` for the event recorder and
-:mod:`repro.obs.report` for the derived run-report schema.
+:mod:`repro.obs.trace` for the event recorder,
+:mod:`repro.obs.report` for the derived run-report schema,
+:mod:`repro.obs.timeseries` for ring-buffered live sampling,
+:mod:`repro.obs.slo` for error budgets and burn-rate alerts,
+:mod:`repro.obs.audit` for the control-plane decision log and
+:mod:`repro.obs.openmetrics` for the text exposition.
 """
 
 from repro.obs import trace
+from repro.obs.audit import AUDIT_SCHEMA_VERSION, AuditEvent, AuditLog
 from repro.obs.events import TRACE_SCHEMA_VERSION, TraceEvent
+from repro.obs.openmetrics import render_openmetrics
 from repro.obs.registry import (
     SNAPSHOT_SCHEMA_VERSION,
     Counter,
@@ -50,18 +56,37 @@ from repro.obs.registry import (
     timer,
 )
 from repro.obs.report import summarize_run, summarize_trace
+from repro.obs.slo import (
+    OBJECTIVES,
+    TENANT_CLASSES,
+    SloPolicy,
+    SloTracker,
+    tenant_class,
+)
+from repro.obs.timeseries import RingSeries, TimeSeriesSampler
 from repro.obs.trace import TraceRecorder, is_tracing, tracing
 
 __all__ = [
+    "AUDIT_SCHEMA_VERSION",
+    "OBJECTIVES",
     "SNAPSHOT_SCHEMA_VERSION",
+    "TENANT_CLASSES",
     "TRACE_SCHEMA_VERSION",
+    "AuditEvent",
+    "AuditLog",
     "Counter",
     "Gauge",
     "MetricsRegistry",
+    "RingSeries",
+    "SloPolicy",
+    "SloTracker",
     "StreamingHistogram",
+    "TimeSeriesSampler",
     "TraceEvent",
     "TraceRecorder",
     "counter",
+    "render_openmetrics",
+    "tenant_class",
     "gauge_merge_policy",
     "is_tracing",
     "trace",

@@ -1,0 +1,144 @@
+"""Control-plane audit log: every state-changing decision, exactly once.
+
+The serving layer makes decisions that move user-visible state —
+rejecting an admission, widening or shedding a starved window, rescaling
+the worker pool, migrating shards, repairing a poisoned delay profile.
+The metrics registry counts them; this log *records* them, one
+structured event each, so an operator (or the soak test) can reconcile
+the final report against the decision history: every shed window,
+rejection and rescale in the report must appear exactly once here with
+a monotone virtual-clock timestamp.
+
+Events are JSONL, sorted the same way trace exports are (virtual
+timestamp, then insertion sequence, then kind, then canonical detail
+encoding) so a merged multi-shard log is byte-identical to the serial
+one.  Each event carries the virtual ``ts`` of the decision, a ``kind``
+from the ``audit.*``-style vocabulary (``admission.reject``,
+``queue.shed``, ``starved.shed``, ``degrade.widen``, ``degrade.fallback``,
+``autoscale.rescale``, ``service.migrate``, ``profile.poison``,
+``profile.repair``) and free-form detail fields; ``kind`` doubles as the
+name of the matching trace span/instant, which is the causal link into
+:mod:`repro.obs.trace` exports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["AUDIT_SCHEMA_VERSION", "AuditEvent", "AuditLog"]
+
+#: Version stamp of the JSONL header line.
+AUDIT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One control-plane decision.
+
+    Attributes:
+        ts: Virtual-clock milliseconds of the decision.
+        kind: Decision vocabulary entry (e.g. ``admission.reject``).
+        seq: Per-log insertion sequence (tiebreak for equal timestamps).
+        details: Decision-specific fields (tenant, worker counts, ...).
+    """
+
+    ts: float
+    kind: str
+    seq: int
+    details: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        """JSON-ready dict with deterministically encodable details."""
+        return {"ts": self.ts, "kind": self.kind, "seq": self.seq, **self.details}
+
+
+class AuditLog:
+    """Append-only, deterministically sortable decision log.
+
+    Args:
+        enabled: When False, :meth:`emit` returns after one attribute
+            check and the log stays empty.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: list[AuditEvent] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        """Number of recorded events."""
+        return len(self.events)
+
+    def emit(self, kind: str, ts: float, **details) -> None:
+        """Record one decision.
+
+        Args:
+            kind: Vocabulary entry (``admission.reject``, ...).
+            ts: Virtual-clock milliseconds of the decision.
+            **details: Decision-specific JSON-encodable fields.
+        """
+        if not self.enabled:
+            return
+        self.events.append(AuditEvent(float(ts), kind, self._seq, details))
+        self._seq += 1
+
+    def count(self, kind: str) -> int:
+        """Number of events of one kind."""
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def by_kind(self, kind: str) -> list[AuditEvent]:
+        """Events of one kind, in sorted order."""
+        return [e for e in self.sorted_events() if e.kind == kind]
+
+    def sorted_events(self) -> list[AuditEvent]:
+        """Events in the canonical deterministic order.
+
+        Sorted by ``(ts, seq, kind, canonical-details)`` — insertion
+        sequence breaks virtual-time ties, so a single-process log sorts
+        in emission order and merged logs sort reproducibly.
+        """
+        return sorted(
+            self.events,
+            key=lambda e: (e.ts, e.seq, e.kind, json.dumps(e.details, sort_keys=True)),
+        )
+
+    def merge_from(self, other: "AuditLog") -> None:
+        """Fold another log's events into this one (shard merge).
+
+        Re-sequences the union in canonical order so the merged log is
+        independent of merge order.
+        """
+        merged = self.events + other.events
+        merged.sort(key=lambda e: (e.ts, e.kind, json.dumps(e.details, sort_keys=True)))
+        self.events = [
+            AuditEvent(e.ts, e.kind, i, e.details) for i, e in enumerate(merged)
+        ]
+        self._seq = len(self.events)
+
+    def to_jsonl(self) -> str:
+        """The log as JSONL: one header line, then one line per event.
+
+        The header records the format name, schema version and event
+        count; event lines are canonical (sorted keys) JSON in
+        :meth:`sorted_events` order, so equal logs serialize to equal
+        bytes.
+        """
+        lines = [
+            json.dumps(
+                {
+                    "format": "repro.audit/jsonl",
+                    "schema_version": AUDIT_SCHEMA_VERSION,
+                    "events": len(self.events),
+                },
+                sort_keys=True,
+            )
+        ]
+        for e in self.sorted_events():
+            lines.append(json.dumps(e.to_json(), sort_keys=True))
+        return "\n".join(lines) + "\n"
+
+    def export_jsonl(self, path: str) -> None:
+        """Write :meth:`to_jsonl` to a file."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())

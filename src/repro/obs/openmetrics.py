@@ -1,0 +1,87 @@
+"""Deterministic OpenMetrics text exposition of a registry snapshot.
+
+Renders the JSON snapshot of :class:`repro.obs.MetricsRegistry` as
+OpenMetrics-style text (the Prometheus exposition dialect): counters as
+``<name>_total``, gauges as plain samples, histogram sketches as summary
+families with ``quantile`` labels plus ``_count``/``_sum``.  The output
+is a pure function of the snapshot — families sorted by metric name,
+samples sorted by label tuple, values formatted by one canonical rule —
+so serial and ``--workers 2`` runs of the same config expose identical
+bytes, and CI can diff them like any other artifact.
+
+Dotted registry names are sanitized to the OpenMetrics grammar
+(``serve.queries.shed_starved`` → ``serve_queries_shed_starved``); the
+original name survives in the ``# HELP`` line.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+__all__ = ["render_openmetrics"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    """Map a dotted registry name onto the OpenMetrics name grammar."""
+    out = _NAME_RE.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _fmt(value: float) -> str:
+    """Canonical sample-value formatting (deterministic bytes)."""
+    v = float(value)
+    if math.isnan(v):
+        return "NaN"
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def render_openmetrics(snapshot: dict) -> str:
+    """Render one registry snapshot as OpenMetrics text.
+
+    Args:
+        snapshot: A :meth:`MetricsRegistry.snapshot` dict (``counters``,
+            ``gauges``, ``histograms`` sections; absent sections are
+            treated as empty).
+
+    Returns:
+        The exposition text, ``# EOF``-terminated.  Counter families
+        get the ``_total`` sample suffix; histogram summaries expose
+        ``{quantile="0.5"}``/``{quantile="0.95"}`` samples plus
+        ``_count`` and ``_sum``.
+    """
+    lines: list[str] = []
+
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _sanitize(name)
+        lines.append(f"# HELP {metric} repro counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_fmt(snapshot['counters'][name])}")
+
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = _sanitize(name)
+        lines.append(f"# HELP {metric} repro gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(snapshot['gauges'][name])}")
+
+    for name in sorted(snapshot.get("histograms", {})):
+        metric = _sanitize(name)
+        h = snapshot["histograms"][name]
+        count = float(h.get("count", 0.0))
+        lines.append(f"# HELP {metric} repro histogram {name}")
+        lines.append(f"# TYPE {metric} summary")
+        for q_label, q_key in (("0.5", "p50"), ("0.95", "p95")):
+            lines.append(f'{metric}{{quantile="{q_label}"}} {_fmt(h.get(q_key, 0.0))}')
+        lines.append(f"{metric}_count {_fmt(count)}")
+        lines.append(f"{metric}_sum {_fmt(h.get('mean', 0.0) * count)}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

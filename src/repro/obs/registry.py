@@ -62,8 +62,11 @@ __all__ = [
 #: (and therefore of ``RunResult.metrics`` / ``EngineResult.metrics`` and
 #: the ``--trace`` report that embeds them).  Version 1 was the implicit
 #: pre-versioned schema; version 2 added this field and the deterministic
-#: gauge merge policy.  ``repro.bench.compare`` rejects unknown versions.
-SNAPSHOT_SCHEMA_VERSION = 2
+#: gauge merge policy; version 3 switched histogram quantiles to
+#: within-bucket interpolation and allowed additive top-level report
+#: blocks (``repro.bench.compare`` reads versions 1-3 and rejects the
+#: rest).
+SNAPSHOT_SCHEMA_VERSION = 3
 
 
 def gauge_merge_policy(name: str) -> str:
@@ -176,7 +179,16 @@ class StreamingHistogram:
         return self._max if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate ``q``-quantile (``q`` in [0, 1])."""
+        """Approximate ``q``-quantile (``q`` in [0, 1]).
+
+        The rank is located in the sorted bucket counts and the answer
+        linearly interpolated between the owning bucket's boundaries
+        (``BASE**idx`` .. ``BASE**(idx+1)``), then clamped into the
+        exact ``[min, max]`` extrema.  Because the answer is a pure
+        function of bucket counts and extrema — both of which merge
+        losslessly — the quantile of merged shard sketches equals the
+        quantile of one sketch over the combined stream, exactly.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be within [0, 1]")
         if self.count == 0:
@@ -186,10 +198,13 @@ class StreamingHistogram:
         if self._under and seen >= rank:
             return max(self._min, min(0.0, self._max))
         for idx in sorted(self._buckets):
-            seen += self._buckets[idx]
+            n = self._buckets[idx]
+            seen += n
             if seen >= rank:
-                mid = self._BASE ** (idx + 0.5)
-                return max(self._min, min(mid, self._max))
+                lo = self._BASE ** idx
+                hi = self._BASE ** (idx + 1)
+                frac = (rank - (seen - n)) / n
+                return max(self._min, min(lo + (hi - lo) * frac, self._max))
         return self._max
 
     def merge(self, other: "StreamingHistogram") -> None:

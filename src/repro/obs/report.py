@@ -38,9 +38,12 @@ def summarize_run(snapshot: dict) -> dict:
 
     When the snapshot contains ``serve.*`` counters a ``serve`` block is
     added with the serving layer's headline accounting (admission,
-    shedding, autoscaling).  The key is *conditional* — absent from
-    batch-only runs — so reports committed before the serving layer
-    existed still compare clean against fresh ones.
+    shedding, autoscaling); likewise ``slo.*`` counters add an ``slo``
+    block (sample/bad tallies per objective, alert transition counts)
+    and ``audit.*`` counters an ``audit`` block.  These keys are
+    *conditional* — absent from batch-only runs — so reports committed
+    before the corresponding layer existed still compare clean against
+    fresh ones.
     """
     counters = snapshot.get("counters", {})
     gauges = snapshot.get("gauges", {})
@@ -89,6 +92,14 @@ def summarize_run(snapshot: dict) -> dict:
     }
     if serve:
         out["serve"] = serve
+    for prefix in ("slo", "audit"):
+        block = {
+            name[len(prefix) + 1:]: value
+            for name, value in counters.items()
+            if name.startswith(prefix + ".")
+        }
+        if block:
+            out[prefix] = block
     return out
 
 

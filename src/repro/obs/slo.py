@@ -1,0 +1,407 @@
+"""Per-tenant-class SLOs: error budgets and multi-window burn-rate alerts.
+
+The serving layer reports *totals*; an operator needs *objectives*: "did
+gold tenants get sub-8 ms answers with compensated completeness, and if
+not, how fast are we burning the error budget?"  This module is the
+SRE-style answer, on the simulation's virtual clock so every alert
+transition is reproducible bit for bit.
+
+Model:
+
+* Tenants belong to one of three **classes** (``gold``/``silver``/
+  ``bronze``, assigned round-robin by tenant id); bronze tolerates
+  proportionally more badness via the policy's class factors.
+* Four **objectives** per class: ``latency`` (answer latency above the
+  class threshold), ``completeness`` (the answer was served
+  uncompensated — fallback mode, NaN output or a completeness estimate
+  below the floor), ``shed`` (the query was shed from a queue or at the
+  widening cap) and ``rejection`` (the query was refused admission).
+* Each objective has a **target** bad fraction (its error budget).  The
+  tracker keeps rolling fast/slow windows of good/bad counts; the
+  **burn rate** is the window's bad fraction over the target — burn 1.0
+  spends budget exactly as fast as the target allows, burn 10 exhausts
+  a day of budget in ~2.4 hours (the classic SRE framing, on virtual
+  time here).
+* An **alert** per (class, objective) runs a pending → firing →
+  resolved state machine: both windows burning above ``fire_burn``
+  starts ``pending``; sustained for ``for_ms`` escalates to ``firing``;
+  both windows below ``clear_burn`` sustained for ``clear_ms`` resolves
+  back to inactive.  The two thresholds plus the two dwell times are
+  the hysteresis that keeps an alert from flapping on consecutive
+  evaluation ticks.
+
+Counters (fold into the run summary's ``slo`` block):
+``slo.samples.<objective>``, ``slo.bad.<objective>``,
+``slo.alerts.pending``, ``slo.alerts.fired``, ``slo.alerts.resolved``,
+``slo.alerts.cancelled``.  Gauges: ``slo.burn.<class>.<objective>.last``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs import registry as _registry
+
+__all__ = [
+    "TENANT_CLASSES",
+    "OBJECTIVES",
+    "SloPolicy",
+    "SloTracker",
+    "tenant_class",
+]
+
+#: Tenant classes in priority order; class factors index this tuple.
+TENANT_CLASSES = ("gold", "silver", "bronze")
+
+#: Tracked objectives, in the canonical reporting order.
+OBJECTIVES = ("latency", "completeness", "shed", "rejection")
+
+
+def tenant_class(tenant: int) -> str:
+    """The tenant's service class (round-robin by id)."""
+    return TENANT_CLASSES[tenant % len(TENANT_CLASSES)]
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """Objectives, budgets and alerting tunables of one service.
+
+    Attributes:
+        latency_ms: Gold-class latency threshold; a query slower than
+            the class threshold (this value times the class factor) is
+            a bad latency sample.
+        latency_target: Allowed bad fraction of latency samples (the
+            gold error budget; scaled by the class factor).
+        completeness_min: Completeness floor — an answer whose mean
+            completeness estimate falls below this (or that was served
+            uncompensated) is a bad completeness sample.
+        completeness_target: Allowed bad fraction of completeness
+            samples.
+        shed_target: Allowed fraction of admitted queries shed (queue
+            overflow or starved at the widening cap).
+        rejection_target: Allowed fraction of submissions refused
+            admission.
+        class_factors: Per-class leniency multipliers (gold, silver,
+            bronze) applied to the latency threshold and to every
+            objective's target fraction.
+        fast_window_ms: Rolling window of the fast burn rate (catches
+            sudden budget bleeds).
+        slow_window_ms: Rolling window of the slow burn rate (confirms
+            the bleed is sustained); must be >= ``fast_window_ms``.
+        fire_burn: Both windows at or above this burn rate arm the
+            alert (pending).
+        clear_burn: Both windows below this burn rate begin clearing a
+            firing alert; must be < ``fire_burn`` (hysteresis).
+        for_ms: Virtual time the burn must sustain before pending
+            escalates to firing.
+        clear_ms: Virtual time the clear condition must sustain before
+            firing resolves.
+    """
+
+    latency_ms: float = 8.0
+    latency_target: float = 0.15
+    completeness_min: float = 0.35
+    completeness_target: float = 0.10
+    shed_target: float = 0.05
+    rejection_target: float = 0.25
+    class_factors: tuple[float, float, float] = (1.0, 1.5, 2.5)
+    fast_window_ms: float = 100.0
+    slow_window_ms: float = 400.0
+    fire_burn: float = 1.0
+    clear_burn: float = 0.5
+    for_ms: float = 20.0
+    clear_ms: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.slow_window_ms < self.fast_window_ms:
+            raise ValueError("slow_window_ms must cover fast_window_ms")
+        if not 0.0 < self.clear_burn < self.fire_burn:
+            raise ValueError("need 0 < clear_burn < fire_burn")
+        if len(self.class_factors) != len(TENANT_CLASSES):
+            raise ValueError("one class factor per tenant class")
+
+    def factor(self, cls: str) -> float:
+        """The leniency multiplier of one tenant class."""
+        return self.class_factors[TENANT_CLASSES.index(cls)]
+
+    def latency_threshold_ms(self, cls: str) -> float:
+        """The class's latency threshold (gold threshold × factor)."""
+        return self.latency_ms * self.factor(cls)
+
+    def target(self, cls: str, objective: str) -> float:
+        """The class's allowed bad fraction for one objective."""
+        base = {
+            "latency": self.latency_target,
+            "completeness": self.completeness_target,
+            "shed": self.shed_target,
+            "rejection": self.rejection_target,
+        }[objective]
+        return min(base * self.factor(cls), 1.0)
+
+
+class _AlertState:
+    """Mutable per-(class, objective) accounting and alert machine.
+
+    The fast/slow rolling windows keep *incremental* integer sums next
+    to their bucket deques: each closed bucket is added once and
+    subtracted once when it ages out, so computing a burn rate is O(1)
+    per evaluation instead of a rescan of the window — and because the
+    sums are exact integers the result is bit-identical to a rescan.
+    """
+
+    __slots__ = (
+        "good",
+        "bad",
+        "cur_good",
+        "cur_bad",
+        "buckets",
+        "fast_buckets",
+        "slow_good",
+        "slow_bad",
+        "fast_good",
+        "fast_bad",
+        "target",
+        "gauge_name",
+        "state",
+        "pending_since",
+        "clear_since",
+        "fired",
+        "resolved",
+        "max_burn_fast",
+        "max_burn_slow",
+    )
+
+    def __init__(self, target: float, gauge_name: str) -> None:
+        self.good = 0
+        self.bad = 0
+        self.cur_good = 0
+        self.cur_bad = 0
+        self.buckets: deque[tuple[float, int, int]] = deque()
+        self.fast_buckets: deque[tuple[float, int, int]] = deque()
+        self.slow_good = 0
+        self.slow_bad = 0
+        self.fast_good = 0
+        self.fast_bad = 0
+        self.target = target
+        self.gauge_name = gauge_name
+        self.state = "inactive"
+        self.pending_since = 0.0
+        self.clear_since: float | None = None
+        self.fired = 0
+        self.resolved = 0
+        self.max_burn_fast = 0.0
+        self.max_burn_slow = 0.0
+
+
+class SloTracker:
+    """Rolling error-budget accounting and burn-rate alerting.
+
+    Feed it one :meth:`record` per sample (query outcome, admission
+    decision) and one :meth:`evaluate` per virtual-clock tick; read
+    :attr:`transitions` for the alert history and :meth:`summary` for
+    the per-class budget table.  Everything is keyed on the virtual
+    clock, so two identical runs produce identical alert timelines.
+
+    Args:
+        policy: Objectives and alerting tunables.
+        enabled: When False, ``record`` and ``evaluate`` return after
+            one attribute check and no state accumulates.
+    """
+
+    def __init__(self, policy: SloPolicy | None = None, enabled: bool = True):
+        self.policy = policy or SloPolicy()
+        self.enabled = enabled
+        self._states: dict[tuple[str, str], _AlertState] = {}
+        #: Buffered counter deltas (objective -> [samples, bad]); the
+        #: hot :meth:`record` path only touches plain ints and the
+        #: registry counters catch up on the next :meth:`flush` /
+        #: :meth:`evaluate`.
+        self._pending: dict[str, list[int]] = {}
+        #: Alert transition history: dicts with ``ts``/``tier``/
+        #: ``objective``/``from``/``to``/``kind``.
+        self.transitions: list[dict] = []
+
+    def _state(self, cls: str, objective: str) -> _AlertState:
+        key = (cls, objective)
+        st = self._states.get(key)
+        if st is None:
+            st = self._states[key] = _AlertState(
+                self.policy.target(cls, objective),
+                f"slo.burn.{cls}.{objective}.last",
+            )
+        return st
+
+    def record(self, objective: str, tenant: int, bad: bool) -> None:
+        """Account one sample for the tenant's class.
+
+        Args:
+            objective: One of :data:`OBJECTIVES`.
+            tenant: Tenant id (mapped to its class).
+            bad: Whether the sample spends error budget.
+        """
+        if not self.enabled:
+            return
+        st = self._state(tenant_class(tenant), objective)
+        pend = self._pending.get(objective)
+        if pend is None:
+            pend = self._pending[objective] = [0, 0]
+        pend[0] += 1
+        if bad:
+            st.cur_bad += 1
+            st.bad += 1
+            pend[1] += 1
+        else:
+            st.cur_good += 1
+            st.good += 1
+
+    def flush(self) -> None:
+        """Publish buffered sample deltas to the registry counters.
+
+        ``slo.samples.<objective>`` / ``slo.bad.<objective>`` lag
+        :meth:`record` by at most one :meth:`evaluate` (which calls
+        this); call directly to reconcile the registry at a boundary.
+        """
+        for objective in sorted(self._pending):
+            samples, bad = self._pending[objective]
+            if samples:
+                _registry.counter(f"slo.samples.{objective}").inc(samples)
+            if bad:
+                _registry.counter(f"slo.bad.{objective}").inc(bad)
+        self._pending.clear()
+
+    @staticmethod
+    def _burn(bad: int, total: int, target: float) -> float:
+        if total == 0 or target <= 0.0:
+            return 0.0
+        return (bad / total) / target
+
+    def _transition(
+        self, now_ms: float, cls: str, objective: str, frm: str, to: str, kind: str
+    ) -> None:
+        self.transitions.append(
+            {
+                "ts": float(now_ms),
+                "tier": cls,
+                "objective": objective,
+                "from": frm,
+                "to": to,
+                "kind": kind,
+            }
+        )
+        _registry.counter(f"slo.alerts.{kind}").inc()
+
+    def evaluate(self, now_ms: float) -> None:
+        """Close the tick's samples and advance every alert machine.
+
+        Call once per virtual tick (monotone ``now_ms``); each call
+        folds the samples recorded since the previous call into a
+        window bucket stamped ``now_ms``, prunes buckets beyond the
+        slow window, recomputes both burn rates and steps the
+        pending → firing → resolved hysteresis.
+        """
+        if not self.enabled:
+            return
+        self.flush()
+        p = self.policy
+        slow_edge = now_ms - p.slow_window_ms
+        fast_edge = now_ms - p.fast_window_ms
+        for (cls, objective) in sorted(self._states):
+            st = self._states[(cls, objective)]
+            if st.cur_good or st.cur_bad:
+                bucket = (now_ms, st.cur_good, st.cur_bad)
+                st.buckets.append(bucket)
+                st.fast_buckets.append(bucket)
+                st.slow_good += st.cur_good
+                st.slow_bad += st.cur_bad
+                st.fast_good += st.cur_good
+                st.fast_bad += st.cur_bad
+                st.cur_good = 0
+                st.cur_bad = 0
+            while st.buckets and st.buckets[0][0] <= slow_edge:
+                _, g, b = st.buckets.popleft()
+                st.slow_good -= g
+                st.slow_bad -= b
+            while st.fast_buckets and st.fast_buckets[0][0] <= fast_edge:
+                _, g, b = st.fast_buckets.popleft()
+                st.fast_good -= g
+                st.fast_bad -= b
+            target = st.target
+            fast = self._burn(st.fast_bad, st.fast_good + st.fast_bad, target)
+            slow = self._burn(st.slow_bad, st.slow_good + st.slow_bad, target)
+            if fast > st.max_burn_fast:
+                st.max_burn_fast = fast
+            if slow > st.max_burn_slow:
+                st.max_burn_slow = slow
+            _registry.gauge(st.gauge_name).set(round(fast, 6))
+            hot = fast >= p.fire_burn and slow >= p.fire_burn
+            cool = fast < p.clear_burn and slow < p.clear_burn
+            if st.state == "inactive":
+                if hot:
+                    st.state = "pending"
+                    st.pending_since = now_ms
+                    self._transition(
+                        now_ms, cls, objective, "inactive", "pending", "pending"
+                    )
+            elif st.state == "pending":
+                if not hot:
+                    st.state = "inactive"
+                    self._transition(
+                        now_ms, cls, objective, "pending", "inactive", "cancelled"
+                    )
+                elif now_ms - st.pending_since >= p.for_ms:
+                    st.state = "firing"
+                    st.clear_since = None
+                    st.fired += 1
+                    self._transition(
+                        now_ms, cls, objective, "pending", "firing", "fired"
+                    )
+            elif st.state == "firing":
+                if cool:
+                    if st.clear_since is None:
+                        st.clear_since = now_ms
+                    elif now_ms - st.clear_since >= p.clear_ms:
+                        st.state = "inactive"
+                        st.clear_since = None
+                        st.resolved += 1
+                        self._transition(
+                            now_ms, cls, objective, "firing", "inactive", "resolved"
+                        )
+                else:
+                    st.clear_since = None
+
+    def state(self, cls: str, objective: str) -> str:
+        """The alert machine's current state for one (class, objective)."""
+        st = self._states.get((cls, objective))
+        return st.state if st is not None else "inactive"
+
+    def summary(self) -> dict:
+        """Per-class, per-objective budget table (JSON-ready, sorted).
+
+        Each entry carries sample/bad counts, the remaining error
+        budget fraction (1 means untouched, negative means overspent),
+        alert fire/resolve counts and the peak burn rates seen.
+        """
+        out: dict = {}
+        for cls in TENANT_CLASSES:
+            row: dict = {}
+            for objective in OBJECTIVES:
+                st = self._states.get((cls, objective))
+                if st is None:
+                    continue
+                total = st.good + st.bad
+                target = self.policy.target(cls, objective)
+                allowed = target * total
+                remaining = 1.0 - st.bad / allowed if allowed > 0.0 else 1.0
+                row[objective] = {
+                    "samples": total,
+                    "bad": st.bad,
+                    "budget_remaining": round(remaining, 6),
+                    "fired": st.fired,
+                    "resolved": st.resolved,
+                    "max_burn_fast": round(st.max_burn_fast, 6),
+                    "max_burn_slow": round(st.max_burn_slow, 6),
+                }
+            if row:
+                out[cls] = row
+        return out

@@ -1,0 +1,201 @@
+"""Live time series: ring-buffered samples of registry instruments.
+
+The metrics registry answers "what were the totals at the end of the
+run"; an operator of the serving layer needs "how did completeness
+error, shed rate and admission pressure *evolve* while it ran".  This
+module is the substrate: fixed-capacity ring series of
+``(virtual_ts, value)`` points with deterministic stride-doubling
+downsampling, and a :class:`TimeSeriesSampler` that periodically
+snapshots every live counter/gauge/histogram of the active registry at
+a configurable virtual-clock cadence.
+
+The same discipline as the rest of :mod:`repro.obs` applies:
+
+* **virtual clock only** — timestamps are the simulation's virtual
+  milliseconds, so two runs of the same config produce byte-identical
+  series;
+* **bounded memory** — a series holds at most ``capacity`` points; at
+  capacity it keeps every other point and doubles its accept stride,
+  so a series over a 10× longer run costs the same memory and remains
+  a faithful (coarser) sketch of the same curve;
+* **mergeable** — series from executor shards merge by timestamp-sorted
+  union plus re-decimation, deterministically;
+* **no-op cheap when disabled** — a disabled sampler's ``record`` and
+  ``sample_registry`` return after one attribute check.
+"""
+
+from __future__ import annotations
+
+from repro.obs import registry as _registry
+
+__all__ = ["RingSeries", "TimeSeriesSampler"]
+
+
+class RingSeries:
+    """One bounded time series with deterministic downsampling.
+
+    Points are offered in timestamp order; the series accepts every
+    ``stride``-th offer.  When the buffer reaches ``capacity`` it keeps
+    the even-indexed half of its points and doubles the stride — a
+    deterministic decimation, so the retained points of a long run are
+    a pure function of the offered sequence, never of wall time.
+
+    Args:
+        capacity: Maximum retained points (>= 4, even so decimation
+            halves cleanly).
+    """
+
+    __slots__ = ("capacity", "stride", "points", "offered")
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 4 or capacity % 2:
+            raise ValueError("capacity must be an even number >= 4")
+        self.capacity = capacity
+        self.stride = 1
+        self.points: list[tuple[float, float]] = []
+        self.offered = 0
+
+    def __len__(self) -> int:
+        """Number of retained points."""
+        return len(self.points)
+
+    def offer(self, ts: float, value: float) -> bool:
+        """Offer one sample; returns True when it was retained.
+
+        Every ``stride``-th offer is kept; reaching ``capacity`` keeps
+        the even-indexed points and doubles the stride.
+        """
+        take = self.offered % self.stride == 0
+        self.offered += 1
+        if not take:
+            return False
+        self.points.append((float(ts), float(value)))
+        if len(self.points) >= self.capacity:
+            self.points = self.points[::2]
+            self.stride *= 2
+        return True
+
+    def merge_from(self, other: "RingSeries") -> None:
+        """Fold another series into this one (executor-shard merge).
+
+        The union is sorted by ``(ts, value)`` and re-decimated to
+        capacity; the stride becomes the larger of the two (then doubles
+        with each decimation pass), so merge order cannot change the
+        result.
+        """
+        pts = sorted(self.points + other.points)
+        stride = max(self.stride, other.stride)
+        while len(pts) >= self.capacity:
+            pts = pts[::2]
+            stride *= 2
+        self.points = pts
+        self.stride = stride
+        self.offered += other.offered
+
+    def to_json(self) -> dict:
+        """JSON-ready view: stride, offer count and retained points."""
+        return {
+            "stride": self.stride,
+            "offered": self.offered,
+            "points": [[ts, v] for ts, v in self.points],
+        }
+
+
+class TimeSeriesSampler:
+    """Samples registry instruments into named ring series on a cadence.
+
+    Call :meth:`sample_registry` once per service tick with the current
+    virtual time; at most every ``sample_every_ms`` of virtual time it
+    snapshots every live counter (as its running total), gauge (as its
+    current value) and histogram (as ``<name>.count`` / ``<name>.p95``
+    series) of the active registry.  Direct measurements that are not
+    registry instruments go through :meth:`record`.
+
+    Args:
+        sample_every_ms: Virtual-clock cadence between registry sweeps.
+        capacity: Per-series ring capacity.
+        enabled: When False every method returns immediately and the
+            sampler holds no state — the no-op discipline of the
+            registry's null instruments.
+    """
+
+    def __init__(
+        self,
+        sample_every_ms: float = 20.0,
+        capacity: int = 256,
+        enabled: bool = True,
+    ):
+        if sample_every_ms <= 0.0:
+            raise ValueError("sample_every_ms must be > 0")
+        self.sample_every_ms = float(sample_every_ms)
+        self.capacity = capacity
+        self.enabled = enabled
+        self.series: dict[str, RingSeries] = {}
+        self.sweeps = 0
+        self._next_ms = 0.0
+
+    def _series(self, name: str) -> RingSeries:
+        s = self.series.get(name)
+        if s is None:
+            s = self.series[name] = RingSeries(self.capacity)
+        return s
+
+    def record(self, name: str, ts: float, value: float) -> None:
+        """Offer one direct sample to the named series."""
+        if not self.enabled:
+            return
+        self._series(name).offer(ts, value)
+
+    def due(self, now_ms: float) -> bool:
+        """Whether a registry sweep is due at virtual time ``now_ms``."""
+        return self.enabled and now_ms >= self._next_ms
+
+    @property
+    def next_sample_ms(self) -> float:
+        """Virtual time of the next due sweep (for callers that batch)."""
+        return self._next_ms
+
+    def sample_registry(
+        self, now_ms: float, registry: "_registry.MetricsRegistry | None" = None
+    ) -> bool:
+        """Sweep the registry into the series if the cadence is due.
+
+        Args:
+            now_ms: Current virtual time.
+            registry: Registry to sweep (default: the active scope).
+
+        Returns:
+            True when a sweep happened, False when disabled or not due.
+        """
+        if not self.due(now_ms):
+            return False
+        while self._next_ms <= now_ms:
+            self._next_ms += self.sample_every_ms
+        reg = registry if registry is not None else _registry.get_registry()
+        for name, c in reg.counters.items():
+            self._series(name).offer(now_ms, float(c.value))
+        for name, g in reg.gauges.items():
+            self._series(name).offer(now_ms, g.value)
+        for name, h in reg.histograms.items():
+            self._series(name + ".count").offer(now_ms, float(h.count))
+            self._series(name + ".p95").offer(now_ms, h.quantile(0.95))
+        self.sweeps += 1
+        return True
+
+    def merge_from(self, other: "TimeSeriesSampler") -> None:
+        """Fold another sampler's series into this one, name by name."""
+        if not self.enabled:
+            return
+        for name in sorted(other.series):
+            self._series(name).merge_from(other.series[name])
+        self.sweeps += other.sweeps
+
+    def snapshot(self) -> dict:
+        """JSON-ready view: every series, sorted by name."""
+        return {
+            "sample_every_ms": self.sample_every_ms,
+            "sweeps": self.sweeps,
+            "series": {
+                name: self.series[name].to_json() for name in sorted(self.series)
+            },
+        }

@@ -10,6 +10,11 @@ autoscaling from the engine cost model
 (:mod:`repro.serve.autoscaler`) and checkpoint-based migration — all
 orchestrated on an asyncio event loop over a virtual clock
 (:mod:`repro.serve.service`), so every run replays byte-identically.
+Live telemetry (:mod:`repro.serve.telemetry`) samples the run's
+registry into ring time series, tracks per-tenant-class SLO error
+budgets with burn-rate alerts, and audits every control-plane decision;
+:meth:`JoinService.openmetrics` / :meth:`JoinService.telemetry_snapshot`
+are the exporters.
 
 Entry points: build a :class:`ServeConfig`, optionally a fault plan
 (:func:`repro.faults.serve_load_plan`), and call :func:`run_service`.
@@ -22,15 +27,18 @@ from repro.serve.autoscaler import VerticalAutoscaler
 from repro.serve.runs import RunStack, SortedRun, merge_sorted_runs
 from repro.serve.service import JoinService, ServeConfig, run_service
 from repro.serve.shards import ShardAnswer, ShardStore
+from repro.serve.telemetry import ServeTelemetry, TelemetryConfig
 
 __all__ = [
     "AdmissionController",
     "JoinService",
     "RunStack",
     "ServeConfig",
+    "ServeTelemetry",
     "ShardAnswer",
     "ShardStore",
     "SortedRun",
+    "TelemetryConfig",
     "TenantQuota",
     "VerticalAutoscaler",
     "merge_sorted_runs",

@@ -40,6 +40,20 @@ Counters: ``serve.ingest.events``, ``serve.queries.submitted`` /
 :mod:`repro.serve.admission`, :mod:`repro.serve.shards` and
 :mod:`repro.serve.autoscaler`.  Histogram: ``serve.latency_ms``.
 Trace instants: ``serve.rescale``, ``serve.migrate``.
+
+Live telemetry (:mod:`repro.serve.telemetry`, on by default) rides the
+same loop: the tick boundary sweeps the run's registry into ring time
+series and advances the per-tenant-class SLO burn-rate alerts, and
+every control-plane decision — admission rejection, queue/starved shed,
+widen change, fallback entry, rescale, migration, profile
+poison/repair — lands in the audit log (``audit.*`` counters).  A fault
+plan with ``estimator_divergence`` events additionally poisons the
+shard delay profiles at the event start and repairs them from their
+last healthy checkpoint at the next barrier — the serving-layer version
+of the chaos harness's forced-NaN drill.  Each run records into its own
+scoped child registry (merged losslessly into the surrounding scope),
+so :meth:`JoinService.openmetrics` and
+:meth:`JoinService.telemetry_snapshot` expose exactly this run.
 """
 
 from __future__ import annotations
@@ -54,6 +68,8 @@ import numpy as np
 
 from repro import obs
 from repro.obs import trace
+from repro.obs.openmetrics import render_openmetrics
+from repro.core.persistence import profile_state, restore_profile
 from repro.engine.cost_model import EngineCostModel
 from repro.faults.degrade import DegradationController, DegradeConfig
 from repro.faults.plan import FaultPlan
@@ -61,6 +77,7 @@ from repro.joins.arrays import AggKind
 from repro.serve.admission import AdmissionController, TenantQuota
 from repro.serve.autoscaler import VerticalAutoscaler
 from repro.serve.shards import ShardStore
+from repro.serve.telemetry import ServeTelemetry, TelemetryConfig
 
 __all__ = ["ServeConfig", "JoinService", "run_service"]
 
@@ -112,6 +129,9 @@ class ServeConfig:
             ``"full"`` is the full-rebuild reference
             (:class:`~repro.serve.shards.ShardStore`); answers are
             equal either way, only cost differs.
+        telemetry: Live-telemetry tunables (sampling cadence, SLO
+            policy, audit switch); ``TelemetryConfig(enabled=False)``
+            pins the pre-telemetry no-op path.
     """
 
     tenants: int = 32
@@ -137,6 +157,7 @@ class ServeConfig:
     degrade: DegradeConfig = field(default_factory=DegradeConfig)
     compensate_output: bool = True
     shard_rebuild: str = "runs"
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def __post_init__(self) -> None:
         if self.tenants < 1 or self.n_shards < 1:
@@ -231,6 +252,21 @@ class JoinService:
         self.latencies: list[float] = []
         self._migrated = False
         self._worker_error: Exception | None = None
+        self.telemetry = ServeTelemetry(config.telemetry)
+        self.slo = self.telemetry.slo
+        self.audit = self.telemetry.audit
+        self.sampler = self.telemetry.sampler
+        self._registry: obs.MetricsRegistry | None = None
+        # Forced estimator-divergence events poison the shard delay
+        # profiles; the repair path only arms when the plan carries
+        # them, so ordinary runs stay bit-identical.
+        self._divergence = (
+            sorted(plan.by_kind("estimator_divergence"), key=lambda e: e.t_start)
+            if plan is not None
+            else []
+        )
+        self._divergence_idx = 0
+        self._profile_ckpts: list[dict[str, Any]] = []
 
     # -- load generation ---------------------------------------------------
 
@@ -347,7 +383,9 @@ class JoinService:
             self.widened_answers += 1
             obs.counter("serve.queries.widened").inc()
         healthy, hard = ctl.assess(value, answer.observed, None)
-        if ctl.observe(healthy, hard) == "fallback" and not shed:
+        mode_before = ctl.mode
+        fallback = ctl.observe(healthy, hard) == "fallback" and not shed
+        if fallback:
             value = answer.observed
             self.fallback_answers += 1
             obs.counter("serve.queries.fallback").inc()
@@ -357,9 +395,27 @@ class JoinService:
         self.queries_completed += 1
         self.tenant_completed[query.tenant] += 1
         obs.counter("serve.queries.completed").inc()
-        if query.submit_ms >= self.config.warmup_ms:
+        warm = query.submit_ms >= self.config.warmup_ms
+        if warm:
             self.latencies.append(latency)
             obs.observe("serve.latency_ms", latency)
+        tel = self.telemetry
+        if tel.enabled:
+            if ctl.widen_ms != widen:
+                tel.on_widen(query.shard, query.submit_ms, ctl.widen_ms)
+            if ctl.mode == "fallback" and mode_before != "fallback":
+                tel.on_fallback_entered(query.shard, query.submit_ms)
+            tel.on_query(
+                query.tenant,
+                query.shard,
+                query.submit_ms,
+                latency,
+                answer.value,
+                answer.completeness,
+                shed,
+                fallback,
+                warm,
+            )
 
     async def _worker(self, idx: int, queue: asyncio.Queue) -> None:
         """One simulated worker: drain the queue until cancelled.
@@ -426,6 +482,49 @@ class JoinService:
             self.migrations += 1
             obs.counter("serve.migrations").inc()
         trace.instant("serve.migrate", now_ms, cat="serve")
+        self.telemetry.on_migrate(now_ms, len(self.shards))
+
+    # -- forced-divergence drill -------------------------------------------
+
+    def _maybe_poison(self, tick_end: float) -> None:
+        """Poison every shard's delay profile at a due divergence event.
+
+        Only the bucket counts are NaN'd: the profile stays warm
+        (``_total`` untouched), so compensated queries keep consulting
+        it and surface NaN completeness — the realistic failure the
+        shard's non-finite guard and the controllers then absorb.
+        """
+        while (
+            self._divergence_idx < len(self._divergence)
+            and tick_end >= self._divergence[self._divergence_idx].t_start
+        ):
+            for shard in self.shards:
+                profile = shard.profile
+                profile._counts = np.full_like(profile._counts, np.nan)
+                profile._cdf_cache = None
+            obs.counter("serve.profile.poisons").inc()
+            self.telemetry.on_profile_poison(tick_end, len(self.shards))
+            self._divergence_idx += 1
+
+    def _profile_healthy(self, shard: ShardStore) -> bool:
+        """Probe one shard's delay profile for finite completeness."""
+        probe = np.asarray([shard.profile._span * 0.5])
+        return bool(np.isfinite(shard.profile.completeness_many(probe)).all())
+
+    def _repair_profiles(self, now_ms: float) -> None:
+        """Barrier-time repair: restore poisoned profiles, refresh checkpoints.
+
+        Healthy profiles refresh their checkpoint (so a later repair
+        restores recent state); poisoned ones are restored in place from
+        the last healthy checkpoint, counted and audited.
+        """
+        for i, shard in enumerate(self.shards):
+            if self._profile_healthy(shard):
+                self._profile_ckpts[i] = profile_state(shard.profile)
+            else:
+                restore_profile(shard.profile, self._profile_ckpts[i])
+                obs.counter("serve.profile.repairs").inc()
+                self.telemetry.on_profile_repair(i, now_ms)
 
     # -- the run -----------------------------------------------------------
 
@@ -433,8 +532,19 @@ class JoinService:
         """Drive the service for ``duration_ms`` of virtual time.
 
         Returns the run report (the dict :func:`run_service` documents).
+        The run records into its own scoped child registry — merged
+        losslessly into the surrounding scope on exit — so the
+        telemetry sampler and the exporters see exactly this run's
+        instruments regardless of what else the process measured.
         """
+        with obs.scoped() as reg:
+            self._registry = reg
+            return await self._run_inner()
+
+    async def _run_inner(self) -> dict[str, Any]:
+        """The tick loop body of :meth:`run` (inside the scoped registry)."""
         cfg = self.config
+        tel = self.telemetry
         event, arrival, key, payload, is_r = self._generate_ingest()
         shard_of = key % cfg.n_shards
         rng_q = np.random.default_rng(cfg.seed + 1)
@@ -449,9 +559,13 @@ class JoinService:
         tuples_since = 0
         queries_since = 0
         rr_offset = 0
+        if self._divergence:
+            self._profile_ckpts = [profile_state(s.profile) for s in self.shards]
         try:
             for tick in range(n_ticks):
                 tick_end = (tick + 1) * cfg.tick_ms
+                if self._divergence:
+                    self._maybe_poison(tick_end)
                 # 1. Ingest: this tick's arrivals, fanned out by key shard.
                 hi = int(np.searchsorted(arrival[cursor:], tick_end)) + cursor
                 if hi > cursor:
@@ -475,12 +589,17 @@ class JoinService:
                     self.queries_submitted += 1
                     self.tenant_submitted[query.tenant] += 1
                     obs.counter("serve.queries.submitted").inc()
-                    if not self.admission.admit(query.tenant, query.submit_ms):
+                    admitted = self.admission.admit(query.tenant, query.submit_ms)
+                    self.telemetry.on_admission(
+                        query.tenant, query.submit_ms, admitted
+                    )
+                    if not admitted:
                         continue
                     tq = self.tenant_queues[query.tenant]
                     if len(tq) >= cfg.tenant_queue_cap:
                         self.shed_queue += 1
                         obs.counter("serve.queries.shed_queue").inc()
+                        self.telemetry.on_queue_shed(query.tenant, query.submit_ms)
                         continue
                     tq.append(query)
                 # 3. Round-robin drain across tenants (rotating start).
@@ -495,6 +614,8 @@ class JoinService:
                 )
                 if at_scale_boundary or migrate_due:
                     await self._barrier()
+                    if self._divergence:
+                        self._repair_profiles(tick_end)
                 if migrate_due:
                     self._migrate(tick_end)
                     self._migrated = True
@@ -514,13 +635,17 @@ class JoinService:
                             cat="serve",
                             args={"from": workers, "to": new},
                         )
+                        self.telemetry.on_rescale(tick_end, workers, new)
                         await self._stop_pool()
                         self._spawn_pool(new, tick_end)
                         workers = new
+                if tel.enabled and tick_end >= tel.next_due_ms:
+                    tel.on_tick(tick_end)
             # Final drain: leftover tenant-queue backlog is completed, so
             # admitted work is always accounted (completed or shed).
             await self._drain_tenants(rr_offset)
             await self._barrier()
+            self.telemetry.finalize(cfg.duration_ms)
         finally:
             await self._stop_pool()
         return self._report()
@@ -547,6 +672,37 @@ class JoinService:
                     dispatched += 1
                     pending = pending or bool(tq)
         return dispatched
+
+    # -- telemetry export --------------------------------------------------
+
+    def telemetry_snapshot(self) -> dict[str, Any]:
+        """The run's JSON telemetry endpoint.
+
+        Bundles the scoped registry snapshot with the ring time series,
+        the per-class SLO budget table, the alert transition history and
+        the audit-log size — everything an operator dashboard would
+        poll, deterministic for a given config and plan.
+        """
+        metrics = (
+            self._registry.snapshot()
+            if self._registry is not None
+            else {"schema_version": obs.SNAPSHOT_SCHEMA_VERSION}
+        )
+        return {
+            "schema_version": obs.SNAPSHOT_SCHEMA_VERSION,
+            "metrics": metrics,
+            **self.telemetry.snapshot(),
+        }
+
+    def openmetrics(self) -> str:
+        """The run's registry as OpenMetrics text (``# EOF``-terminated).
+
+        Rendered from the run's scoped registry, sorted and canonically
+        formatted, so serial and ``--workers 2`` benches of the same
+        cell expose identical bytes.
+        """
+        snapshot = self._registry.snapshot() if self._registry is not None else {}
+        return render_openmetrics(snapshot)
 
     def _report(self) -> dict[str, Any]:
         """Assemble the run's summary dict (deterministic, JSON-ready)."""

@@ -426,6 +426,21 @@ class ShardStore:
         mids = start + (np.arange(_AGE_BUCKETS) + 0.5) * (end - start) / _AGE_BUCKETS
         ages = available_by - mids
         c_bar = float(np.mean(np.clip(self.profile.completeness_many(ages), 0.0, 1.0)))
+        if not math.isfinite(c_bar):
+            # A poisoned delay profile (forced estimator divergence)
+            # propagates NaN through completeness_many; max() below
+            # would pass it straight into compensate().  Surface a NaN
+            # answer instead so the DegradationController's non-finite
+            # check trips its hard-fallback path.
+            obs.counter("serve.shard.nonfinite_completeness").inc()
+            return ShardAnswer(
+                float("nan"),
+                observed,
+                observed_agg.n_r,
+                observed_agg.n_s,
+                starved,
+                float("nan"),
+            )
         c_bar = max(c_bar, _MIN_COMPLETENESS)
         estimate = compensate(
             self.agg,

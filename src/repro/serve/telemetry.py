@@ -1,0 +1,231 @@
+"""Live serving telemetry: sampling, SLOs and the control-plane audit log.
+
+:class:`ServeTelemetry` is the glue between :class:`~repro.serve.service.JoinService`
+and the observability substrate: one :class:`~repro.obs.TimeSeriesSampler`
+sweeping the service's registry on a virtual-clock cadence, one
+:class:`~repro.obs.SloTracker` classifying every admission decision and
+query outcome into per-tenant-class error budgets with burn-rate alerts,
+and one :class:`~repro.obs.AuditLog` recording every control-plane
+decision.  The service calls the ``on_*`` hooks from its tick loop and
+workers; every hook is a cheap no-op when telemetry is disabled, which
+is what the equivalence test pins.
+
+Each audited decision also bumps an ``audit.<kind>`` counter so the run
+summary's conditional ``audit`` block mirrors the log's accounting —
+the soak test reconciles both against the final report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.obs.audit import AuditLog
+from repro.obs.slo import TENANT_CLASSES, SloPolicy, SloTracker, tenant_class
+from repro.obs.timeseries import TimeSeriesSampler
+
+__all__ = ["TelemetryConfig", "ServeTelemetry"]
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Telemetry tunables of one service run.
+
+    Attributes:
+        enabled: Master switch — False makes every hook a no-op and the
+            run bit-identical to a pre-telemetry service.
+        sample_every_ms: Virtual-clock cadence of registry sweeps into
+            the ring series.
+        series_capacity: Per-series ring capacity (points retained).
+        audit: Record control-plane decisions in the audit log (the
+            ``audit.*`` counters follow this switch too).
+        slo: Objectives, budgets and alerting tunables.
+    """
+
+    enabled: bool = True
+    sample_every_ms: float = 20.0
+    series_capacity: int = 256
+    audit: bool = True
+    slo: SloPolicy = field(default_factory=SloPolicy)
+
+
+class ServeTelemetry:
+    """The service's telemetry bundle: sampler + SLO tracker + audit log.
+
+    Args:
+        config: Telemetry tunables (:class:`TelemetryConfig`).
+    """
+
+    def __init__(self, config: TelemetryConfig | None = None):
+        self.config = config or TelemetryConfig()
+        self.enabled = self.config.enabled
+        self.sampler = TimeSeriesSampler(
+            sample_every_ms=self.config.sample_every_ms,
+            capacity=self.config.series_capacity,
+            enabled=self.enabled,
+        )
+        self.slo = SloTracker(self.config.slo, enabled=self.enabled)
+        self.audit = AuditLog(enabled=self.enabled and self.config.audit)
+        self._next_eval_ms = 0.0
+        self._last_eval_ms: float | None = None
+        #: Virtual time at which :meth:`on_tick` next has work to do —
+        #: the service skips the call entirely before that, keeping the
+        #: tick loop's telemetry cost to one float compare.
+        self.next_due_ms = 0.0
+        slo = self.config.slo
+        self._completeness_min = slo.completeness_min
+        self._latency_threshold = {
+            cls: slo.latency_threshold_ms(cls) for cls in TENANT_CLASSES
+        }
+
+    # -- audit plumbing ----------------------------------------------------
+
+    def _audit(self, kind: str, ts: float, **details) -> None:
+        if not self.audit.enabled:
+            return
+        self.audit.emit(kind, ts, **details)
+        obs.counter(f"audit.{kind}").inc()
+
+    # -- control-plane hooks ----------------------------------------------
+
+    def on_admission(self, tenant: int, ts: float, admitted: bool) -> None:
+        """One admission decision: rejection-SLO sample + audit event."""
+        if not self.enabled:
+            return
+        self.slo.record("rejection", tenant, bad=not admitted)
+        if not admitted:
+            self._audit("admission.reject", ts, tenant=tenant)
+
+    def on_queue_shed(self, tenant: int, ts: float) -> None:
+        """A query shed at the bounded tenant queue."""
+        if not self.enabled:
+            return
+        self.slo.record("shed", tenant, bad=True)
+        self._audit("queue.shed", ts, tenant=tenant)
+
+    def on_query(
+        self,
+        tenant: int,
+        shard: int,
+        ts: float,
+        latency_ms: float,
+        value: float,
+        completeness: float,
+        shed: bool,
+        fallback: bool,
+        warm: bool,
+    ) -> None:
+        """One completed (or starved-shed) query outcome.
+
+        Classifies the answer into the shed, completeness and (post
+        warm-up) latency objectives; starved sheds are audited.
+        """
+        if not self.enabled:
+            return
+        self.slo.record("shed", tenant, bad=shed)
+        if shed:
+            self._audit("starved.shed", ts, tenant=tenant, shard=shard)
+        else:
+            bad_completeness = (
+                not math.isfinite(value)
+                or fallback
+                or (
+                    math.isfinite(completeness)
+                    and completeness < self._completeness_min
+                )
+            )
+            self.slo.record("completeness", tenant, bad=bad_completeness)
+        if warm and math.isfinite(latency_ms):
+            threshold = self._latency_threshold[tenant_class(tenant)]
+            self.slo.record("latency", tenant, bad=latency_ms > threshold)
+
+    def on_widen(self, shard: int, ts: float, widen_ms: float) -> None:
+        """The shard controller changed its availability widening."""
+        if not self.enabled:
+            return
+        self._audit("degrade.widen", ts, shard=shard, widen_ms=round(widen_ms, 6))
+
+    def on_fallback_entered(self, shard: int, ts: float) -> None:
+        """The shard controller dropped into fallback mode."""
+        if not self.enabled:
+            return
+        self._audit("degrade.fallback", ts, shard=shard)
+
+    def on_rescale(self, ts: float, from_workers: int, to_workers: int) -> None:
+        """The autoscaler resized the pool at a barrier."""
+        if not self.enabled:
+            return
+        self._audit(
+            "autoscale.rescale", ts, from_workers=from_workers, to_workers=to_workers
+        )
+
+    def on_migrate(self, ts: float, shards: int) -> None:
+        """The migration drill round-tripped every shard."""
+        if not self.enabled:
+            return
+        self._audit("service.migrate", ts, shards=shards)
+
+    def on_profile_poison(self, ts: float, shards: int) -> None:
+        """A forced estimator-divergence event poisoned the profiles."""
+        if not self.enabled:
+            return
+        self._audit("profile.poison", ts, shards=shards)
+
+    def on_profile_repair(self, shard: int, ts: float) -> None:
+        """A poisoned delay profile was restored from its checkpoint."""
+        if not self.enabled:
+            return
+        self._audit("profile.repair", ts, shard=shard)
+
+    # -- tick hook ---------------------------------------------------------
+
+    def on_tick(self, now_ms: float) -> None:
+        """Advance the SLO alert machines and the sampler when due.
+
+        SLO evaluation rides the sampling cadence rather than the raw
+        tick rate: burn windows span hundreds of virtual ms, so
+        evaluating every ``sample_every_ms`` loses nothing while keeping
+        the telemetry bundle out of the serve loop's hot path.  The
+        evaluation (and its counter flush) runs before the registry
+        sweep so the sampled series see this tick's totals.  Idempotent
+        for ticks before :attr:`next_due_ms` — hot loops may use that
+        attribute to skip the call entirely.
+        """
+        if not self.enabled:
+            return
+        if now_ms >= self._next_eval_ms:
+            while self._next_eval_ms <= now_ms:
+                self._next_eval_ms += self.config.sample_every_ms
+            self.slo.evaluate(now_ms)
+            self._last_eval_ms = now_ms
+        self.sampler.sample_registry(now_ms)
+        self.next_due_ms = min(self._next_eval_ms, self.sampler.next_sample_ms)
+
+    def finalize(self, now_ms: float) -> None:
+        """Settle telemetry at end of run: final evaluation and flush.
+
+        The cadence throttle can leave the tail of the run unevaluated
+        and sample deltas buffered; the service calls this once after
+        its last tick so budgets, alerts and counters all account for
+        every sample.
+        """
+        if not self.enabled:
+            return
+        if self._last_eval_ms != now_ms:
+            self.slo.evaluate(now_ms)
+            self._last_eval_ms = now_ms
+        else:
+            self.slo.flush()
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready bundle: series, SLO summary, alert transitions, audit."""
+        return {
+            "enabled": self.enabled,
+            "timeseries": self.sampler.snapshot(),
+            "slo": self.slo.summary(),
+            "alerts": list(self.slo.transitions),
+            "audit_events": len(self.audit),
+        }

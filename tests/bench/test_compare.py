@@ -176,6 +176,65 @@ class TestSchemaVersions:
     def test_current_snapshot_version_is_known(self):
         assert SNAPSHOT_SCHEMA_VERSION in KNOWN_SCHEMA_VERSIONS
 
+    def test_all_prior_versions_still_readable(self):
+        # v3 must keep reading v1 and v2 baselines: the version bump is
+        # additive (new summary blocks, interpolated quantiles), not a
+        # format break.
+        assert {1, 2, SNAPSHOT_SCHEMA_VERSION} <= KNOWN_SCHEMA_VERSIONS
+
+    def test_v2_baseline_vs_v3_current_compares_clean(self):
+        old = mutate(make_report(), lambda r: r.__setitem__("schema_version", 2))
+        assert compare_reports(old, make_report()) == []
+
+
+class TestAdditiveBlocks:
+    """schema v3: new top-level summary blocks must not fail old baselines."""
+
+    def _with_slo_blocks(self, report):
+        return mutate(report, lambda r: r["figures"]["fig6"]["summary"].update({
+            "slo": {"samples.latency": 120, "bad.latency": 4},
+            "audit": {"admission.reject": 9},
+        }))
+
+    def test_added_summary_block_reported_as_added(self):
+        grown = self._with_slo_blocks(make_report())
+        findings = compare_reports(make_report(), grown)
+        assert sorted(f["path"] for f in findings) == [
+            "summary.audit", "summary.slo",
+        ]
+        assert {f["status"] for f in findings} == {"added"}
+
+    def test_removed_summary_block_still_fails(self):
+        grown = self._with_slo_blocks(make_report())
+        findings = compare_reports(grown, make_report())
+        assert {f["status"] for f in findings} == {"removed"}
+
+    def test_v2_baseline_v3_current_with_new_blocks_exits_zero(
+        self, tmp_path, capsys
+    ):
+        """The committed-baseline upgrade path: an old v2 report without
+        the telemetry blocks gates a new v3 run that has them."""
+        old = mutate(make_report(), lambda r: r.__setitem__("schema_version", 2))
+        new = self._with_slo_blocks(make_report())
+        b = tmp_path / "b.json"
+        c = tmp_path / "c.json"
+        b.write_text(json.dumps(old) + "\n")
+        c.write_text(json.dumps(new) + "\n")
+        assert main([str(b), str(c)]) == 0
+        assert "additive finding(s) only" in capsys.readouterr().out
+
+    def test_added_plus_regression_still_exits_one(self, tmp_path, capsys):
+        grown = self._with_slo_blocks(mutate(
+            make_report(),
+            lambda r: r["figures"]["fig6"]["rows"][1].__setitem__("error", 0.5),
+        ))
+        b = tmp_path / "b.json"
+        c = tmp_path / "c.json"
+        b.write_text(json.dumps(make_report()) + "\n")
+        c.write_text(json.dumps(grown) + "\n")
+        assert main([str(b), str(c)]) == 1
+        assert "regression" in capsys.readouterr().out
+
 
 class TestCompareTrees:
     def test_generic_trees_use_default_tolerance(self):

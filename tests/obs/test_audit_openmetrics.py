@@ -1,0 +1,159 @@
+"""Tests for the audit log and the OpenMetrics exposition."""
+
+import json
+
+from repro import obs
+from repro.obs import AUDIT_SCHEMA_VERSION, AuditLog, render_openmetrics
+
+
+class TestAuditLog:
+    def test_emit_and_count(self):
+        log = AuditLog()
+        log.emit("admission.reject", 10.0, tenant=3)
+        log.emit("queue.shed", 12.0, tenant=4)
+        log.emit("admission.reject", 15.0, tenant=3)
+        assert len(log) == 3
+        assert log.count("admission.reject") == 2
+        assert log.count("queue.shed") == 1
+        assert log.count("service.migrate") == 0
+        assert [e.ts for e in log.by_kind("admission.reject")] == [10.0, 15.0]
+
+    def test_disabled_log_records_nothing(self):
+        log = AuditLog(enabled=False)
+        log.emit("admission.reject", 10.0, tenant=3)
+        assert len(log) == 0
+        assert log.to_jsonl().count("\n") == 1  # header only
+
+    def test_sorted_events_ties_break_on_sequence(self):
+        log = AuditLog()
+        log.emit("b.kind", 5.0)
+        log.emit("a.kind", 5.0)
+        # Same ts: insertion order wins (seq), not kind.
+        assert [e.kind for e in log.sorted_events()] == ["b.kind", "a.kind"]
+
+    def test_jsonl_header_and_roundtrip(self):
+        log = AuditLog()
+        log.emit("autoscale.rescale", 50.0, from_workers=1, to_workers=2)
+        log.emit("service.migrate", 100.0, shards=4)
+        lines = log.to_jsonl().splitlines()
+        header = json.loads(lines[0])
+        assert header == {
+            "format": "repro.audit/jsonl",
+            "schema_version": AUDIT_SCHEMA_VERSION,
+            "events": 2,
+        }
+        events = [json.loads(line) for line in lines[1:]]
+        assert events[0] == {
+            "ts": 50.0,
+            "kind": "autoscale.rescale",
+            "seq": 0,
+            "from_workers": 1,
+            "to_workers": 2,
+        }
+        assert events[1]["shards"] == 4
+
+    def test_jsonl_bytes_are_canonical(self):
+        def build():
+            log = AuditLog()
+            log.emit("degrade.widen", 30.0, shard=1, widen_ms=2.5)
+            log.emit("degrade.fallback", 40.0, shard=1)
+            return log
+
+        assert build().to_jsonl() == build().to_jsonl()
+        # Detail keys serialize sorted regardless of kwarg order.
+        a, b = AuditLog(), AuditLog()
+        a.emit("x", 1.0, p=1, q=2)
+        b.emit("x", 1.0, q=2, p=1)
+        assert a.to_jsonl() == b.to_jsonl()
+
+    def test_merge_is_order_independent(self):
+        def build(kinds_ts):
+            log = AuditLog()
+            for kind, ts in kinds_ts:
+                log.emit(kind, ts, shard=int(ts))
+            return log
+
+        left = [("a.x", 1.0), ("a.y", 3.0)]
+        right = [("b.x", 2.0), ("b.y", 3.0)]
+        ab = build(left)
+        ab.merge_from(build(right))
+        ba = build(right)
+        ba.merge_from(build(left))
+        assert ab.to_jsonl() == ba.to_jsonl()
+        assert [e.seq for e in ab.events] == [0, 1, 2, 3]
+
+    def test_export_jsonl_writes_file(self, tmp_path):
+        log = AuditLog()
+        log.emit("profile.repair", 60.0, shard=2)
+        path = tmp_path / "audit.jsonl"
+        log.export_jsonl(str(path))
+        assert path.read_text() == log.to_jsonl()
+
+
+class TestOpenMetrics:
+    def test_sections_sorted_and_eof_terminated(self):
+        with obs.scoped() as reg:
+            obs.counter("serve.b").inc(2)
+            obs.counter("serve.a").inc(1)
+            obs.gauge("pool.size").set(3.0)
+            for v in (1.0, 2.0, 3.0, 4.0):
+                obs.histogram("lat.ms").observe(v)
+            text = render_openmetrics(reg.snapshot())
+        lines = text.splitlines()
+        assert lines[-1] == "# EOF"
+        assert text.endswith("# EOF\n")
+        assert lines.index("serve_a_total 1") < lines.index("serve_b_total 2")
+        assert "# TYPE serve_a counter" in lines
+        assert "# TYPE pool_size gauge" in lines
+        assert "# TYPE lat_ms summary" in lines
+        assert "lat_ms_count 4" in lines
+        assert 'lat_ms{quantile="0.5"}' in text
+        assert 'lat_ms{quantile="0.95"}' in text
+
+    def test_name_sanitization(self):
+        snap = {"counters": {"1bad.name-x": 1}, "gauges": {}, "histograms": {}}
+        text = render_openmetrics(snap)
+        assert "_1bad_name_x_total 1" in text
+        # Original name survives in HELP for traceability.
+        assert "# HELP _1bad_name_x repro counter 1bad.name-x" in text
+
+    def test_value_formatting(self):
+        snap = {
+            "counters": {"c": 3},
+            "gauges": {
+                "int_like": 2.0,
+                "frac": 2.5,
+                "nan": float("nan"),
+                "inf": float("inf"),
+                "ninf": float("-inf"),
+            },
+            "histograms": {},
+        }
+        text = render_openmetrics(snap)
+        assert "c_total 3\n" in text
+        assert "int_like 2\n" in text
+        assert "frac 2.5\n" in text
+        assert "nan NaN\n" in text
+        assert "inf +Inf\n" in text
+        assert "ninf -Inf\n" in text
+
+    def test_histogram_sum_is_mean_times_count(self):
+        with obs.scoped() as reg:
+            for v in (2.0, 4.0):
+                obs.histogram("h").observe(v)
+            snap = reg.snapshot()
+        text = render_openmetrics(snap)
+        assert "h_sum 6" in text
+
+    def test_empty_snapshot_renders_eof_only(self):
+        assert render_openmetrics({}) == "# EOF\n"
+
+    def test_deterministic_bytes(self):
+        def build():
+            with obs.scoped() as reg:
+                obs.counter("x").inc()
+                obs.gauge("y").set(1.25)
+                obs.histogram("z").observe(9.0)
+                return render_openmetrics(reg.snapshot())
+
+        assert build() == build()

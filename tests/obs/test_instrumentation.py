@@ -129,7 +129,7 @@ class TestEquivalence:
             (r.window.start, r.value, r.expected) for r in on.records
         ]
         assert off.metrics == {
-            "schema_version": 2,
+            "schema_version": obs.SNAPSHOT_SCHEMA_VERSION,
             "counters": {},
             "gauges": {},
             "histograms": {},
@@ -142,7 +142,7 @@ class TestEquivalence:
         assert off.p95_latency == on.p95_latency
         assert [r.value for r in off.records] == [r.value for r in on.records]
         assert off.metrics == {
-            "schema_version": 2,
+            "schema_version": obs.SNAPSHOT_SCHEMA_VERSION,
             "counters": {},
             "gauges": {},
             "histograms": {},

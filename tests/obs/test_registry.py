@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro import obs
-from repro.obs import MetricsRegistry, StreamingHistogram, summarize_run
+from repro.obs import (
+    SNAPSHOT_SCHEMA_VERSION,
+    MetricsRegistry,
+    StreamingHistogram,
+    summarize_run,
+)
 
 
 class TestCounterGauge:
@@ -83,6 +88,46 @@ class TestStreamingHistogram:
         with pytest.raises(ValueError):
             StreamingHistogram().quantile(1.5)
 
+    def test_quantile_interpolates_within_bucket(self):
+        # 1.0 lands exactly on a bucket boundary; a pile of equal samples
+        # still interpolates within the bucket but stays clamped to the
+        # observed extrema, so a single-valued sketch reports the value.
+        h = StreamingHistogram()
+        for _ in range(100):
+            h.observe(5.0)
+        assert h.quantile(0.5) == 5.0
+        # Two distinct values: quantiles fall between them, never outside.
+        h2 = StreamingHistogram()
+        h2.observe(1.0)
+        h2.observe(2.0)
+        for q in (0.1, 0.5, 0.9):
+            assert 1.0 <= h2.quantile(q) <= 2.0
+
+    def test_quantile_merge_invariance_property(self):
+        """Sharded sketches merged == one combined sketch, *exactly*.
+
+        The interpolated quantile is a pure function of bucket counts
+        and extrema, both of which merge losslessly — so this is exact
+        equality over many random shardings, not an approximation.
+        """
+        rng = np.random.default_rng(7)
+        for trial in range(20):
+            samples = rng.lognormal(mean=0.5, sigma=1.5, size=300)
+            n_shards = int(rng.integers(2, 6))
+            owner = rng.integers(0, n_shards, size=len(samples))
+            shards = [StreamingHistogram() for _ in range(n_shards)]
+            combined = StreamingHistogram()
+            for x, s in zip(samples, owner):
+                shards[s].observe(float(x))
+                combined.observe(float(x))
+            merged = shards[0]
+            for other in shards[1:]:
+                merged.merge(other)
+            for q in (0.0, 0.25, 0.5, 0.75, 0.95, 1.0):
+                assert merged.quantile(q) == combined.quantile(q), (
+                    f"trial {trial}: q={q} diverged after merge"
+                )
+
     def test_bounded_memory(self):
         """Buckets grow with dynamic range, not with sample count."""
         h = StreamingHistogram()
@@ -111,7 +156,7 @@ class TestRegistry:
             pass
         snap = reg.snapshot()
         assert snap == {
-            "schema_version": 2,
+            "schema_version": SNAPSHOT_SCHEMA_VERSION,
             "counters": {},
             "gauges": {},
             "histograms": {},

@@ -1,0 +1,234 @@
+"""Tests for :mod:`repro.obs.slo` — budgets, burn rates, alert hysteresis."""
+
+import pytest
+
+from repro import obs
+from repro.obs import OBJECTIVES, TENANT_CLASSES, SloPolicy, SloTracker, tenant_class
+
+#: Tenant ids mapping to gold/silver/bronze under round-robin assignment.
+GOLD, SILVER, BRONZE = 0, 1, 2
+
+
+class TestPolicy:
+    def test_tenant_class_round_robin(self):
+        assert tenant_class(GOLD) == "gold"
+        assert tenant_class(SILVER) == "silver"
+        assert tenant_class(BRONZE) == "bronze"
+        assert tenant_class(3) == "gold"
+        assert tenant_class(511) == TENANT_CLASSES[511 % 3]
+
+    def test_class_factors_scale_thresholds_and_targets(self):
+        p = SloPolicy()
+        assert p.latency_threshold_ms("gold") == p.latency_ms
+        assert p.latency_threshold_ms("silver") == p.latency_ms * 1.5
+        assert p.latency_threshold_ms("bronze") == p.latency_ms * 2.5
+        for objective in OBJECTIVES:
+            gold = p.target("gold", objective)
+            assert p.target("silver", objective) == pytest.approx(
+                min(gold * 1.5, 1.0)
+            )
+            assert p.target("bronze", objective) == pytest.approx(
+                min(gold * 2.5, 1.0)
+            )
+
+    def test_targets_cap_at_one(self):
+        p = SloPolicy(rejection_target=0.5)
+        assert p.target("bronze", "rejection") == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloPolicy(fast_window_ms=200.0, slow_window_ms=100.0)
+        with pytest.raises(ValueError):
+            SloPolicy(clear_burn=1.0, fire_burn=1.0)
+        with pytest.raises(ValueError):
+            SloPolicy(clear_burn=0.0)
+        with pytest.raises(ValueError):
+            SloPolicy(class_factors=(1.0, 2.0))
+
+
+def _drive(tracker, ts, tenant, objective, good=0, bad=0):
+    for _ in range(bad):
+        tracker.record(objective, tenant, bad=True)
+    for _ in range(good):
+        tracker.record(objective, tenant, bad=False)
+    tracker.evaluate(ts)
+
+
+class TestAlertMachine:
+    def test_pending_fires_after_dwell(self):
+        t = SloTracker()
+        with obs.scoped():
+            _drive(t, 0.0, GOLD, "latency", bad=5)
+            assert t.state("gold", "latency") == "pending"
+            _drive(t, 10.0, GOLD, "latency", bad=5)
+            assert t.state("gold", "latency") == "pending"
+            _drive(t, 20.0, GOLD, "latency", bad=5)  # for_ms reached
+            assert t.state("gold", "latency") == "firing"
+        kinds = [tr["kind"] for tr in t.transitions]
+        assert kinds == ["pending", "fired"]
+        assert [tr["ts"] for tr in t.transitions] == [0.0, 20.0]
+
+    def test_pending_cancelled_when_burn_subsides(self):
+        t = SloTracker()
+        with obs.scoped():
+            _drive(t, 0.0, GOLD, "latency", bad=5)
+            # All-good flood inside the fast window drops the burn below
+            # fire before the for_ms dwell elapses.
+            _drive(t, 10.0, GOLD, "latency", good=500)
+            assert t.state("gold", "latency") == "inactive"
+        assert [tr["kind"] for tr in t.transitions] == ["pending", "cancelled"]
+        assert t.summary()["gold"]["latency"]["fired"] == 0
+
+    def test_firing_resolves_after_drought_plus_clear_dwell(self):
+        t = SloTracker()
+        with obs.scoped():
+            _drive(t, 0.0, GOLD, "latency", bad=5)
+            _drive(t, 20.0, GOLD, "latency", bad=5)
+            assert t.state("gold", "latency") == "firing"
+            # Drought: the slow window still holds the bad buckets until
+            # they age past slow_window_ms, so the alert keeps firing.
+            t.evaluate(300.0)
+            assert t.state("gold", "latency") == "firing"
+            # Past the slow window both burns are zero: clearing starts.
+            t.evaluate(450.0)
+            assert t.state("gold", "latency") == "firing"
+            # clear_ms after clearing started, it resolves.
+            t.evaluate(510.0)
+            assert t.state("gold", "latency") == "inactive"
+        kinds = [tr["kind"] for tr in t.transitions]
+        assert kinds == ["pending", "fired", "resolved"]
+        s = t.summary()["gold"]["latency"]
+        assert s["fired"] == 1 and s["resolved"] == 1
+
+    def test_hysteresis_band_neither_resolves_nor_flaps(self):
+        # Burn between clear_burn and fire_burn: a firing alert must
+        # stay firing (no resolve, no re-fire) however long it lasts.
+        p = SloPolicy(latency_target=0.5, fire_burn=1.0, clear_burn=0.5)
+        t = SloTracker(p)
+        with obs.scoped():
+            _drive(t, 0.0, GOLD, "latency", bad=10)
+            _drive(t, 20.0, GOLD, "latency", bad=10)
+            assert t.state("gold", "latency") == "firing"
+            # 30% bad -> burn 0.6: inside the band.
+            for i in range(3, 40):
+                _drive(t, i * 10.0, GOLD, "latency", bad=3, good=7)
+            assert t.state("gold", "latency") == "firing"
+        assert [tr["kind"] for tr in t.transitions] == ["pending", "fired"]
+
+    def test_clear_dwell_resets_on_reburn(self):
+        t = SloTracker()
+        with obs.scoped():
+            _drive(t, 0.0, GOLD, "latency", bad=5)
+            _drive(t, 20.0, GOLD, "latency", bad=5)
+            t.evaluate(450.0)  # cool: clearing starts
+            _drive(t, 460.0, GOLD, "latency", bad=5)  # re-burn
+            t.evaluate(530.0)  # 80ms after first cool tick, but reset
+            assert t.state("gold", "latency") == "firing"
+
+    def test_classes_are_independent_machines(self):
+        t = SloTracker()
+        with obs.scoped():
+            for ts in (0.0, 20.0):
+                for _ in range(5):
+                    t.record("latency", GOLD, bad=True)
+                    t.record("latency", BRONZE, bad=False)
+                t.evaluate(ts)
+        assert t.state("gold", "latency") == "firing"
+        assert t.state("bronze", "latency") == "inactive"
+
+    def test_unknown_state_defaults_inactive(self):
+        assert SloTracker().state("gold", "latency") == "inactive"
+
+
+class TestAccounting:
+    def test_budget_remaining_arithmetic(self):
+        t = SloTracker()
+        with obs.scoped():
+            for _ in range(10):
+                t.record("shed", GOLD, bad=False)
+            for _ in range(2, 12):
+                t.record("shed", GOLD, bad=True)
+            t.evaluate(0.0)
+        s = t.summary()["gold"]["shed"]
+        assert s["samples"] == 20 and s["bad"] == 10
+        target = SloPolicy().target("gold", "shed")
+        assert s["budget_remaining"] == pytest.approx(
+            round(1.0 - 10 / (target * 20), 6)
+        )
+        assert s["budget_remaining"] < 0  # overspent is data, not an error
+
+    def test_counters_flush_on_evaluate(self):
+        t = SloTracker()
+        with obs.scoped() as reg:
+            t.record("latency", GOLD, bad=True)
+            t.record("latency", SILVER, bad=False)
+            assert "slo.samples.latency" not in reg.snapshot()["counters"]
+            t.evaluate(0.0)
+            counters = reg.snapshot()["counters"]
+        assert counters["slo.samples.latency"] == 2
+        assert counters["slo.bad.latency"] == 1
+
+    def test_explicit_flush_reconciles_without_evaluate(self):
+        t = SloTracker()
+        with obs.scoped() as reg:
+            t.record("rejection", GOLD, bad=True)
+            t.flush()
+            counters = reg.snapshot()["counters"]
+        assert counters["slo.samples.rejection"] == 1
+        assert counters["slo.bad.rejection"] == 1
+
+    def test_burn_gauge_published(self):
+        t = SloTracker()
+        with obs.scoped() as reg:
+            _drive(t, 0.0, GOLD, "latency", bad=5)
+            gauges = reg.snapshot()["gauges"]
+        assert gauges["slo.burn.gold.latency.last"] > 1.0
+
+    def test_max_burns_recorded(self):
+        t = SloTracker()
+        with obs.scoped():
+            _drive(t, 0.0, GOLD, "latency", bad=5)
+            _drive(t, 450.0, GOLD, "latency", good=500)
+        s = t.summary()["gold"]["latency"]
+        assert s["max_burn_fast"] > 1.0
+        assert s["max_burn_slow"] > 0.0
+
+    def test_incremental_windows_match_rescan(self):
+        # The O(1) window sums must agree with a from-scratch rescan of
+        # the buckets at every evaluation point.
+        t = SloTracker()
+        with obs.scoped():
+            for i in range(120):
+                bad = 3 if (i // 10) % 2 else 0
+                _drive(t, i * 7.0, GOLD, "shed", bad=bad, good=5 - bad % 5)
+                st = t._states[("gold", "shed")]
+                now = i * 7.0
+                p = t.policy
+                for window, got_g, got_b, deque_ in (
+                    (p.slow_window_ms, st.slow_good, st.slow_bad, st.buckets),
+                    (p.fast_window_ms, st.fast_good, st.fast_bad, st.fast_buckets),
+                ):
+                    want_g = sum(g for ts, g, b in st.buckets if ts > now - window)
+                    want_b = sum(b for ts, g, b in st.buckets if ts > now - window)
+                    assert (got_g, got_b) == (want_g, want_b)
+
+    def test_summary_skips_untouched_cells(self):
+        t = SloTracker()
+        with obs.scoped():
+            t.record("latency", GOLD, bad=False)
+            t.evaluate(0.0)
+        assert list(t.summary()) == ["gold"]
+        assert list(t.summary()["gold"]) == ["latency"]
+
+
+class TestDisabled:
+    def test_disabled_tracker_accumulates_nothing(self):
+        t = SloTracker(enabled=False)
+        with obs.scoped() as reg:
+            t.record("latency", GOLD, bad=True)
+            t.evaluate(0.0)
+            snap = reg.snapshot()
+        assert t.summary() == {}
+        assert t.transitions == []
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}

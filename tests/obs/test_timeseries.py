@@ -1,0 +1,145 @@
+"""Tests for :mod:`repro.obs.timeseries` — ring series and the sampler."""
+
+import pytest
+
+from repro import obs
+from repro.obs import RingSeries, TimeSeriesSampler
+
+
+class TestRingSeries:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RingSeries(2)
+        with pytest.raises(ValueError):
+            RingSeries(7)
+
+    def test_retains_everything_below_capacity(self):
+        s = RingSeries(16)
+        for i in range(10):
+            assert s.offer(float(i), float(i * i))
+        assert s.points == [(float(i), float(i * i)) for i in range(10)]
+        assert s.stride == 1
+
+    def test_capacity_bound_holds_forever(self):
+        s = RingSeries(8)
+        for i in range(10_000):
+            s.offer(float(i), 0.0)
+        assert len(s) < 8
+        assert s.offered == 10_000
+
+    def test_decimation_keeps_even_indexed_points_and_doubles_stride(self):
+        s = RingSeries(4)
+        for i in range(4):
+            s.offer(float(i), float(i))
+        # Hitting capacity keeps points 0 and 2 and doubles the stride.
+        assert s.points == [(0.0, 0.0), (2.0, 2.0)]
+        assert s.stride == 2
+        # Only even-indexed offers are now accepted (offsets 4, 6, ...).
+        assert s.offer(4.0, 4.0)
+        assert not s.offer(5.0, 5.0)
+        assert s.offer(6.0, 6.0)
+
+    def test_deterministic_sketch(self):
+        a, b = RingSeries(32), RingSeries(32)
+        for i in range(1000):
+            a.offer(float(i), float(i % 7))
+            b.offer(float(i), float(i % 7))
+        assert a.to_json() == b.to_json()
+
+    def test_long_run_is_coarser_sketch_of_same_curve(self):
+        short, long = RingSeries(16), RingSeries(16)
+        for i in range(100):
+            short.offer(float(i), float(i))
+        for i in range(10_000):
+            long.offer(float(i), float(i))
+        # Same memory bound, wider stride, points still on the curve.
+        assert len(long) <= len(short) * 2
+        assert long.stride > short.stride
+        assert all(v == ts for ts, v in long.points)
+
+    def test_merge_is_order_independent(self):
+        def build(lo, hi):
+            s = RingSeries(16)
+            for i in range(lo, hi):
+                s.offer(float(i), float(i))
+            return s
+
+        ab = build(0, 40)
+        ab.merge_from(build(40, 90))
+        ba = build(40, 90)
+        ba.merge_from(build(0, 40))
+        assert ab.to_json() == ba.to_json()
+
+    def test_merge_respects_capacity(self):
+        a, b = RingSeries(8), RingSeries(8)
+        for i in range(100):
+            a.offer(float(i), 1.0)
+            b.offer(float(i) + 0.5, 2.0)
+        a.merge_from(b)
+        assert len(a) < 8
+        assert a.offered == 200
+        assert a.points == sorted(a.points)
+
+
+class TestTimeSeriesSampler:
+    def test_cadence_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(sample_every_ms=0.0)
+
+    def test_sweeps_only_when_due(self):
+        sampler = TimeSeriesSampler(sample_every_ms=20.0)
+        with obs.scoped():
+            obs.counter("x").inc()
+            assert sampler.sample_registry(0.0)
+            assert not sampler.sample_registry(5.0)
+            assert not sampler.sample_registry(19.9)
+            assert sampler.sample_registry(20.0)
+        assert sampler.sweeps == 2
+
+    def test_next_sample_ms_advances_past_now(self):
+        sampler = TimeSeriesSampler(sample_every_ms=10.0)
+        with obs.scoped():
+            sampler.sample_registry(35.0)
+        assert sampler.next_sample_ms == 40.0
+
+    def test_sweep_covers_counters_gauges_histograms(self):
+        sampler = TimeSeriesSampler(sample_every_ms=1.0)
+        with obs.scoped():
+            obs.counter("c").inc(3)
+            obs.gauge("g").set(2.5)
+            obs.histogram("h").observe(4.0)
+            sampler.sample_registry(0.0)
+        assert sampler.series["c"].points == [(0.0, 3.0)]
+        assert sampler.series["g"].points == [(0.0, 2.5)]
+        assert sampler.series["h.count"].points == [(0.0, 1.0)]
+        assert "h.p95" in sampler.series
+
+    def test_disabled_sampler_is_a_no_op(self):
+        sampler = TimeSeriesSampler(enabled=False)
+        with obs.scoped():
+            obs.counter("c").inc()
+            assert not sampler.sample_registry(0.0)
+        sampler.record("direct", 0.0, 1.0)
+        assert sampler.series == {}
+        assert sampler.sweeps == 0
+        assert sampler.snapshot()["series"] == {}
+
+    def test_merge_from_folds_shard_series(self):
+        a = TimeSeriesSampler(sample_every_ms=1.0)
+        b = TimeSeriesSampler(sample_every_ms=1.0)
+        a.record("s", 0.0, 1.0)
+        b.record("s", 1.0, 2.0)
+        b.record("t", 1.0, 3.0)
+        a.merge_from(b)
+        assert a.series["s"].points == [(0.0, 1.0), (1.0, 2.0)]
+        assert a.series["t"].points == [(1.0, 3.0)]
+
+    def test_snapshot_is_sorted_and_json_ready(self):
+        import json
+
+        sampler = TimeSeriesSampler(sample_every_ms=1.0)
+        sampler.record("b", 0.0, 1.0)
+        sampler.record("a", 0.0, 2.0)
+        snap = sampler.snapshot()
+        assert list(snap["series"]) == ["a", "b"]
+        json.dumps(snap)  # must not raise

@@ -88,6 +88,60 @@ class TestSoak:
         spread = completed.std() / mean
         assert spread < 0.5
 
+    def test_audit_log_accounts_for_every_control_decision(self, soak):
+        """Audit accounting identities: one event per decision, no drift.
+
+        The audit log is bookkeeping for decisions the report already
+        counts — at 512 tenants and ~1M events the two tallies must
+        still agree exactly, or some path skipped (or double-fired)
+        its telemetry hook.
+        """
+        service, report = soak
+        audit = service.audit
+        assert audit.count("admission.reject") == report["queries_rejected"]
+        assert audit.count("queue.shed") == report["shed_queue"]
+        assert audit.count("starved.shed") == report["shed_starved"]
+        assert (
+            audit.count("autoscale.rescale")
+            == report["scale_ups"] + report["scale_downs"]
+        )
+        migrated = sum(
+            e.details["shards"] for e in audit.by_kind("service.migrate")
+        )
+        assert migrated == report["migrations"]
+        # The mirrored audit.* counters follow the log exactly.
+        counters = service.telemetry_snapshot()["metrics"]["counters"]
+        for kind in ("admission.reject", "queue.shed", "autoscale.rescale"):
+            assert counters.get(f"audit.{kind}", 0) == audit.count(kind)
+
+    def test_audit_events_are_ordered_and_in_range(self, soak):
+        service, _ = soak
+        events = service.audit.sorted_events()
+        assert events  # the chaos spike guarantees control activity
+        ts = [e.ts for e in events]
+        assert ts == sorted(ts)
+        assert 0.0 <= ts[0] and ts[-1] <= SOAK.duration_ms
+        # Re-sequencing is gapless: seq is a permutation of range(n).
+        assert sorted(e.seq for e in events) == list(range(len(events)))
+
+    def test_slo_counters_reconcile_with_summary(self, soak):
+        service, _ = soak
+        counters = service.telemetry_snapshot()["metrics"]["counters"]
+        summary = service.slo.summary()
+        for objective in ("latency", "completeness", "shed", "rejection"):
+            total = sum(
+                table[objective]["samples"]
+                for table in summary.values()
+                if objective in table
+            )
+            bad = sum(
+                table[objective]["bad"]
+                for table in summary.values()
+                if objective in table
+            )
+            assert counters.get(f"slo.samples.{objective}", 0) == total
+            assert counters.get(f"slo.bad.{objective}", 0) == bad
+
     def test_shard_checkpoint_migrates_to_identical_answers(self, soak):
         service, _ = soak
         shard = service.shards[3]

@@ -1,0 +1,255 @@
+"""Serve-level telemetry: no-op equivalence, alert chaos drills, determinism.
+
+Unit-level alert timing lives in ``tests/obs/test_slo.py``; these tests
+drive the whole :class:`JoinService` and grade the telemetry layer's
+contract with it: disabled telemetry changes nothing, chaos load walks
+alerts through a legal pending→firing→resolved lifecycle without
+flapping, a forced-NaN estimator drill fires the completeness SLO
+*before* the barrier repair heals it, and every exported artifact is a
+pure function of config and plan — byte-identical across runs and
+across the bench's serial vs ``--workers 2`` paths.
+"""
+
+import asyncio
+import dataclasses
+import json
+
+from repro.faults import serve_load_plan
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.serve import JoinService, ServeConfig, TelemetryConfig, TenantQuota
+
+BASE = ServeConfig(
+    tenants=24,
+    n_shards=4,
+    num_keys=64,
+    window_ms=50.0,
+    omega_ms=10.0,
+    duration_ms=900.0,
+    warmup_ms=100.0,
+    rate_per_ms=150.0,
+    mean_query_interval_ms=50.0,
+    quota=TenantQuota(rate_per_s=18.0, burst=3.0),
+    min_workers=1,
+    max_workers=4,
+    seed=7,
+)
+
+#: Legal alert state-machine edges and the transition kind each edge
+#: must be labelled with.  Anything else is a bug (e.g. flapping
+#: firing→pending, or a resolve that skips the clear dwell).
+LEGAL_EDGES = {
+    ("inactive", "pending"): "pending",
+    ("pending", "firing"): "fired",
+    ("pending", "inactive"): "cancelled",
+    ("firing", "inactive"): "resolved",
+}
+
+
+def run_service(config, plan=None):
+    """One service run; returns (service, report)."""
+    service = JoinService(config, plan)
+    report = asyncio.run(service.run())
+    return service, report
+
+
+class TestNoOpEquivalence:
+    """Telemetry off must be invisible; telemetry on must not steer."""
+
+    def _pair(self):
+        plan = serve_load_plan(1.0, 0.0, BASE.duration_ms, seed=7)
+        on = dataclasses.replace(BASE, telemetry=TelemetryConfig(enabled=True))
+        off = dataclasses.replace(BASE, telemetry=TelemetryConfig(enabled=False))
+        return run_service(on, plan), run_service(off, plan)
+
+    def test_reports_identical_with_and_without_telemetry(self):
+        (_, report_on), (_, report_off) = self._pair()
+        assert json.dumps(report_on, sort_keys=True) == json.dumps(
+            report_off, sort_keys=True
+        )
+
+    def test_disabled_accumulates_nothing(self):
+        _, (service, _) = self._pair()
+        assert service.sampler.sweeps == 0
+        assert service.sampler.series == {}
+        assert len(service.audit) == 0
+        assert service.slo.summary() == {}
+        assert service.slo.transitions == []
+
+    def test_enabled_observes_the_run(self):
+        (service, report), _ = self._pair()
+        assert service.sampler.sweeps > 0
+        assert len(service.audit) > 0
+        assert service.audit.count("admission.reject") == report["queries_rejected"]
+        # Every tenant class saw SLO samples for every touched objective.
+        summary = service.slo.summary()
+        assert set(summary) == {"gold", "silver", "bronze"}
+        for table in summary.values():
+            assert all(cell["samples"] > 0 for cell in table.values())
+
+
+class TestChaosAlertLifecycle:
+    """Spike→drought chaos: alerts fire, then resolve, and never flap."""
+
+    _cache = {}
+
+    def _chaos(self):
+        if "run" not in self._cache:
+            config = dataclasses.replace(
+                BASE,
+                duration_ms=1500.0,
+                warmup_ms=200.0,
+                max_workers=6,
+                autoscale_interval_ms=50.0,
+                migrate_at_ms=750.0,
+            )
+            plan = serve_load_plan(2.0, 0.0, config.duration_ms, seed=7)
+            self._cache["run"] = run_service(config, plan)
+        return self._cache["run"]
+
+    def test_alerts_fire_and_resolve(self):
+        service, _ = self._chaos()
+        summary = service.slo.summary()
+        fired = sum(c["fired"] for t in summary.values() for c in t.values())
+        resolved = sum(c["resolved"] for t in summary.values() for c in t.values())
+        assert fired >= 3  # the spike trips more than one class
+        assert resolved >= 2  # the drought cools them back down
+
+    def test_transitions_follow_legal_edges_without_flapping(self):
+        service, _ = self._chaos()
+        by_machine = {}
+        for tr in service.slo.transitions:
+            by_machine.setdefault((tr["tier"], tr["objective"]), []).append(tr)
+        assert by_machine  # chaos produced at least one alert timeline
+        for machine, trs in by_machine.items():
+            state = "inactive"
+            last_ts = -1.0
+            for tr in trs:
+                edge = (tr["from"], tr["to"])
+                assert tr["from"] == state, f"{machine}: gap in timeline"
+                assert edge in LEGAL_EDGES, f"{machine}: illegal edge {edge}"
+                assert tr["kind"] == LEGAL_EDGES[edge]
+                assert tr["ts"] >= last_ts
+                state, last_ts = tr["to"], tr["ts"]
+            # Hysteresis: a machine never re-fires without fully
+            # resolving first, so fired counts can exceed resolved by
+            # at most the one alert still firing at shutdown.
+            kinds = [tr["kind"] for tr in trs]
+            fired = kinds.count("fired")
+            resolved = kinds.count("resolved")
+            assert fired - resolved in (0, 1)
+
+    def test_alert_timestamps_ride_the_sampling_cadence(self):
+        service, _ = self._chaos()
+        cadence = service.config.telemetry.sample_every_ms
+        for tr in service.slo.transitions:
+            assert tr["ts"] % cadence == 0.0
+
+    def test_exporters_cover_the_run(self):
+        service, _ = self._chaos()
+        snap = service.telemetry_snapshot()
+        assert snap["slo"] == service.slo.summary()
+        assert snap["alerts"] == service.slo.transitions
+        assert snap["audit_events"] == len(service.audit)
+        assert snap["timeseries"]["sweeps"] == service.sampler.sweeps
+        text = service.openmetrics()
+        assert text.endswith("# EOF\n")
+        assert "slo_burn_gold_rejection_last" in text
+        assert "serve_queries_completed_total" in text
+
+
+class TestDivergenceDrill:
+    """Forced-NaN estimator divergence: detect, alert, then repair."""
+
+    _cache = {}
+
+    def _drill(self):
+        if "run" not in self._cache:
+            # Poison at 300ms, off the autoscale barrier grid (400ms):
+            # the completeness SLO gets a full sampling window to fire
+            # before the barrier repair at 400ms heals the profiles.
+            event = FaultEvent(
+                kind="estimator_divergence", t_start=300.0, t_end=300.0, mode="nan"
+            )
+            config = dataclasses.replace(BASE, autoscale_interval_ms=400.0)
+            self._cache["run"] = run_service(
+                config, FaultPlan(events=(event,), seed=7)
+            )
+        return self._cache["run"]
+
+    def test_poison_and_repair_are_audited(self):
+        service, _ = self._drill()
+        poisons = service.audit.by_kind("profile.poison")
+        assert [e.ts for e in poisons] == [300.0]
+        assert poisons[0].details == {"shards": BASE.n_shards}
+        repairs = service.audit.by_kind("profile.repair")
+        # Every shard repaired exactly once, at the next barrier.
+        assert sorted(e.details["shard"] for e in repairs) == list(
+            range(BASE.n_shards)
+        )
+        assert {e.ts for e in repairs} == {400.0}
+
+    def test_completeness_slo_fires_before_the_repair(self):
+        service, _ = self._drill()
+        fired = [
+            tr
+            for tr in service.slo.transitions
+            if tr["objective"] == "completeness" and tr["kind"] == "fired"
+        ]
+        assert fired  # the drill must trip the completeness SLO
+        first_repair = min(e.ts for e in service.audit.by_kind("profile.repair"))
+        assert min(tr["ts"] for tr in fired) < first_repair
+
+    def test_alert_resolves_after_the_repair(self):
+        service, _ = self._drill()
+        resolved = [
+            tr
+            for tr in service.slo.transitions
+            if tr["objective"] == "completeness" and tr["kind"] == "resolved"
+        ]
+        assert resolved
+        first_repair = min(e.ts for e in service.audit.by_kind("profile.repair"))
+        assert all(tr["ts"] > first_repair for tr in resolved)
+
+    def test_nonfinite_guard_engaged(self):
+        service, _ = self._drill()
+        counters = service.telemetry_snapshot()["metrics"]["counters"]
+        assert counters["serve.shard.nonfinite_completeness"] > 0
+        assert counters["serve.profile.poisons"] == 1
+        assert counters["serve.profile.repairs"] == BASE.n_shards
+
+
+class TestDeterminism:
+    """Every exported artifact is a pure function of config and plan."""
+
+    def test_run_to_run_artifacts_are_byte_identical(self):
+        config = dataclasses.replace(BASE, duration_ms=600.0)
+        plan = serve_load_plan(2.0, 0.0, config.duration_ms, seed=7)
+
+        def artifacts():
+            service, report = run_service(config, plan)
+            return (
+                json.dumps(report, sort_keys=True),
+                json.dumps(service.telemetry_snapshot(), sort_keys=True),
+                service.openmetrics(),
+                service.audit.to_jsonl(),
+            )
+
+        assert artifacts() == artifacts()
+
+    def test_slo_bench_serial_matches_workers(self, tmp_path):
+        from repro.bench.slo_bench import slo_sweep
+
+        def run(tag, workers):
+            om = tmp_path / f"{tag}.om.txt"
+            audit = tmp_path / f"{tag}.audit.jsonl"
+            rows = slo_sweep(
+                scale=0.1,
+                workers=workers,
+                openmetrics_path=str(om),
+                audit_path=str(audit),
+            )
+            return json.dumps(rows, sort_keys=True), om.read_bytes(), audit.read_bytes()
+
+        serial = run("serial", None)
+        parallel = run("workers", 2)
+        assert serial == parallel
