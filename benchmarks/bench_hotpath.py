@@ -263,6 +263,88 @@ def estimator_workload(duration_ms, num_keys, repeats):
     return row
 
 
+def skew_workload(num_keys, repeats, smoke):
+    """Hot-key partitioned operator vs full per-key grouping at scale.
+
+    Over a Zipf-1.4 stream on a wide key domain, ``GroupedPECJoin``
+    carries O(num_keys) state and bincount work per window while
+    ``PartitionedPECJoin`` tracks K hot partitions plus one cold
+    aggregate — the wall-clock gap is the point of partitioning.  Before
+    timing, two correctness asserts: at skew 0 the partitioned operator
+    must emit the plain PECJ values bit-for-bit, and at skew 1.4 the hot
+    accounting identity (hot + cold == total, per side) must hold on
+    every hot window.
+    """
+    from repro.core.grouped import GroupedPECJoin, run_grouped
+    from repro.joins.partitioned import PartitionedPECJoin
+
+    duration = 300.0 if smoke else 1000.0
+    t_start, t_end = 50.0, duration - 50.0
+    length, omega = 10.0, 10.0
+
+    uniform = make_disordered_arrays(
+        make_dataset("micro", num_keys=256), UniformDelay(5.0),
+        duration_ms=duration, rate_r=50.0, rate_s=50.0, seed=9,
+    )
+    base = run_operator(
+        PECJoin(), uniform, length, omega,
+        t_start=t_start, t_end=t_end, warmup_windows=10,
+    )
+    part_uniform = run_operator(
+        PartitionedPECJoin(), uniform, length, omega,
+        t_start=t_start, t_end=t_end, warmup_windows=10,
+    )
+    assert [r.value for r in part_uniform.records] == [
+        r.value for r in base.records
+    ], "skew: partitioned operator diverged from PECJ on uniform keys"
+
+    skewed = make_disordered_arrays(
+        make_dataset("micro", num_keys=num_keys, key_skew=1.4),
+        UniformDelay(5.0),
+        duration_ms=duration, rate_r=50.0, rate_s=50.0, seed=9,
+    )
+
+    def partitioned_pass():
+        op = PartitionedPECJoin()
+        run_operator(
+            op, skewed, length, omega,
+            t_start=t_start, t_end=t_end, warmup_windows=10,
+        )
+        return op
+
+    def grouped_pass():
+        return run_grouped(
+            GroupedPECJoin(num_keys=num_keys), skewed, omega,
+            t_start=t_start, t_end=t_end, warmup_windows=10,
+        )
+
+    op = partitioned_pass()
+    for _, hot_r, hot_s, cold_r, cold_s, total_r, total_s in op.accounting:
+        assert hot_r + cold_r == total_r and hot_s + cold_s == total_s, (
+            "skew: hot/cold accounting identity violated"
+        )
+
+    t_part = best_of(lambda: partitioned_pass() and None, repeats)
+    t_grouped = best_of(lambda: grouped_pass() and None, repeats)
+    n = len(skewed.event)
+    row = {
+        "workload": f"skew1.4_{num_keys}keys_{int(duration)}ms",
+        "tuples": n,
+        "num_keys": num_keys,
+        "hot_keys": float(len(op.hot_state)),
+        "records_identical": True,
+        "grouped": {"seconds": t_grouped, "tuples_per_s": n / t_grouped},
+        "partitioned": {"seconds": t_part, "tuples_per_s": n / t_part},
+        "speedup": t_grouped / t_part,
+    }
+    print(
+        f"skew/partitioned: n={n} keys={num_keys} hot={len(op.hot_state)} | "
+        f"grouped {t_grouped * 1e3:.2f} ms | partitioned {t_part * 1e3:.2f} ms | "
+        f"speedup {row['speedup']:.2f}x"
+    )
+    return row
+
+
 def executor_workload(scale, workers, repeats):
     """Serial vs sharded fig6 sweep; rows must be byte-identical."""
     serial_rows = fig6_end_to_end(scale=scale)
@@ -502,6 +584,12 @@ def main(argv=None) -> int:
         repeats=args.repeats,
     )
 
+    skew_row = skew_workload(
+        num_keys=5_000 if args.smoke else 50_000,
+        repeats=1 if args.smoke else min(args.repeats, 3),
+        smoke=args.smoke,
+    )
+
     # On narrow machines the executor section still proves determinism,
     # but only a 2-worker break-even gate is meaningful; the full
     # worker-count speedup gate needs >= 4 CPUs.
@@ -548,6 +636,7 @@ def main(argv=None) -> int:
         "workloads": rows,
         "ingest": ingest_rows,
         "estimator": estimator_row,
+        "skew": skew_row,
         "executor": executor_row,
         "serve_hotpath": serve_rows,
         "serve_telemetry": telemetry_row,
@@ -587,6 +676,15 @@ def main(argv=None) -> int:
         if estimator_row["speedup"] < 1.3:
             print(
                 f"FAIL: estimator speedup {estimator_row['speedup']:.2f}x < 1.3x",
+                file=sys.stderr,
+            )
+            return 1
+        # Tracking K hot partitions must beat carrying O(num_keys)
+        # grouped state on a wide skewed domain, or the partition layer
+        # is not paying its way.  Smoke mode only checks equivalence.
+        if skew_row["speedup"] < 1.3:
+            print(
+                f"FAIL: skew partitioned speedup {skew_row['speedup']:.2f}x < 1.3x",
                 file=sys.stderr,
             )
             return 1

@@ -1,0 +1,144 @@
+"""Partition-adaptive skew handling on zipfian traffic.
+
+Three vignettes of DESIGN.md §17 (`repro.joins.partitioned` and the
+engine's skew routing):
+
+1. **Standalone operator** — `PartitionedPECJoin` vs plain `PECJoin`
+   across a key-skew sweep.  At zero skew nothing promotes and the two
+   are bit-identical; once a few keys dominate, per-key delay profiles
+   and rate posteriors cut the error.
+2. **Drift** — the stream's hot keys flip identity mid-run.  The
+   dual-signal detector notices (the hot-partition hit rate collapses
+   even though the hottest-key *share* is unchanged), flushes the
+   sketch, and re-partitions onto the new regime.
+3. **Engine routing** — at saturating rates, hash routing sends the hot
+   key's flood to one worker; `partitioning="skew"` isolates it and
+   both throughput and accuracy recover.
+
+Run:  python examples/skewed_traffic.py   (takes ~30 seconds)
+"""
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro.core import PECJoin
+from repro.engine import ParallelJoinEngine
+from repro.joins import AggKind, BatchArrays, PartitionedPECJoin, run_operator
+from repro.streams import UniformDelay, make_dataset, make_disordered_arrays
+
+
+def skewed_arrays(skew, seed=7, duration=2000.0, rate=60.0, num_keys=64):
+    """A micro-workload stream pair with zipf(``skew``) key traffic."""
+    return make_disordered_arrays(
+        make_dataset("micro", num_keys=num_keys, key_skew=skew),
+        UniformDelay(6.0),
+        duration_ms=duration,
+        rate_r=rate,
+        rate_s=rate,
+        seed=seed,
+    )
+
+
+def standalone_sweep() -> None:
+    """PECJoin vs PartitionedPECJoin across key skew."""
+    rows = []
+    for skew in (0.0, 0.8, 1.4):
+        arrays = skewed_arrays(skew)
+        for op in (PECJoin(AggKind.COUNT), PartitionedPECJoin(AggKind.COUNT)):
+            result = run_operator(
+                op, arrays, window_length=10.0, omega=10.0,
+                t_start=50.0, t_end=1950.0, warmup_windows=30,
+            )
+            row = {
+                "key_skew": skew,
+                "method": op.name,
+                "rel_error": result.mean_error,
+            }
+            if isinstance(op, PartitionedPECJoin):
+                summary = op.partition_summary()
+                row["hot_keys"] = summary["partition_hot_keys"]
+                row["hot_hit_rate"] = summary["partition_hot_hit_rate"]
+            rows.append(row)
+    print(format_table(rows, title="Standalone: error vs key skew"))
+    print(
+        "\nAt skew 0 the partitioned operator promoted nothing and emitted\n"
+        "the parent's values bit for bit; at high skew the promoted keys\n"
+        "carry most of the traffic and per-key estimation pays.\n"
+    )
+
+
+def drift_demo() -> None:
+    """Hot-key identity flip mid-stream: detect, flush, re-partition."""
+    a = skewed_arrays(1.4, seed=11)
+    b = skewed_arrays(1.4, seed=11)
+    # Second half: same skew, same rates — but every key relabelled
+    # (63 - k), so the hot set changes identity without the hottest-key
+    # share moving at all.
+    half = 2000.0
+    merged = BatchArrays(
+        event=np.concatenate([a.event, b.event + half]),
+        arrival=np.concatenate([a.arrival, b.arrival + half]),
+        key=np.concatenate([a.key, 63 - b.key]),
+        payload=np.concatenate([a.payload, b.payload]),
+        is_r=np.concatenate([a.is_r, b.is_r]),
+    )
+    op = PartitionedPECJoin(AggKind.COUNT, repartition_interval=2)
+    run_operator(
+        op, merged, window_length=10.0, omega=10.0,
+        t_start=50.0, t_end=2 * half - 50.0, warmup_windows=30,
+    )
+    summary = op.partition_summary()
+    print(
+        f"Drift: shift_repartitions={summary['partition_shift_repartitions']:.0f} "
+        f"promotions={summary['partition_promotions']:.0f} "
+        f"demotions={summary['partition_demotions']:.0f} "
+        f"(hot set now {sorted(op.partitions.hot)})"
+    )
+    print(
+        "The share-based signal alone would never fire here — the hit-rate\n"
+        "collapse is what exposes an identity flip at constant skew.\n"
+    )
+
+
+def engine_routing() -> None:
+    """Hash vs skew routing in the simulated SHJ engine at high skew."""
+    arrays = make_disordered_arrays(
+        make_dataset("micro", num_keys=256, key_skew=1.4),
+        UniformDelay(5.0),
+        duration_ms=800.0,
+        rate_r=400.0,
+        rate_s=400.0,
+        seed=21,
+    )
+    rows = []
+    for partitioning in ("hash", "skew"):
+        engine = ParallelJoinEngine(
+            "shj", threads=4, agg=AggKind.COUNT, pecj=True, omega=10.0,
+            partitioning=partitioning,
+        )
+        result = engine.run(arrays, t_start=100.0, t_end=750.0, warmup_windows=20)
+        rows.append(
+            {
+                "method": engine.name,
+                "rel_error": result.mean_error,
+                "p95_latency_ms": result.p95_latency,
+                "throughput_ktps": result.throughput_ktps,
+            }
+        )
+    print(format_table(rows, title="Engine: SHJ routing at skew 1.4, 2 x 400 Ktps"))
+    print(
+        "\nHash routing saturates the hot key's worker: throughput drops and\n"
+        "— because completion times feed the estimator — error explodes.\n"
+        "Skew routing isolates the hot key and recovers both."
+    )
+
+
+def main() -> None:
+    """Run all three vignettes."""
+    standalone_sweep()
+    drift_demo()
+    engine_routing()
+
+
+if __name__ == "__main__":
+    main()

@@ -57,6 +57,7 @@ from repro.bench.experiments import (
 )
 from repro.bench.reporting import format_table
 from repro.bench.serve_bench import serve_hotpath, serve_sustained
+from repro.bench.skew_bench import skew_sweep
 from repro.bench.slo_bench import slo_sweep
 
 _FIGURES = {
@@ -81,6 +82,13 @@ _FIGURES = {
         [
             "retention_ms", "ticks", "ingested", "evicted", "live", "queries",
             "answers_equal", "runs", "compactions", "delta_appends",
+        ],
+    ),
+    "skew": (
+        skew_sweep,
+        [
+            "key_skew", "disorder", "method", "error", "p95_latency_ms",
+            "throughput_ktps", "partition_hot_keys", "partition_promotions",
         ],
     ),
     "slo": (

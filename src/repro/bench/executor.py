@@ -102,6 +102,12 @@ def make_operator(method: str, agg: AggKind, seed: int = 0) -> StreamJoinOperato
         return WatermarkJoin(agg)
     if method == "ksj":
         return KSlackJoin(agg)
+    if method.startswith("pecj-part-"):
+        from repro.joins.partitioned import PartitionedPECJoin
+
+        return PartitionedPECJoin(
+            agg, backend=method.split("-", 2)[2], seed=seed
+        )
     if method.startswith("pecj-"):
         return PECJoin(agg, backend=method.split("-", 1)[1], seed=seed)
     raise ValueError(f"unknown method {method!r}")
@@ -121,7 +127,7 @@ class Cell:
         method: Standalone method key (unused by engine cells).
         omega: Emission cutoff; ``None`` uses the spec's default.
         engine: Engine-cell parameters (``algorithm``, ``threads``,
-            ``pecj``, ``omega``).
+            ``pecj``, ``omega``, optional ``partitioning``).
         front: Row fields placed *before* the measured fields
             (e.g. ``{"dataset": "stock"}``).
         overrides: Values replacing already-present row fields after the
@@ -264,6 +270,9 @@ def standalone_row(
     summary = getattr(operator, "guard_summary", None)
     if summary is not None:
         row.update(summary())
+    part_summary = getattr(operator, "partition_summary", None)
+    if part_summary is not None:
+        row.update(part_summary())
     return row
 
 
@@ -306,6 +315,7 @@ def _engine_row(
         window_length=spec.window_ms,
         seed=spec.seed,
         faults=faults,
+        partitioning=params.get("partitioning"),
     )
     result = engine.run(
         arrays,

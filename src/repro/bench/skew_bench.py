@@ -1,0 +1,128 @@
+"""Skew sweep: error and throughput vs key skew (``python -m repro.bench skew``).
+
+The paper's figure sweeps never stress key skew — every workload runs
+near-uniform — yet real serving traffic is Zipfian.  This figure sweeps
+``key_skew ∈ {0, 0.5, 0.8, 1.1, 1.4}`` against two disorder regimes and
+measures, per skew level:
+
+* **standalone error** — :class:`~repro.core.pecj.PECJoin` (``PECJ``)
+  vs :class:`~repro.joins.partitioned.PartitionedPECJoin`
+  (``PECJ-part``) at matched seeds, with the ``partition_*`` accounting
+  columns (hot keys, promotions/demotions, hit rate, migration bytes)
+  riding along on the partitioned rows.  At ``skew = 0`` the rows must
+  be *identical* — the partition map never promotes a uniform key;
+* **engine throughput** — the simulated PRJ and SHJ engines under
+  key-partitioned execution: naive ``hash`` partitioning (the baseline
+  a hot key collapses) vs the ``skew``-aware LPT scheduler with the
+  online :class:`~repro.engine.cost_model.PartitionCostLearner`.  Rates
+  are chosen to saturate the engines, so imbalance shows up as virtual
+  throughput and p95 latency, deterministically.
+
+All rows are pure functions of the workload specs (virtual clock only),
+so the ``--workers 2`` row table is byte-identical to the serial one —
+CI diffs them and gates the whole table against
+``baselines/skew_smoke.json``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.executor import Cell, execute_cells
+from repro.bench.workloads import correlated_delay_for, micro_spec
+from repro.streams.datasets import make_dataset
+from repro.streams.disorder import UniformDelay
+from repro.joins.arrays import AggKind
+
+__all__ = ["skew_sweep", "SKEW_LEVELS"]
+
+#: The swept Zipf exponents (see ``_zipf_keys`` for why it stops well
+#: short of the degenerate ``skew >= ~3`` single-key regime).
+SKEW_LEVELS = (0.0, 0.5, 0.8, 1.1, 1.4)
+
+#: Key-domain size of every cell: large enough that promotion thresholds
+#: (``max(0.05, 8/num_keys)``) demand genuinely hot keys, small enough
+#: for smoke-scale runs.
+_NUM_KEYS = 512
+
+#: Disorder regimes crossed with the skew axis.
+_DISORDER = (
+    ("low", lambda: UniformDelay(5.0)),
+    ("burst", lambda: correlated_delay_for(25.0)),
+)
+
+
+def _standalone_spec(skew: float, disorder: str, delay, scale: float):
+    """One standalone workload: micro COUNT at the requested skew."""
+    return micro_spec(
+        num_keys=_NUM_KEYS,
+        rate=120.0,
+        agg=AggKind.COUNT,
+        delay=delay,
+        dataset=make_dataset("micro", num_keys=_NUM_KEYS, key_skew=skew),
+        name=f"skew{skew:g}-{disorder}",
+        duration_ms=4000.0,
+        warmup_ms=500.0,
+    ).scaled(scale)
+
+
+def _engine_spec(skew: float, algorithm: str, scale: float):
+    """One engine workload, rated to saturate the algorithm under test.
+
+    The lazy PRJ only exposes partitioning imbalance when batches are
+    compute-bound (high rate); the eager SHJ's hash-routing collapse
+    needs the hot worker pushed past utilisation 1 — which happens at a
+    much lower rate because its per-tuple touch is ~15x dearer.
+    """
+    rate = 4000.0 if algorithm == "prj" else 400.0
+    return micro_spec(
+        num_keys=_NUM_KEYS,
+        rate=rate,
+        agg=AggKind.COUNT,
+        delay=UniformDelay(5.0),
+        dataset=make_dataset("micro", num_keys=_NUM_KEYS, key_skew=skew),
+        name=f"skew{skew:g}-{algorithm}",
+        duration_ms=1000.0,
+        warmup_ms=200.0,
+    ).scaled(scale)
+
+
+def skew_sweep(scale: float = 1.0, workers: int | None = None) -> list[dict]:
+    """The skew figure's cells: error and throughput over skew x disorder.
+
+    Expected shape: identical PECJ / PECJ-part rows at ``skew = 0``;
+    the partitioned error at or below the unpartitioned one at every
+    level and visibly lower once hot keys exist (``skew >= 0.8`` at
+    this key-domain size); engine ``skew`` scheduling beating ``hash``
+    on throughput from ``key_skew >= 1.1`` with the SHJ hash collapse at
+    1.4 the dramatic case.
+    """
+    cells: list[Cell] = []
+    for skew in SKEW_LEVELS:
+        for disorder, make_delay in _DISORDER:
+            spec = _standalone_spec(skew, disorder, make_delay(), scale)
+            for method in ("pecj-aema", "pecj-part-aema"):
+                cells.append(
+                    Cell(
+                        "standalone",
+                        spec,
+                        method=method,
+                        front={"key_skew": skew, "disorder": disorder},
+                    )
+                )
+        for algorithm in ("prj", "shj"):
+            spec = _engine_spec(skew, algorithm, scale)
+            for partitioning in ("hash", "skew"):
+                cells.append(
+                    Cell(
+                        "engine",
+                        spec,
+                        engine={
+                            "algorithm": algorithm,
+                            "threads": 4,
+                            "pecj": True,
+                            "omega": 10.0,
+                            "partitioning": partitioning,
+                        },
+                        front={"key_skew": skew, "disorder": "low"},
+                    )
+                )
+    return execute_cells(cells, workers)

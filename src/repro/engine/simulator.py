@@ -39,7 +39,11 @@ import numpy as np
 from repro import obs
 from repro.obs import trace
 from repro.core.pecj import PECJoin
-from repro.engine.cost_model import EngineCostModel
+from repro.engine.cost_model import (
+    EngineCostModel,
+    PartitionCostLearner,
+    partition_locality,
+)
 from repro.joins.arrays import AggKind, BatchArrays
 from repro.metrics.error import bounded_window_error
 from repro.metrics.latency import LatencyTracker
@@ -127,6 +131,16 @@ class ParallelJoinEngine:
             slow individually when an event's ``mode`` names their
             index).  Stream-level events must be applied to the batch
             beforehand via :func:`repro.faults.inject.apply_faults`.
+        partitioning: Key-partitioned execution mode for PRJ/SHJ.
+            ``None`` (default) keeps the historical schedules untouched
+            (byte-identical to every committed baseline).  ``"hash"``
+            partitions by ``key % threads`` — the naive scheme a hot key
+            collapses, since its whole mass lands on one thread.
+            ``"skew"`` schedules key-groups largest-first onto the least
+            loaded thread (LPT) using a :class:`~repro.engine.cost_model.
+            PartitionCostLearner` that learns per-partition build/probe
+            costs online; for eager SHJ it isolates hot keys onto
+            dedicated workers so the cold tail keeps flowing.
     """
 
     def __init__(
@@ -142,11 +156,16 @@ class ParallelJoinEngine:
         grace_fraction: float = 0.5,
         seed: int = 0,
         faults=None,
+        partitioning: str | None = None,
     ):
         if algorithm not in ("prj", "shj", "hsj", "spj"):
             raise ValueError(f"unknown engine algorithm {algorithm!r}")
         if threads < 1:
             raise ValueError("need at least one thread")
+        if partitioning not in (None, "hash", "skew"):
+            raise ValueError(f"unknown partitioning mode {partitioning!r}")
+        if partitioning is not None and algorithm not in ("prj", "shj"):
+            raise ValueError("partitioning is only modelled for prj/shj")
         self.algorithm = algorithm
         self.threads = threads
         self.agg = agg
@@ -158,6 +177,17 @@ class ParallelJoinEngine:
         self.grace_fraction = grace_fraction
         self.seed = seed
         self.faults = faults
+        self.partitioning = partitioning
+        #: Online per-partition cost model (skew mode only; ``None``
+        #: otherwise) — exposed so tests can check convergence.
+        self.cost_learner: PartitionCostLearner | None = (
+            PartitionCostLearner(
+                base_ns=0.5
+                * (self.cost_model.prj_build_ns + self.cost_model.prj_probe_ns)
+            )
+            if partitioning == "skew"
+            else None
+        )
         #: The integrated PECJ operator of the most recent run (None for
         #: baselines) — exposed so callers can checkpoint it mid-run.
         self.pecj_operator: PECJoin | None = None
@@ -166,7 +196,105 @@ class ParallelJoinEngine:
     def name(self) -> str:
         """Display name (algorithm, PECJ-prefixed when compensating)."""
         base = self.algorithm.upper()
+        if self.partitioning is not None:
+            base = f"{base}/{self.partitioning}"
         return f"PECJ-{base}" if self.pecj_enabled else base
+
+    # -- key-partitioned execution -------------------------------------------
+
+    def _prj_partitioned_batch_ms(
+        self, keys: np.ndarray
+    ) -> tuple[float, dict[str, float]]:
+        """One lazy batch under explicit key-partitioned execution.
+
+        Key-groups are assigned to threads (``hash``: ``key % threads``;
+        ``skew``: largest-first onto the least loaded thread, weighted by
+        the :class:`~repro.engine.cost_model.PartitionCostLearner`'s
+        predictions), each thread's build+probe time comes from the
+        ground-truth :meth:`~repro.engine.cost_model.EngineCostModel.
+        partition_work_ms`, and the batch barrier waits for the slowest
+        thread — the makespan a hot key ruins under ``hash``.  Executed
+        partitions feed the learner, closing the predict/observe loop.
+        Returns ``(batch_ms, phase_breakdown)``.
+        """
+        cm = self.cost_model
+        threads = self.threads
+        n = len(keys)
+        if n == 0:
+            return 0.0, {"partition": 0.0, "build_probe": 0.0, "sync": 0.0}
+        uniq, cnt = np.unique(keys, return_counts=True)
+        if self.partitioning == "hash":
+            part = uniq % threads
+            group_tuples = np.bincount(part, weights=cnt, minlength=threads)
+            group_distinct = np.bincount(part, minlength=threads)
+        else:
+            order = np.argsort(-cnt, kind="stable")
+            group_tuples = np.zeros(threads)
+            group_distinct = np.zeros(threads, dtype=np.int64)
+            predicted = np.zeros(threads)
+            learner = self.cost_learner
+            for i in order:
+                g = int(np.argmin(predicted))
+                group_tuples[g] += cnt[i]
+                group_distinct[g] += 1
+                predicted[g] += learner.predict_ms(int(cnt[i]), 1)
+        work = [
+            cm.partition_work_ms(int(t), int(d))
+            for t, d in zip(group_tuples, group_distinct)
+        ]
+        build_probe = max(work)
+        if self.cost_learner is not None:
+            for t, d, w in zip(group_tuples, group_distinct, work):
+                if t:
+                    self.cost_learner.observe(int(t), int(d), w)
+        mean_work = sum(work) / threads
+        if mean_work > 0.0:
+            obs.gauge("engine.prj.partition.imbalance").add(build_probe / mean_work)
+        base = cm.prj_phase_breakdown(n, threads)
+        phases = {
+            "partition": base["partition"],
+            "build_probe": build_probe,
+            "sync": base["sync"],
+        }
+        return sum(phases.values()), phases
+
+    def _shj_assignment(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Key-partitioned worker routing for the eager engine.
+
+        ``hash`` routes ``key % threads`` — workers own key ranges, so a
+        hot key's whole stream lands on one worker and its queue (hence
+        emission latency) explodes.  ``skew`` isolates keys holding at
+        least a ``1 / (2 * threads)`` share onto dedicated workers (up to
+        ``threads // 2``), whose single-key tables earn the
+        :func:`~repro.engine.cost_model.partition_locality` discount,
+        while the cold tail hashes over the remaining workers — one viral
+        key can no longer starve the tail.  Returns the per-tuple worker
+        assignment and the per-worker cost multiplier.
+        """
+        threads = self.threads
+        locality = np.ones(threads)
+        if self.partitioning == "hash" or threads == 1:
+            return keys % threads, locality
+        counts = np.bincount(keys)
+        total = len(keys)
+        order = np.argsort(-counts, kind="stable")
+        max_hot = max(1, threads // 2)
+        hot = [
+            int(k)
+            for k in order[:max_hot]
+            if counts[k] > 0 and counts[k] * 2 * threads >= total
+        ]
+        cold_workers = threads - len(hot)
+        if cold_workers == 0:
+            hot = hot[:-1]
+            cold_workers = 1
+        assignment = keys % cold_workers
+        for i, k in enumerate(hot):
+            worker = cold_workers + i
+            assignment[keys == k] = worker
+            locality[worker] = partition_locality(int(counts[k]), 1)
+        obs.gauge("engine.shj.hot_workers").set(float(len(hot)))
+        return assignment, locality
 
     # -- visibility models ---------------------------------------------------
 
@@ -191,6 +319,16 @@ class ParallelJoinEngine:
         last = int(math.floor(last_time / wlen)) + 1
         counts = np.bincount(batch_idx - first, minlength=last - first + 1)
 
+        keys_sorted = bounds = None
+        if self.partitioning is not None:
+            # Per-batch key groups for the partitioned schedule: one
+            # stable sort, then contiguous slices per batch offset.
+            korder = np.argsort(batch_idx, kind="stable")
+            keys_sorted = arrays.key[finite][korder]
+            bounds = np.searchsorted(
+                batch_idx[korder], np.arange(first, first + len(counts) + 1)
+            )
+
         finishes: dict[int, float] = {}
         finish_prev = 0.0
         cm = self.cost_model
@@ -199,7 +337,13 @@ class ParallelJoinEngine:
         for offset, n in enumerate(counts):
             w = first + offset
             trigger = (w + 1) * wlen
-            batch_ms = cm.prj_batch_ms(int(n), self.threads)
+            part_phases = None
+            if self.partitioning is None:
+                batch_ms = cm.prj_batch_ms(int(n), self.threads)
+            else:
+                batch_ms, part_phases = self._prj_partitioned_batch_ms(
+                    keys_sorted[bounds[offset] : bounds[offset + 1]]
+                )
             if self.pecj_enabled:
                 batch_ms += cm.prj_pecj_extra_ms(int(n), self.threads)
             start_exec = max(trigger, finish_prev)
@@ -220,7 +364,7 @@ class ParallelJoinEngine:
                         )
                     batch_ms *= factor
             if n:
-                phases = cm.prj_phase_breakdown(int(n), self.threads)
+                phases = part_phases or cm.prj_phase_breakdown(int(n), self.threads)
                 for phase, ms in phases.items():
                     obs.gauge(f"engine.prj.time_ms.{phase}").add(ms)
                 if self.pecj_enabled:
@@ -280,9 +424,17 @@ class ParallelJoinEngine:
         )
         obs.gauge(f"engine.{self.algorithm}.time_ms.probe").add(per_tuple * m)
         tracing = trace.is_tracing()
+        assignment = worker_locality = None
+        if self.partitioning is not None and m:
+            assignment, worker_locality = self._shj_assignment(arrays.key[order])
         for worker in range(self.threads):
-            sel = np.arange(worker, m, self.threads)
-            costs = np.full(len(sel), per_tuple)
+            if assignment is None:
+                sel = np.arange(worker, m, self.threads)
+                worker_cost = per_tuple
+            else:
+                sel = np.flatnonzero(assignment == worker)
+                worker_cost = per_tuple * worker_locality[worker]
+            costs = np.full(len(sel), worker_cost)
             if self.faults is not None and len(sel):
                 mult = self.faults.straggler_multipliers(arrivals[sel], thread=worker)
                 slowed = mult > 1.0

@@ -19,9 +19,28 @@ __all__ = [
     "WatermarkJoin",
     "KSlackJoin",
     "ExactJoin",
+    "PartitionedPECJoin",
+    "PartitionMap",
+    "SpaceSavingSketch",
     "CostModel",
     "apply_pipeline_costs",
     "completion_times",
     "run_operator",
     "run_sliding_operator",
 ]
+
+#: Partition-layer names resolved lazily (PEP 562): ``partitioned``
+#: depends on :mod:`repro.core`, which itself imports
+#: :mod:`repro.joins.arrays` — an eager import here would close that
+#: cycle while ``repro.core`` is still half-initialized.
+_PARTITIONED = ("PartitionedPECJoin", "PartitionMap", "SpaceSavingSketch")
+__all__ += list(_PARTITIONED)
+
+
+def __getattr__(name: str):
+    """Resolve the partitioned-join exports on first access."""
+    if name in _PARTITIONED:
+        from repro.joins import partitioned
+
+        return getattr(partitioned, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -43,10 +43,19 @@ base64 little-endian arrays (snapshot schema v2; the v1 ``.tolist()``
 format restores transparently), which is what tenant migration in
 :mod:`repro.serve.service` round-trips.
 
+Incremental shards can additionally *isolate hot keys*
+(:meth:`ShardStore.isolate_hot_keys`, PanJoin-style): the named keys get
+their own run stack and delta grid, so a viral key's compaction and grid
+churn stop interleaving with — and starving — the cold tail's.  Queries
+sum the two key-disjoint aggregates, which is exact for the integer
+accounting (and for COUNT answers), and with an empty hot set the shard
+executes the historical single-store path untouched.
+
 Counters: ``serve.shard.ingested``, ``serve.shard.evicted``,
 ``serve.shard.queries``, ``serve.shard.rebuilds`` (full mode only),
 ``serve.shard.compactions``, ``serve.shard.delta_appends``,
-``serve.shard.grid_rebuilds``, ``serve.shard.scan_fallbacks``.
+``serve.shard.grid_rebuilds``, ``serve.shard.scan_fallbacks``,
+``serve.shard.hot_isolations``, ``partition.migration_bytes``.
 Gauge: ``serve.shard.runs``.  Histogram: ``serve.shard.ckpt_bytes``.
 """
 
@@ -137,6 +146,22 @@ class ShardAnswer:
 _EMPTY_ANSWER = ShardAnswer(0.0, 0.0, 0, 0, True, 1.0)
 
 
+class _HotStore:
+    """Dedicated run/grid state of a shard's isolated hot keys.
+
+    Mirrors the shard's incremental cold state (a
+    :class:`~repro.serve.runs.RunStack` plus a
+    :class:`~repro.joins.aggregator.DeltaGrid`) for the promoted key
+    subset, so a viral key's compactions and grid extensions never touch
+    the cold tail's structures.
+    """
+
+    def __init__(self, num_keys: int, window_ms: float):
+        self.runs = RunStack()
+        self.grid = DeltaGrid(num_keys, window_ms)
+        self.grid_dirty = False
+
+
 class ShardStore:
     """Operator state of one key shard.
 
@@ -186,6 +211,13 @@ class ShardStore:
         self._runs = RunStack()
         self._grid = DeltaGrid(num_keys, window_ms)
         self._grid_dirty = False
+        # Hot-key isolation (runs mode only): None until
+        # :meth:`isolate_hot_keys` promotes a non-empty key set, so the
+        # historical single-store path runs untouched by default.
+        self.hot_keys: tuple[int, ...] = ()
+        self._hot: _HotStore | None = None
+        self._hot_lookup: np.ndarray | None = None
+        self.migration_bytes = 0
         self._max_arrival = 0.0
         self.ingested = 0
         self.evicted = 0
@@ -228,25 +260,47 @@ class ShardStore:
             self._chunks.append((event, arrival, key, payload, is_r))
             self._dirty = True
         else:
-            run = SortedRun.from_chunk(event, arrival, key, payload, is_r)
-            merges = self._runs.append(run)
-            if merges:
-                obs.counter("serve.shard.compactions").inc(merges)
-            if not self._grid_dirty:
-                try:
-                    self._grid.delta_append(
-                        run.event, run.arrival, run.key, run.payload, run.is_r
-                    )
-                    obs.counter("serve.shard.delta_appends").inc()
-                except DeltaAppendError:
-                    # Out-of-order arrivals (never the service's tick
-                    # path): rebuild the grid lazily from the runs.
-                    self._grid_dirty = True
+            cold = (event, arrival, key, payload, is_r)
+            hot = None
+            if self._hot is not None:
+                hot_mask = self._hot_lookup[key]
+                if hot_mask.any():
+                    cold_mask = ~hot_mask
+                    hot = tuple(col[hot_mask] for col in cold)
+                    cold = tuple(col[cold_mask] for col in cold)
+            if len(cold[0]):
+                self._append_run(self._runs, cold, hot=False)
+            if hot is not None:
+                self._append_run(self._hot.runs, hot, hot=True)
             obs.gauge("serve.shard.runs").set(float(len(self._runs)))
         self.profile.update(np.maximum(arrival - event, 0.0))
         self._max_arrival = max(self._max_arrival, float(np.max(arrival)))
         self.ingested += len(event)
         obs.counter("serve.shard.ingested").inc(len(event))
+
+    def _append_run(
+        self, stack: RunStack, cols: tuple[np.ndarray, ...], hot: bool
+    ) -> None:
+        """Append one chunk to a run stack and extend its delta grid."""
+        run = SortedRun.from_chunk(*cols)
+        merges = stack.append(run)
+        if merges:
+            obs.counter("serve.shard.compactions").inc(merges)
+        dirty = self._hot.grid_dirty if hot else self._grid_dirty
+        if not dirty:
+            grid = self._hot.grid if hot else self._grid
+            try:
+                grid.delta_append(
+                    run.event, run.arrival, run.key, run.payload, run.is_r
+                )
+                obs.counter("serve.shard.delta_appends").inc()
+            except DeltaAppendError:
+                # Out-of-order arrivals (never the service's tick
+                # path): rebuild the grid lazily from the runs.
+                if hot:
+                    self._hot.grid_dirty = True
+                else:
+                    self._grid_dirty = True
 
     # -- full-rebuild reference path ---------------------------------------
 
@@ -320,10 +374,19 @@ class ShardStore:
         self._grid.drop_below(
             math.floor((horizon - self._grid.origin) / self._grid.length) - 1
         )
+        if self._hot is not None:
+            newly_hot = self._hot.runs.advance_horizon(horizon)
+            if newly_hot:
+                self.evicted += newly_hot
+                obs.counter("serve.shard.evicted").inc(newly_hot)
+            self._hot.grid.drop_below(
+                math.floor((horizon - self._hot.grid.origin) / self._hot.grid.length)
+                - 1
+            )
         return horizon
 
     def _ensure_grid(self) -> DeltaGrid:
-        """The delta grid, rebuilt from the runs after disorder."""
+        """The cold delta grid, rebuilt from the runs after disorder."""
         if self._grid_dirty:
             self._grid = DeltaGrid(self.num_keys, self.window_ms)
             cols = self._runs.merged_columns()
@@ -333,14 +396,32 @@ class ShardStore:
             obs.counter("serve.shard.grid_rebuilds").inc()
         return self._grid
 
+    def _ensure_hot_grid(self) -> DeltaGrid:
+        """The hot delta grid, rebuilt from the hot runs after disorder."""
+        hot = self._hot
+        if hot.grid_dirty:
+            hot.grid = DeltaGrid(self.num_keys, self.window_ms)
+            cols = hot.runs.merged_columns()
+            if len(cols[0]):
+                hot.grid.delta_append(*cols)
+            hot.grid_dirty = False
+            obs.counter("serve.shard.grid_rebuilds").inc()
+        return hot.grid
+
     def _scan(
-        self, start: float, end: float, available_by: float | None, horizon: float
+        self,
+        start: float,
+        end: float,
+        available_by: float | None,
+        horizon: float,
+        stack: RunStack | None = None,
     ) -> WindowAggregate:
-        """Reference-exact rescan over the live runs (the slow path).
+        """Reference-exact rescan over a run stack (the slow path).
 
         Used for off-grid windows and for the single window straddling
         the retention horizon, where the grid's prefix state would
-        include tuples the reference has already evicted.
+        include tuples the reference has already evicted.  ``stack``
+        defaults to the cold runs; the hot query path passes its own.
         """
         num_keys = self.num_keys
         c_r = np.zeros(num_keys, dtype=np.int64)
@@ -349,7 +430,7 @@ class ShardStore:
         n_r = 0
         n_s = 0
         lo_bound = max(start, horizon)
-        for run in self._runs.runs:
+        for run in (stack if stack is not None else self._runs).runs:
             sl = run.live_slice(lo_bound, end)
             if sl.stop <= sl.start:
                 continue
@@ -375,12 +456,121 @@ class ShardStore:
     def _query_runs(
         self, start: float, end: float, available_by: float | None, horizon: float
     ) -> WindowAggregate:
-        """Observed aggregate of ``[start, end)`` off the run structure."""
+        """Observed aggregate of ``[start, end)`` off the run structure.
+
+        With hot keys isolated, the cold and hot stores are queried
+        independently and their aggregates summed — exact, because the
+        partitions are key-disjoint (no cross-partition matches exist,
+        so ``matches`` and ``sum_r`` decompose additively).
+        """
         grid = self._ensure_grid()
         if grid.covers(start, end) and start >= horizon:
-            return grid.query(grid.window_index(start), available_by)
-        obs.counter("serve.shard.scan_fallbacks").inc()
-        return self._scan(start, end, available_by, horizon)
+            agg = grid.query(grid.window_index(start), available_by)
+        else:
+            obs.counter("serve.shard.scan_fallbacks").inc()
+            agg = self._scan(start, end, available_by, horizon)
+        if self._hot is None:
+            return agg
+        hot_grid = self._ensure_hot_grid()
+        if hot_grid.covers(start, end) and start >= horizon:
+            hot_agg = hot_grid.query(hot_grid.window_index(start), available_by)
+        else:
+            obs.counter("serve.shard.scan_fallbacks").inc()
+            hot_agg = self._scan(start, end, available_by, horizon, self._hot.runs)
+        return WindowAggregate(
+            agg.n_r + hot_agg.n_r,
+            agg.n_s + hot_agg.n_s,
+            agg.matches + hot_agg.matches,
+            agg.sum_r + hot_agg.sum_r,
+        )
+
+    # -- hot-key isolation --------------------------------------------------
+
+    #: Serialized width of one tuple row (3 float64 + 1 int64 + 1 bool),
+    #: used for migration-byte accounting.
+    _ROW_BYTES = 33
+
+    def _live_columns(self) -> tuple[np.ndarray, ...]:
+        """Post-eviction live columns across cold and hot stores, event-sorted."""
+        cold = self._runs.merged_columns()
+        if self._hot is None:
+            return cold
+        hot = self._hot.runs.merged_columns()
+        if not len(hot[0]):
+            return cold
+        if not len(cold[0]):
+            return hot
+        merged = tuple(np.concatenate((c, h)) for c, h in zip(cold, hot))
+        order = np.argsort(merged[0], kind="stable")
+        return tuple(col[order] for col in merged)
+
+    def isolate_hot_keys(self, keys) -> int:
+        """Re-partition the shard's state around a new hot-key set.
+
+        The named keys move into a dedicated run stack + delta grid (the
+        cold tail keeps its own), so one viral key's compaction and grid
+        churn can no longer starve the rest of the shard; an empty
+        ``keys`` dissolves the hot store and folds everything back.
+        Live tuples whose ownership changes are re-split from the merged
+        post-eviction columns — the integer accounting (``ingested`` /
+        ``evicted`` / ``len``) is untouched and every subsequent query
+        still sums to the unpartitioned answer exactly.  Incremental
+        (``rebuild="runs"``) shards only.
+
+        Returns the migrated bytes (also accumulated in
+        :attr:`migration_bytes` and the ``partition.migration_bytes``
+        counter).
+        """
+        if self.rebuild != "runs":
+            raise ValueError("hot-key isolation requires rebuild='runs'")
+        new = tuple(sorted({int(k) for k in keys}))
+        for k in new:
+            if not 0 <= k < self.num_keys:
+                raise ValueError(
+                    f"shard {self.shard_id}: hot key {k} outside [0, {self.num_keys})"
+                )
+        if new == self.hot_keys:
+            return 0
+        self._advance_horizon()
+        cols = self._live_columns()
+        lookup = np.zeros(self.num_keys, dtype=bool)
+        if new:
+            lookup[list(new)] = True
+        key_col = cols[2]
+        if len(key_col):
+            new_mask = lookup[key_col]
+            old_mask = (
+                self._hot_lookup[key_col]
+                if self._hot_lookup is not None
+                else np.zeros(len(key_col), dtype=bool)
+            )
+            moved_bytes = int((new_mask ^ old_mask).sum()) * self._ROW_BYTES
+        else:
+            new_mask = np.zeros(0, dtype=bool)
+            moved_bytes = 0
+        self._runs = RunStack()
+        self._grid = DeltaGrid(self.num_keys, self.window_ms)
+        self._grid_dirty = False
+        if new:
+            self._hot = _HotStore(self.num_keys, self.window_ms)
+            self._hot_lookup = lookup
+        else:
+            self._hot = None
+            self._hot_lookup = None
+        if len(key_col):
+            cold_cols = tuple(col[~new_mask] for col in cols)
+            if len(cold_cols[0]):
+                self._append_run(self._runs, cold_cols, hot=False)
+            if new:
+                hot_cols = tuple(col[new_mask] for col in cols)
+                if len(hot_cols[0]):
+                    self._append_run(self._hot.runs, hot_cols, hot=True)
+        self.hot_keys = new
+        self.migration_bytes += moved_bytes
+        obs.counter("partition.migration_bytes").inc(moved_bytes)
+        obs.counter("serve.shard.hot_isolations").inc()
+        obs.gauge("serve.shard.runs").set(float(len(self._runs)))
+        return moved_bytes
 
     # -- queries -----------------------------------------------------------
 
@@ -481,7 +671,7 @@ class ShardStore:
             cols = (arrays.event, arrays.arrival, arrays.key, arrays.payload, arrays.is_r)
         else:
             self._advance_horizon()
-            cols = self._runs.merged_columns()
+            cols = self._live_columns()
         snapshot = {
             "version": _STATE_VERSION,
             "shard_id": self.shard_id,
@@ -500,6 +690,8 @@ class ShardStore:
             },
             "profile": profile_state(self.profile),
         }
+        if self.hot_keys:
+            snapshot["hot_keys"] = list(self.hot_keys)
         obs.observe(
             "serve.shard.ckpt_bytes", float(len(json.dumps(snapshot)))
         )
@@ -557,4 +749,10 @@ class ShardStore:
         shard.ingested = int(state["ingested"])
         shard.evicted = int(state["evicted"])
         shard.queries = int(state.get("queries", 0))
+        hot_keys = state.get("hot_keys")
+        if hot_keys:
+            # Re-split the adopted columns around the snapshot's hot set
+            # (v1 snapshots and checkpoints without isolation skip this).
+            shard.isolate_hot_keys(hot_keys)
+            shard.migration_bytes = 0
         return shard

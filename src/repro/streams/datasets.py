@@ -77,13 +77,24 @@ def _zipf_keys(
 ) -> np.ndarray:
     """Draw ``n`` keys from ``[0, num_keys)`` with Zipf(``skew``) popularity.
 
-    ``skew = 0`` degenerates to uniform.  A fixed permutation is *not*
-    applied: key ``0`` is always the hottest, which is fine because join
-    operators never interpret key values.
+    ``skew = 0`` degenerates to uniform; negative skew is rejected (it
+    used to fall back to uniform silently, masking typos).  A fixed
+    permutation is *not* applied: key ``0`` is always the hottest, which
+    is fine because join operators never interpret key values.
+
+    Extreme skew degenerates fast — the distribution is a truncated
+    zeta, so at ``skew = 3`` with 1000 keys the top key alone carries
+    ``1/ζ(3) ≈ 83%`` of the mass and the top four ``≈ 98%``; by
+    ``skew ≈ 7`` a single key exceeds 99%.  Such streams are a
+    worst-case, nearly single-partition input for skew-aware operators
+    (``tests/streams/test_datasets.py`` pins these concentrations) —
+    sweep ``skew ≤ ~1.5`` when you want a *distribution* of hot keys.
     """
     if num_keys <= 0:
         raise ValueError("num_keys must be positive")
-    if skew <= 0:
+    if skew < 0:
+        raise ValueError(f"key skew must be >= 0 (0 = uniform), got {skew}")
+    if skew == 0:
         return rng.integers(0, num_keys, size=n)
     ranks = np.arange(1, num_keys + 1, dtype=float)
     probs = ranks**-skew

@@ -11,7 +11,7 @@ class TestCli:
     def test_figure_registry_covers_all_benchmarks(self):
         assert set(_FIGURES) == {
             "smoke", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "chaos", "serve", "serve_hotpath", "slo",
+            "chaos", "serve", "serve_hotpath", "slo", "skew",
         }
 
     def test_runs_one_figure(self, capsys):

@@ -1,0 +1,139 @@
+"""Skew-aware key partitioning in the simulated engines."""
+
+import numpy as np
+import pytest
+
+from repro.engine.cost_model import PartitionCostLearner, partition_locality
+from repro.engine.simulator import ParallelJoinEngine
+from repro.joins.arrays import AggKind
+from repro.streams.datasets import make_dataset
+from repro.streams.disorder import UniformDelay
+from repro.streams.sources import make_disordered_arrays
+
+
+def skewed_arrays(skew, rate, seed=21, duration=800.0, num_keys=256):
+    return make_disordered_arrays(
+        make_dataset("micro", num_keys=num_keys, key_skew=skew),
+        UniformDelay(5.0),
+        duration_ms=duration,
+        rate_r=rate,
+        rate_s=rate,
+        seed=seed,
+    )
+
+
+def run_engine(arrays, algorithm, partitioning=None, threads=4, duration=800.0):
+    engine = ParallelJoinEngine(
+        algorithm,
+        threads=threads,
+        agg=AggKind.COUNT,
+        pecj=True,
+        omega=10.0,
+        partitioning=partitioning,
+    )
+    return engine.run(arrays, t_start=100.0, t_end=duration - 50.0, warmup_windows=20)
+
+
+class TestValidation:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="partitioning"):
+            ParallelJoinEngine("prj", partitioning="range")
+
+    def test_rejects_unsupported_algorithms(self):
+        for algorithm in ("hsj", "spj"):
+            with pytest.raises(ValueError, match="partitioning"):
+                ParallelJoinEngine(algorithm, partitioning="hash")
+
+    def test_name_suffix(self):
+        assert ParallelJoinEngine("prj", partitioning="skew").name == "PRJ/skew"
+        assert (
+            ParallelJoinEngine("shj", pecj=True, partitioning="hash").name
+            == "PECJ-SHJ/hash"
+        )
+        assert ParallelJoinEngine("prj").name == "PRJ"
+
+    def test_default_has_no_learner(self):
+        assert ParallelJoinEngine("prj").cost_learner is None
+        assert ParallelJoinEngine("prj", partitioning="skew").cost_learner is not None
+
+
+class TestDefaultPathUnchanged:
+    def test_none_partitioning_matches_legacy(self):
+        """partitioning=None must reproduce the pre-partitioning engine
+        bit-for-bit — it is the default every existing figure runs."""
+        arrays = skewed_arrays(1.4, rate=100.0)
+        legacy = run_engine(arrays, "shj", partitioning=None)
+        again = run_engine(arrays, "shj", partitioning=None)
+        assert [r.value for r in legacy.records] == [r.value for r in again.records]
+        assert legacy.makespan_ms == again.makespan_ms
+
+
+class TestSkewBeatsHash:
+    def test_shj_hash_collapses_on_hot_key(self):
+        """At high skew the hash router sends the hot key's flood to one
+        worker; the skew router isolates it and throughput recovers."""
+        arrays = skewed_arrays(1.4, rate=400.0)
+        hash_run = run_engine(arrays, "shj", partitioning="hash")
+        skew_run = run_engine(arrays, "shj", partitioning="skew")
+        assert skew_run.throughput_ktps > 1.15 * hash_run.throughput_ktps
+        assert skew_run.p95_latency <= hash_run.p95_latency
+
+    def test_prj_skew_schedules_better_makespan(self):
+        arrays = skewed_arrays(1.4, rate=4000.0, duration=400.0)
+        hash_run = run_engine(arrays, "prj", partitioning="hash", duration=400.0)
+        skew_run = run_engine(arrays, "prj", partitioning="skew", duration=400.0)
+        assert skew_run.throughput_ktps > 1.05 * hash_run.throughput_ktps
+        assert skew_run.makespan_ms < hash_run.makespan_ms
+
+    def test_near_uniform_modes_equivalent(self):
+        """Without hot keys the two routers schedule the same load."""
+        arrays = skewed_arrays(0.0, rate=400.0)
+        hash_run = run_engine(arrays, "shj", partitioning="hash")
+        skew_run = run_engine(arrays, "shj", partitioning="skew")
+        assert skew_run.throughput_ktps == pytest.approx(
+            hash_run.throughput_ktps, rel=0.02
+        )
+
+    def test_skew_routing_restores_accuracy_hash_loses(self):
+        """Completion timing feeds the estimator, so routing shows up in
+        accuracy too: the hash router's collapsed hot worker emits with
+        massive incompleteness, while skew routing stays in the balanced
+        (round-robin) engine's ballpark."""
+        arrays = skewed_arrays(1.4, rate=400.0)
+        base = run_engine(arrays, "shj", partitioning=None)
+        hash_run = run_engine(arrays, "shj", partitioning="hash")
+        skew_run = run_engine(arrays, "shj", partitioning="skew")
+        assert skew_run.mean_error <= base.mean_error * 1.2
+        assert hash_run.mean_error > 5.0 * skew_run.mean_error
+
+
+class TestPartitionCostLearner:
+    def test_learner_converges_during_run(self):
+        arrays = skewed_arrays(1.4, rate=4000.0, duration=400.0)
+        engine = ParallelJoinEngine(
+            "prj", threads=4, agg=AggKind.COUNT, pecj=True, omega=10.0,
+            partitioning="skew",
+        )
+        engine.run(arrays, t_start=100.0, t_end=350.0, warmup_windows=10)
+        learner = engine.cost_learner
+        assert learner.observations > 0
+        # Single-key (hot) partitions are cache-resident: learned factor
+        # must sit below the cold regime's.
+        assert learner.factor(10_000, 1) < learner.factor(10_000, 10_000)
+
+    def test_predict_tracks_ground_truth_shape(self):
+        learner = PartitionCostLearner(base_ns=100.0)
+        base = 100.0
+        for tuples, distinct in [(5000, 1), (5000, 5000)] * 20:
+            truth_ms = tuples * base * partition_locality(tuples, distinct) * 1e-6
+            learner.observe(tuples, distinct, truth_ms)
+        for tuples, distinct in [(8000, 1), (8000, 8000)]:
+            truth_ms = tuples * base * partition_locality(tuples, distinct) * 1e-6
+            assert learner.predict_ms(tuples, distinct) == pytest.approx(
+                truth_ms, rel=0.05
+            )
+
+    def test_locality_bounds(self):
+        assert partition_locality(1000, 1) == pytest.approx(0.55, abs=0.01)
+        assert partition_locality(1000, 1000) == 1.0
+        assert 0.55 <= partition_locality(1000, 50) <= 1.0

@@ -1,0 +1,351 @@
+"""Tests for partition-adaptive skew handling (PanJoin-style hot keys)."""
+
+import numpy as np
+import pytest
+
+from repro.joins.arrays import AggKind, BatchArrays
+from repro.joins.partitioned import (
+    HotKeyState,
+    PartitionedPECJoin,
+    PartitionMap,
+    SpaceSavingSketch,
+)
+from repro.core.pecj import PECJoin
+from repro.joins.runner import run_operator
+from repro.streams.datasets import make_dataset
+from repro.streams.disorder import UniformDelay
+from repro.streams.sources import make_disordered_arrays
+
+WLEN = 10.0
+
+
+def skewed_arrays(skew, num_keys=64, seed=7, duration=2000.0, rate=60.0, delay=None):
+    return make_disordered_arrays(
+        make_dataset("micro", num_keys=num_keys, key_skew=skew),
+        delay or UniformDelay(5.0),
+        duration,
+        rate,
+        rate,
+        seed=seed,
+    )
+
+
+def run(op, arrays, omega=10.0, duration=2000.0):
+    return run_operator(
+        op, arrays, WLEN, omega,
+        t_start=50.0, t_end=duration - 50.0, warmup_windows=30,
+    )
+
+
+class TestSpaceSavingSketch:
+    def test_exact_within_capacity(self):
+        sk = SpaceSavingSketch(capacity=8)
+        sk.offer_batch(np.array([1, 1, 1, 2, 2, 3]))
+        assert sk.estimate(1) == (3.0, 0.0)
+        assert sk.estimate(2) == (2.0, 0.0)
+        assert sk.estimate(3) == (1.0, 0.0)
+
+    def test_untracked_key_is_zero(self):
+        sk = SpaceSavingSketch(capacity=4)
+        assert sk.estimate(99) == (0.0, 0.0)
+
+    def test_capacity_bounded_and_error_bound_holds(self):
+        """count - error <= true <= count for every tracked key."""
+        rng = np.random.default_rng(0)
+        keys = rng.choice(200, size=5000, p=np.arange(200, 0, -1) / np.arange(200, 0, -1).sum())
+        sk = SpaceSavingSketch(capacity=16)
+        sk.offer_batch(keys)
+        assert len(sk) <= 16
+        true = np.bincount(keys, minlength=200)
+        for key, count, error in sk.top(16):
+            assert count - error <= true[key] + 1e-9
+            assert true[key] <= count + 1e-9
+
+    def test_heavy_hitter_survives_churn(self):
+        """A genuinely hot key is never evicted by the cold tail."""
+        rng = np.random.default_rng(1)
+        cold = rng.integers(100, 10_000, size=4000)
+        hot = np.full(2000, 7)
+        keys = rng.permutation(np.concatenate([hot, cold]))
+        sk = SpaceSavingSketch(capacity=32)
+        sk.offer_batch(keys)
+        top_keys = [k for k, _, _ in sk.top(5)]
+        assert 7 in top_keys
+
+    def test_decay_scales_counters(self):
+        sk = SpaceSavingSketch(capacity=4)
+        sk.offer_batch(np.array([1, 1, 1, 1]))
+        sk.decay(0.5)
+        assert sk.estimate(1) == (2.0, 0.0)
+        assert sk.total == pytest.approx(2.0)
+
+    def test_decay_validation(self):
+        sk = SpaceSavingSketch(capacity=4)
+        with pytest.raises(ValueError):
+            sk.decay(0.0)
+        with pytest.raises(ValueError):
+            sk.decay(1.5)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSavingSketch(capacity=0)
+
+    def test_top_order_deterministic_on_ties(self):
+        sk = SpaceSavingSketch(capacity=8)
+        sk.offer_batch(np.array([5, 3, 9, 3, 5, 9]))
+        assert [k for k, _, _ in sk.top(3)] == [3, 5, 9]
+
+
+class TestPartitionMap:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionMap(0)
+        with pytest.raises(ValueError):
+            PartitionMap(10, max_hot=-1)
+        with pytest.raises(ValueError):
+            PartitionMap(10, enter_share=0.0)
+        with pytest.raises(ValueError):
+            PartitionMap(10, exit_fraction=1.5)
+        with pytest.raises(ValueError):
+            PartitionMap(10, repartition_interval=0)
+        with pytest.raises(ValueError):
+            PartitionMap(10, shift_ratio=1.0)
+        with pytest.raises(ValueError):
+            PartitionMap(10, shift_flush=0.0)
+
+    def test_uniform_stream_never_promotes(self):
+        pm = PartitionMap(64, repartition_interval=1)
+        rng = np.random.default_rng(0)
+        for w in range(50):
+            pm.observe(rng.integers(0, 64, size=500), hot_hits=0)
+            promoted, demoted = pm.barrier(w)
+            assert promoted == set() and demoted == set()
+        assert pm.hot == set()
+
+    def test_hot_key_promoted_on_cadence(self):
+        pm = PartitionMap(64, repartition_interval=4)
+        keys = np.concatenate([np.full(400, 3), np.arange(64)])
+        pm.observe(keys, hot_hits=0)
+        assert pm.barrier(0) == (set(), set())  # off-cadence: no change
+        for w in (1, 2):
+            pm.observe(keys, hot_hits=0)
+            assert pm.barrier(w) == (set(), set())
+        pm.observe(keys, hot_hits=0)
+        promoted, demoted = pm.barrier(3)  # 4th barrier hits the cadence
+        assert promoted == {3} and demoted == set()
+        assert pm.hot == {3}
+        assert pm.promotions == 1
+
+    def test_hysteresis_keeps_borderline_member(self):
+        """A hot key whose share sags below enter but above exit stays."""
+        pm = PartitionMap(
+            16, enter_share=0.4, boost=1.0, exit_fraction=0.5,
+            repartition_interval=1, decay=1.0,
+        )
+        pm.observe(np.full(100, 5), hot_hits=0)
+        pm.barrier(0)
+        assert pm.hot == {5}
+        # Dilute key 5 to ~25% share: below enter (40%) but above exit (20%).
+        pm.observe(np.repeat(np.arange(6, 9), 100), hot_hits=0)
+        pm.barrier(1)
+        assert 5 in pm.hot
+        # Dilute far below the exit share: now it demotes.
+        pm.observe(np.repeat(np.arange(9, 16), 300), hot_hits=0)
+        pm.barrier(2)
+        assert 5 not in pm.hot
+        assert pm.demotions >= 1
+
+    def test_shift_detector_forces_off_cadence_repartition(self):
+        """A sudden skew flip repartitions before the periodic barrier."""
+        pm = PartitionMap(
+            64, boost=2.0, repartition_interval=1000, shift_ratio=3.0,
+            decay=1.0, history=32,
+        )
+        rng = np.random.default_rng(0)
+        for w in range(30):  # long uniform history
+            pm.observe(rng.integers(0, 64, size=200), hot_hits=0)
+            pm.barrier(w)
+        assert pm.shift_repartitions == 0
+        for w in range(30, 40):  # skew flips hard onto key 11
+            pm.observe(np.full(2000, 11), hot_hits=0)
+            promoted, _ = pm.barrier(w)
+            if promoted:
+                break
+        assert pm.shift_repartitions >= 1
+        assert 11 in pm.hot
+
+    def test_hit_rate_and_summary(self):
+        pm = PartitionMap(16)
+        pm.observe(np.arange(10), hot_hits=4)
+        assert pm.hot_hit_rate == pytest.approx(0.4)
+        summary = pm.summary()
+        assert summary["partition_hot_keys"] == 0.0
+        assert set(summary) >= {
+            "partition_promotions", "partition_demotions",
+            "partition_shift_repartitions", "partition_hot_hit_rate",
+        }
+
+
+class TestValidation:
+    def test_rejects_avg(self):
+        with pytest.raises(ValueError, match="COUNT and SUM"):
+            PartitionedPECJoin(AggKind.AVG)
+
+    def test_rejects_bad_blend(self):
+        with pytest.raises(ValueError, match="blend"):
+            PartitionedPECJoin(AggKind.COUNT, blend=1.5)
+
+
+class TestBitIdentityAtUniform:
+    @pytest.mark.parametrize("backend", ["aema", "svi"])
+    @pytest.mark.parametrize("agg", [AggKind.COUNT, AggKind.SUM])
+    def test_uniform_stream_identical_to_parent(self, backend, agg):
+        """skew = 0 promotes nothing, so every emitted value is the
+        parent's bit-for-bit — partitioning must be a strict no-op."""
+        arrays = skewed_arrays(0.0)
+        base = run(PECJoin(agg, backend=backend), arrays)
+        part = run(PartitionedPECJoin(agg, backend=backend), arrays)
+        assert [r.value for r in part.records] == [r.value for r in base.records]
+        assert [r.error for r in part.records] == [r.error for r in base.records]
+        assert part.p95_latency == base.p95_latency
+
+    def test_uniform_stream_promotes_nothing(self):
+        arrays = skewed_arrays(0.0)
+        op = PartitionedPECJoin(AggKind.COUNT)
+        run(op, arrays)
+        assert op.hot_state == {}
+        assert op.partitions.promotions == 0
+        assert op.accounting == []
+
+
+class TestSkewedCompensation:
+    def test_hot_keys_promoted_and_error_not_worse(self):
+        arrays = skewed_arrays(1.4, num_keys=256, seed=11)
+        base = run(PECJoin(AggKind.COUNT), arrays)
+        op = PartitionedPECJoin(AggKind.COUNT)
+        part = run(op, arrays)
+        assert len(op.hot_state) >= 1
+        assert part.mean_error <= base.mean_error * 1.02
+
+    def test_integer_accounting_identity(self):
+        """hot + cold == total on both sides, for every hot window."""
+        arrays = skewed_arrays(1.4, num_keys=256, seed=11)
+        op = PartitionedPECJoin(AggKind.COUNT)
+        run(op, arrays)
+        assert len(op.accounting) > 0
+        for _, hot_r, hot_s, cold_r, cold_s, total_r, total_s in op.accounting:
+            assert hot_r + cold_r == total_r
+            assert hot_s + cold_s == total_s
+            assert min(hot_r, hot_s, cold_r, cold_s) >= 0
+
+    def test_hot_series_tracks_promoted_keys(self):
+        arrays = skewed_arrays(1.4, num_keys=256, seed=11)
+        op = PartitionedPECJoin(AggKind.COUNT)
+        run(op, arrays)
+        assert len(op.hot_series) == len(op.accounting)
+        for _, hot_values, cold_value in op.hot_series:
+            assert all(v >= 0.0 for v in hot_values.values())
+            assert cold_value >= 0.0
+
+    def test_sum_agg_supported_on_hot_path(self):
+        arrays = skewed_arrays(1.4, num_keys=256, seed=11)
+        base = run(PECJoin(AggKind.SUM), arrays)
+        part = run(PartitionedPECJoin(AggKind.SUM), arrays)
+        assert part.mean_error <= base.mean_error * 1.05
+
+    def test_pure_partitioned_blend_still_sane(self):
+        arrays = skewed_arrays(1.4, num_keys=256, seed=11)
+        res = run(PartitionedPECJoin(AggKind.COUNT, blend=1.0), arrays)
+        assert res.mean_error < 0.2
+        assert all(np.isfinite(r.value) for r in res.records)
+
+    def test_partition_summary_columns(self):
+        arrays = skewed_arrays(1.4, num_keys=256, seed=11)
+        op = PartitionedPECJoin(AggKind.COUNT)
+        run(op, arrays)
+        summary = op.partition_summary()
+        assert summary["partition_hot_keys"] >= 1.0
+        assert summary["partition_hot_windows"] == float(len(op.accounting))
+        assert summary["partition_migration_bytes"] > 0.0
+
+
+class TestChurn:
+    def _churn_op(self):
+        """Aggressive thresholds + fast cadence force promote/demote churn."""
+        return PartitionedPECJoin(
+            AggKind.COUNT,
+            max_hot=4,
+            enter_share=0.02,
+            boost=2.0,
+            exit_fraction=0.9,  # near-zero hysteresis: maximal thrashing
+            repartition_interval=1,
+            sketch_decay=0.9,
+        )
+
+    def test_forced_churn_preserves_accounting(self):
+        arrays = skewed_arrays(1.1, num_keys=32, seed=5)
+        op = self._churn_op()
+        res = run(op, arrays)
+        assert op.partitions.promotions + op.partitions.demotions > 2
+        for _, hot_r, hot_s, cold_r, cold_s, total_r, total_s in op.accounting:
+            assert hot_r + cold_r == total_r
+            assert hot_s + cold_s == total_s
+        assert all(np.isfinite(r.value) for r in res.records)
+
+    def test_churn_does_not_blow_up_error(self):
+        arrays = skewed_arrays(1.1, num_keys=32, seed=5)
+        base = run(PECJoin(AggKind.COUNT), arrays)
+        part = run(self._churn_op(), arrays)
+        assert part.mean_error <= base.mean_error * 1.2
+
+    def test_migration_bytes_accumulate_both_directions(self):
+        """Promotion moves scalar state; demotion also moves the profile."""
+        arrays = skewed_arrays(1.1, num_keys=32, seed=5)
+        op = self._churn_op()
+        op.prepare(arrays, WLEN, 10.0)
+        op._apply_repartition({3}, set(), 0, 0.0)
+        assert op.migration_bytes == HotKeyState.STATE_BYTES
+        op._apply_repartition(set(), {3}, 1, WLEN)
+        assert op.migration_bytes > 2 * HotKeyState.STATE_BYTES
+
+
+class TestSkewDriftChaos:
+    def _drifting_arrays(self, seed=3, duration=3000.0, rate=60.0):
+        """First half Zipf-hot on one key set, second half on another.
+
+        Key identity flips at ``duration / 2`` by reversing the domain,
+        under bursty disorder — the drift detector must chase the new
+        heavy hitters mid-stream.
+        """
+        half = duration / 2.0
+        a = skewed_arrays(1.4, num_keys=64, seed=seed, duration=half, rate=rate)
+        b = skewed_arrays(1.4, num_keys=64, seed=seed + 1, duration=half, rate=rate)
+        return BatchArrays(
+            np.concatenate([a.event, b.event + half]),
+            np.concatenate([a.arrival, b.arrival + half]),
+            np.concatenate([a.key, 63 - b.key]),
+            np.concatenate([a.payload, b.payload]),
+            np.concatenate([a.is_r, b.is_r]),
+        )
+
+    def test_drift_repartitions_and_stays_stable(self):
+        arrays = self._drifting_arrays()
+        op = PartitionedPECJoin(AggKind.COUNT, repartition_interval=8)
+        base = run(PECJoin(AggKind.COUNT), arrays, duration=3000.0)
+        res = run(op, arrays, duration=3000.0)
+        # The share signal is blind to an identity flip at constant skew;
+        # the hit-rate collapse signal must have caught it.
+        assert op.partitions.shift_repartitions >= 1
+        # Membership followed the flip: both promotions and demotions fired.
+        assert op.partitions.promotions >= 2
+        assert op.partitions.demotions >= 1
+        assert all(np.isfinite(r.value) for r in res.records)
+        # Stability through the transition (stale priors wash out under
+        # the parent blend), full recovery after it.
+        assert res.mean_error <= base.mean_error * 1.35
+        tail_base = [r.error for r in base.records if r.window.start >= 2200.0]
+        tail_part = [r.error for r in res.records if r.window.start >= 2200.0]
+        assert np.mean(tail_part) <= np.mean(tail_base)
+        for _, hot_r, hot_s, cold_r, cold_s, total_r, total_s in op.accounting:
+            assert hot_r + cold_r == total_r
+            assert hot_s + cold_s == total_s

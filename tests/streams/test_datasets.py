@@ -97,6 +97,52 @@ class TestStock:
         assert np.all(payload > 0)
 
 
+class TestZipfSkew:
+    """Pin the documented behaviour of ``_zipf_keys`` across its range."""
+
+    @staticmethod
+    def _counts(skew, num_keys=1000, n=200_000, seed=0):
+        from repro.streams.datasets import _zipf_keys
+
+        keys = _zipf_keys(np.random.default_rng(seed), n, num_keys, skew)
+        return np.bincount(keys, minlength=num_keys) / n
+
+    def test_negative_skew_rejected(self):
+        from repro.streams.datasets import _zipf_keys
+
+        with pytest.raises(ValueError, match="key skew must be >= 0"):
+            _zipf_keys(np.random.default_rng(0), 10, 100, -0.5)
+
+    def test_negative_skew_rejected_through_generator(self):
+        ds = make_dataset("micro", num_keys=100, key_skew=-1.0)
+        with pytest.raises(ValueError, match="key skew must be >= 0"):
+            ds.generate_columns(100.0, 5.0, 5.0, np.random.default_rng(0))
+
+    def test_zero_skew_is_uniform(self):
+        shares = self._counts(0.0, num_keys=50)
+        assert shares.max() < 0.05  # uniform share is 0.02
+
+    def test_skew_three_concentrates_on_one_key(self):
+        """At skew 3 the top key holds ~1/zeta(3) ~ 83% and top-4 ~98%.
+
+        This is the degenerate, nearly single-partition input the
+        module docstring warns about — NOT a distribution of hot keys.
+        """
+        shares = self._counts(3.0)
+        assert shares[0] > 0.80
+        assert shares[:4].sum() > 0.95
+
+    def test_skew_seven_is_effectively_one_key(self):
+        shares = self._counts(7.0)
+        assert shares[0] > 0.99
+
+    def test_moderate_skew_spreads_hot_mass(self):
+        """The bench sweep's top end (1.4) still has a real hot *set*."""
+        shares = self._counts(1.4, num_keys=512)
+        assert 0.2 < shares[0] < 0.5
+        assert shares[:8].sum() < 0.9
+
+
 def test_make_dataset_rejects_unknown():
     with pytest.raises(ValueError, match="unknown dataset"):
         make_dataset("nope")

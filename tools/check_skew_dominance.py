@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Strict error-dominance gate for the skew figure's row table.
+
+Reads a ``--rows`` JSON written by ``python -m repro.bench skew`` and
+asserts the figure's headline claims cell by cell:
+
+* **Identity at zero skew** — the partitioned standalone row must equal
+  the parent's row bit for bit (modulo the ``partition_*`` accounting
+  columns), and nothing may have been promoted.
+* **Error dominance everywhere** — at every ``(key_skew, disorder)``
+  cell the partitioned join's error must be no worse than the parent's,
+  in *both* disorder regimes.  (The pytest shape test only asserts the
+  strict claim under low disorder because its fixture runs at a tiny
+  scale; this gate runs at the baseline-gated scale where the claim is
+  strict.)
+* **Hot keys at high skew** — the top-skew cells must actually promote,
+  otherwise the dominance check is vacuous.
+
+Exit status is nonzero with a per-cell report on any violation::
+
+    python tools/check_skew_dominance.py skew_rows_serial.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+PARENT = "PECJ-aema"
+PARTITIONED = "PECJ-part-aema"
+
+
+def load_rows(path: str) -> list[dict]:
+    """The standalone-method rows of a ``bench skew --rows`` file."""
+    with open(path) as fh:
+        data = json.load(fh)
+    rows = data["skew"] if isinstance(data, dict) else data
+    return [r for r in rows if r.get("method") in (PARENT, PARTITIONED)]
+
+
+def check(rows: list[dict]) -> list[str]:
+    """Every violated claim, one human-readable line each."""
+    cells: dict[tuple[float, str], dict[str, dict]] = {}
+    for row in rows:
+        cells.setdefault((row["key_skew"], row["disorder"]), {})[row["method"]] = row
+
+    problems = []
+    promoted_at_top = False
+    for (skew, disorder), pair in sorted(cells.items()):
+        if set(pair) != {PARENT, PARTITIONED}:
+            problems.append(f"skew={skew} {disorder}: missing method rows {set(pair)}")
+            continue
+        base, part = pair[PARENT], pair[PARTITIONED]
+        if part["error"] > base["error"] + 1e-12:
+            problems.append(
+                f"skew={skew} {disorder}: partitioned error {part['error']:.6f} "
+                f"> parent {base['error']:.6f}"
+            )
+        if skew == 0.0:
+            drop = {"method"} | {k for k in part if k.startswith("partition_")}
+            if {k: v for k, v in base.items() if k not in drop} != {
+                k: v for k, v in part.items() if k not in drop
+            }:
+                problems.append(f"skew=0.0 {disorder}: rows not bit-identical")
+            if part.get("partition_hot_keys", 0.0) != 0.0:
+                problems.append(f"skew=0.0 {disorder}: promoted on uniform traffic")
+        if skew >= 1.1 and part.get("partition_hot_keys", 0.0) >= 1.0:
+            promoted_at_top = True
+    if not promoted_at_top:
+        problems.append("no hot keys promoted at skew >= 1.1 — dominance is vacuous")
+    return problems
+
+
+def main() -> int:
+    """CLI entry point: gate the given rows file, print violations."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("rows", help="rows JSON from `python -m repro.bench skew`")
+    args = parser.parse_args()
+
+    rows = load_rows(args.rows)
+    if not rows:
+        print(f"{args.rows}: no standalone skew rows found", file=sys.stderr)
+        return 2
+    problems = check(rows)
+    if problems:
+        print(f"{args.rows}: {len(problems)} skew-dominance violation(s):")
+        for line in problems:
+            print(f"  - {line}")
+        return 1
+    cells = len({(r['key_skew'], r['disorder']) for r in rows})
+    print(f"{args.rows}: partitioned error dominates in all {cells} cells.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
